@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Each benchmark runs one paper experiment exactly once (``pedantic`` with a
+single round): the interesting measurement is the end-to-end wall-clock of
+regenerating a figure/table, not micro-benchmark statistics.  Every benchmark
+also prints the experiment's rendered table so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SMALL_SCALE, ExperimentResult
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale used by all benchmarks."""
+    return SMALL_SCALE
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function once under pytest-benchmark and print it."""
+
+    def _run(function, *args, **kwargs) -> ExperimentResult:
+        result = benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+        if isinstance(result, ExperimentResult):
+            print()
+            print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,13 @@
+"""Benchmark: the Sec. 5.2 constraint-simplification ablation."""
+
+from repro.experiments import run_simplification_ablation
+
+
+def test_ablation_simplification(run_experiment, scale):
+    result = run_experiment(run_simplification_ablation, scale)
+    per_factor = result.filter_rows(solver="per-factor (Sec. 5.2)")[0]
+    naive = result.filter_rows(solver="naive joint (Eq. 2)")[0]
+    # Paper claim: the simplification is what makes constrained learning
+    # tractable — the per-factor solver must be dramatically faster.
+    assert per_factor["seconds"] <= naive["seconds"]
+    assert per_factor["max_constraint_violation"] <= 0.1

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 10 (IMDB error vs number of 2D aggregates)."""
+
+import numpy as np
+
+from repro.experiments import run_nd_sweep
+
+
+def test_fig10_imdb_2d(run_experiment, scale):
+    result = run_experiment(run_nd_sweep, "imdb", 2, scale)
+    assert len(result.rows) == 2 * 5 * 4
+    assert np.isfinite([row["avg_percent_difference"] for row in result.rows]).all()

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 12 (IMDB error vs number of 3D aggregates)."""
+
+import numpy as np
+
+from repro.experiments import run_nd_sweep
+
+
+def test_fig12_imdb_3d(run_experiment, scale):
+    result = run_experiment(run_nd_sweep, "imdb", 3, scale)
+    assert len(result.rows) == 2 * 5 * 4
+    assert np.isfinite([row["avg_percent_difference"] for row in result.rows]).all()

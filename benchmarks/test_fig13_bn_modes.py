@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 13 (the five BN learning modes)."""
+
+import numpy as np
+
+from repro.experiments import run_bn_modes
+
+
+def test_fig13_bn_modes(run_experiment, scale):
+    result = run_experiment(run_bn_modes, scale)
+    assert len(result.rows) == 5 * 2 * 5  # budgets x hitters x modes
+    assert np.isfinite([row["avg_percent_difference"] for row in result.rows]).all()
+
+    def error(budget, hitters, mode):
+        return result.filter_rows(
+            n_2d_aggregates=budget, hitters=hitters, mode=mode
+        )[0]["avg_percent_difference"]
+
+    # Paper shape: aggregate-constrained parameter learning (SB/BB) beats the
+    # sample-only SS mode on heavy hitters once 2D aggregates are available.
+    assert min(error(4, "heavy", "BB"), error(4, "heavy", "SB")) <= error(4, "heavy", "SS") + 1e-9

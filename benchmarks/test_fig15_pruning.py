@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 15 (pruned vs random aggregate selection on CHILD)."""
+
+import numpy as np
+
+from repro.experiments import run_pruning
+
+
+def test_fig15_pruning(run_experiment, scale):
+    result = run_experiment(run_pruning, scale)
+    selections = {row["selection"] for row in result.rows}
+    assert {"OPT", "Prune", "Rand"} <= selections
+    assert np.isfinite([row["avg_percent_difference"] for row in result.rows]).all()
+
+    def error(selection, budget, method):
+        return result.filter_rows(
+            selection=selection, n_2d_aggregates=budget, method=method
+        )[0]["avg_percent_difference"]
+
+    budgets = sorted(
+        {row["n_2d_aggregates"] for row in result.rows if row["selection"] == "Prune"}
+    )
+    # Paper shape: with a generous budget the pruned selection is at least as
+    # good as the random one, and adding pruned aggregates does not hurt BB.
+    assert error("Prune", budgets[-1], "BB") <= error("Rand", budgets[-1], "BB") + 5.0
+    assert error("Prune", budgets[-1], "BB") <= error("Prune", budgets[0], "BB") + 5.0

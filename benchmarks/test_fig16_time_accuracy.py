@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 16 (error vs total solver time, IMDB SR159)."""
+
+import numpy as np
+
+from repro.experiments import run_time_accuracy
+
+
+def test_fig16_time_accuracy(run_experiment, scale):
+    result = run_experiment(run_time_accuracy, scale)
+    assert len(result.rows) == 7 * 2  # configurations x methods
+    assert all(row["solver_seconds"] >= 0.0 for row in result.rows)
+    assert np.isfinite([row["avg_percent_difference"] for row in result.rows]).all()
+
+    # Paper shape: the best (lowest-error) BB configuration is at least as
+    # accurate as the best IPF configuration.
+    best_bb = min(
+        row["avg_percent_difference"] for row in result.filter_rows(method="BB")
+    )
+    best_ipf = min(
+        row["avg_percent_difference"] for row in result.filter_rows(method="IPF")
+    )
+    assert best_bb <= best_ipf + 10.0

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 4 (IMDB heavy/light hitter accuracy)."""
+
+import numpy as np
+
+from repro.experiments import run_overall_accuracy
+
+
+def test_fig4_imdb_overall(run_experiment, scale):
+    result = run_experiment(run_overall_accuracy, "imdb", scale)
+    assert len(result.rows) == 4 * 2 * 4
+
+    def median(sample, hitters, method):
+        return result.filter_rows(sample=sample, hitters=hitters, method=method)[0][
+            "median"
+        ]
+
+    # Paper shape: hybrid is no worse than AQP on the supported biased samples
+    # (small tolerance for reduced-scale sampling noise).
+    for sample in ("GB", "SR159"):
+        assert median(sample, "heavy", "Hybrid") <= median(sample, "heavy", "AQP") + 5.0
+    assert np.isfinite([row["median"] for row in result.rows]).all()

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 6 (the six IDEBench-style SQL queries of Table 5)."""
+
+import numpy as np
+
+from repro.experiments import run_sql_queries
+
+
+def test_fig6_sql_queries(run_experiment, scale):
+    result = run_experiment(run_sql_queries, scale)
+    assert len(result.rows) == 6 * 2 * 4  # queries x biases x methods
+    assert np.isfinite([row["avg_percent_difference"] for row in result.rows]).all()
+
+    def error(query, bias, method):
+        return result.filter_rows(query=query, bias=bias, method=method)[0][
+            "avg_percent_difference"
+        ]
+
+    # Paper shape: Q1 (no filter, aggregate over a BN edge) favours hybrid/BB
+    # over AQP at 100% bias because AQP misses the non-corner origin states.
+    assert error("Q1", 1.0, "Hybrid") <= error("Q1", 1.0, "AQP") + 1e-9

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 7 (Flights error vs number of 1D aggregates)."""
+
+from repro.experiments import run_1d_sweep
+
+
+def test_fig7_flights_1d(run_experiment, scale):
+    result = run_experiment(run_1d_sweep, "flights", scale)
+    assert len(result.rows) == 2 * 2 * 5 * 4  # samples x orders x budgets x methods
+
+    def error(sample, order, budget, method):
+        return result.filter_rows(
+            sample=sample, order=order, n_1d_aggregates=budget, method=method
+        )[0]["avg_percent_difference"]
+
+    # Paper shape: for SCorners, once the bias-causing origin_state aggregate
+    # is available (all five 1D aggregates) IPF is at least as good as with a
+    # single, unrelated aggregate (small tolerance for reduced-scale noise).
+    assert error("SCorners", "A", 5, "IPF") <= error("SCorners", "A", 1, "IPF") + 10.0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 8 (IMDB error vs number of 1D aggregates)."""
+
+import numpy as np
+
+from repro.experiments import run_1d_sweep
+
+
+def test_fig8_imdb_1d(run_experiment, scale):
+    result = run_experiment(run_1d_sweep, "imdb", scale)
+    assert len(result.rows) == 2 * 2 * 5 * 4
+    assert np.isfinite([row["avg_percent_difference"] for row in result.rows]).all()

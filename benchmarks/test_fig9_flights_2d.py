@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 9 (Flights error vs number of 2D aggregates)."""
+
+from repro.experiments import run_nd_sweep
+
+
+def test_fig9_flights_2d(run_experiment, scale):
+    result = run_experiment(run_nd_sweep, "flights", 2, scale)
+    assert len(result.rows) == 2 * 5 * 4  # samples x budgets x methods
+
+    def error(sample, budget, method):
+        return result.filter_rows(sample=sample, n_nd_aggregates=budget, method=method)[0][
+            "avg_percent_difference"
+        ]
+
+    # Paper shape: BB improves (or at least does not degrade) as 2D aggregates
+    # are added on the SCorners sample (small tolerance for noise).
+    assert error("SCorners", 4, "BB") <= error("SCorners", 0, "BB") + 5.0

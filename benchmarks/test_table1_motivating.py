@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (the motivating example)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1_motivating(run_experiment, scale):
+    result = run_experiment(run_table1, scale)
+    assert len(result.rows) == 4
+    # Themis answers every state, including ones missing from the sample.
+    assert all(row["themis"] >= 0 for row in result.rows)
+    # Themis is at least as accurate as AQP on the in-sample heavy states.
+    ca = result.filter_rows(state="CA")[0]
+    assert ca["themis_error"] <= ca["aqp_error"]

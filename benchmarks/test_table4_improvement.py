@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 4 (percent improvement of hybrid over AQP)."""
+
+from repro.experiments import median_improvement_heavy, run_table4_improvement
+
+
+def test_table4_improvement(run_experiment, scale):
+    result = run_experiment(run_table4_improvement, scale)
+    assert len(result.rows) == 8  # 4 samples x heavy/light
+    # Headline claim: a clear positive median-error improvement on heavy hitters.
+    assert median_improvement_heavy(result) > 0

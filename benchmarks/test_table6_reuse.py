@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 6 (Themis vs the reuse baseline of [33])."""
+
+import numpy as np
+
+from repro.experiments import run_reuse_comparison
+
+
+def test_table6_reuse(run_experiment, scale):
+    result = run_experiment(run_reuse_comparison, scale)
+    assert len(result.rows) == 6 * 2  # biases x attribute pairs
+    assert np.isfinite([row["hybrid_error"] for row in result.rows]).all()
+
+    # Paper shape: on the pair the aggregate does not cover (DT-DE), Themis's
+    # error is no worse than the baseline's (which degenerates to uniform
+    # scaling) at high bias.
+    row = result.filter_rows(pair="distance-dest_state", bias=1.0)[0]
+    assert row["hybrid_error"] <= row["reuse_error"] + 10.0

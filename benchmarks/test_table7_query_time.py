@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 7 (average point-query execution time)."""
+
+from repro.experiments import run_query_execution_time
+
+
+def test_table7_query_time(run_experiment, scale):
+    result = run_experiment(run_query_execution_time, scale)
+    assert len(result.rows) == 6  # RW plus the five BN modes
+    # Paper claim: interactive response times (well under a second per query).
+    assert all(row["avg_query_seconds"] < 0.5 for row in result.rows)

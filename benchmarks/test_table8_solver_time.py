@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 8 (solver times vs number of aggregates)."""
+
+from repro.experiments import run_solver_time
+
+
+def test_table8_solver_time(run_experiment, scale):
+    result = run_experiment(run_solver_time, scale)
+    assert len(result.rows) == 9  # the 1D/2D budget configurations
+    assert all(row["linreg_seconds"] >= 0 for row in result.rows)
+    # Paper shape: solver time grows as 1D aggregates are added (compare the
+    # one-aggregate and five-aggregate configurations for IPF).
+    one = result.filter_rows(n_1d_aggregates=1, n_2d_aggregates=0)[0]
+    five = result.filter_rows(n_1d_aggregates=5, n_2d_aggregates=0)[0]
+    assert five["ipf_seconds"] >= one["ipf_seconds"] * 0.5

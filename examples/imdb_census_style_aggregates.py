@@ -1,0 +1,71 @@
+"""IMDB case study: partial aggregate coverage and a dense attribute.
+
+The IMDB dataset in the paper has eight attributes but only five of them are
+covered by population aggregates, and one uncovered attribute (``name``) is
+extremely dense.  This example shows two effects the paper discusses:
+
+* reweighting and the Bayesian network both fix queries over covered
+  attributes (rating, country, ...), and
+* queries touching the dense uncovered ``name`` attribute are where the
+  Bayesian network struggles and the hybrid's sample component matters.
+
+Run with:  python examples/imdb_census_style_aggregates.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    SMALL_SCALE,
+    build_aggregates,
+    fit_methods,
+    imdb_bundle,
+    point_query_workload,
+    point_query_errors,
+)
+from repro.experiments.reporting import format_table
+from repro.metrics import ErrorSummary
+
+
+def main() -> None:
+    scale = SMALL_SCALE
+    bundle = imdb_bundle(scale)
+    sample = bundle.sample("SR159")  # biased towards ratings 1, 5, and 9
+    print(
+        f"population rows: {bundle.population_size}, SR159 sample rows: {sample.n_rows}"
+    )
+
+    aggregates = build_aggregates(bundle, n_two_dimensional=4)
+    fitted = fit_methods(
+        sample,
+        aggregates,
+        population_size=bundle.population_size,
+        scale=scale,
+        methods=("AQP", "IPF", "BB", "Hybrid"),
+    )
+
+    covered_sets = [("movie_year", "rating"), ("movie_country", "rating")]
+    dense_sets = [("name", "rating"), ("name", "gender")]
+    rows = []
+    for label, attribute_sets in (("covered", covered_sets), ("dense name", dense_sets)):
+        workload = point_query_workload(bundle, attribute_sets, "random", 60, seed=11)
+        errors = point_query_errors(fitted.evaluators, workload)
+        for method, values in errors.items():
+            rows.append(
+                {
+                    "queries": label,
+                    "method": method,
+                    "median error": round(ErrorSummary.from_errors(values).median, 1),
+                }
+            )
+    print()
+    print(format_table(rows))
+    print(
+        "\nPaper shape (Sec. 6.4/6.5): on aggregate-covered attributes the "
+        "debiasing methods beat uniform AQP reweighting; queries touching the "
+        "dense, uncovered name attribute stay hard for every method because "
+        "the aggregates carry no information about it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Population aggregates ``Γ``: representation, incidence systems, selection.
+
+This package models the apriori population knowledge Themis debiases against:
+``GROUP BY, COUNT(*)`` query results (:class:`AggregateQuery`,
+:class:`AggregateSet`), the constraint system they induce over a sample
+(:class:`IncidenceSystem`), information-theoretic scoring, and the pruning
+strategies of Sec. 5.1.
+"""
+
+from .aggregate import AggregateQuery, AggregateSet, aggregates_from_population
+from .incidence import ConstraintRow, IncidenceSystem, build_incidence
+from .information import (
+    cluster_separator_score,
+    entropy_of_aggregate,
+    entropy_of_distribution,
+    entropy_of_relation,
+    information_content_of_aggregate,
+    information_content_of_relation,
+    kl_divergence,
+    mutual_information_of_aggregate,
+)
+from .pruning import (
+    AggregateSelector,
+    ClusterSeparatorPair,
+    RandomAggregateSelector,
+    TCherryAggregateSelector,
+    TopScoreAggregateSelector,
+    candidate_attribute_sets,
+    prune_aggregates,
+)
+
+__all__ = [
+    "AggregateQuery",
+    "AggregateSelector",
+    "AggregateSet",
+    "ClusterSeparatorPair",
+    "ConstraintRow",
+    "IncidenceSystem",
+    "RandomAggregateSelector",
+    "TCherryAggregateSelector",
+    "TopScoreAggregateSelector",
+    "aggregates_from_population",
+    "build_incidence",
+    "candidate_attribute_sets",
+    "cluster_separator_score",
+    "entropy_of_aggregate",
+    "entropy_of_distribution",
+    "entropy_of_relation",
+    "information_content_of_aggregate",
+    "information_content_of_relation",
+    "kl_divergence",
+    "mutual_information_of_aggregate",
+    "prune_aggregates",
+]

@@ -1,0 +1,159 @@
+"""Incidence matrix ``G_{0/1}`` between aggregate groups and sample tuples.
+
+Both reweighting techniques (Sec. 4.1) are driven by the same structure: a
+0/1 matrix with one row per aggregate group (constraint) and one column per
+sample tuple, where entry ``(r, c)`` is one iff tuple ``c`` belongs to the
+group described by row ``r``.  The stacked count vector ``y`` holds the
+population counts of each group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import AggregateError
+from ..schema import Relation
+from .aggregate import AggregateQuery, AggregateSet
+
+
+@dataclass(frozen=True)
+class ConstraintRow:
+    """Metadata describing one row of the incidence matrix."""
+
+    aggregate_index: int
+    attributes: tuple[str, ...]
+    values: tuple[Any, ...]
+    count: float
+
+
+class IncidenceSystem:
+    """The linear system ``G_{0/1} w = y`` induced by a sample and aggregates.
+
+    Parameters
+    ----------
+    sample:
+        The biased sample ``S``.
+    aggregates:
+        The population aggregate set ``Γ``.
+
+    Attributes
+    ----------
+    matrix:
+        Float array of shape ``(n_constraints, n_sample_rows)`` with 0/1
+        entries.
+    counts:
+        The stacked population counts ``y``.
+    rows:
+        Per-row metadata (:class:`ConstraintRow`).
+    """
+
+    def __init__(self, sample: Relation, aggregates: AggregateSet):
+        if len(aggregates) == 0:
+            raise AggregateError("cannot build an incidence system without aggregates")
+        for aggregate in aggregates:
+            for name in aggregate.attributes:
+                if name not in sample.schema:
+                    raise AggregateError(
+                        f"aggregate attribute {name!r} is not in the sample schema"
+                    )
+        self._sample = sample
+        self._aggregates = aggregates
+        self.matrix, self.counts, self.rows = self._build()
+
+    @property
+    def sample(self) -> Relation:
+        """The sample the system was built from."""
+        return self._sample
+
+    @property
+    def aggregates(self) -> AggregateSet:
+        """The aggregate set the system was built from."""
+        return self._aggregates
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of constraint rows (``sum_i M_i``)."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_tuples(self) -> int:
+        """Number of sample tuples (columns)."""
+        return self.matrix.shape[1]
+
+    def _build(self) -> tuple[np.ndarray, np.ndarray, list[ConstraintRow]]:
+        sample = self._sample
+        n_rows = sample.n_rows
+        blocks: list[np.ndarray] = []
+        counts: list[float] = []
+        rows: list[ConstraintRow] = []
+        for aggregate_index, aggregate in enumerate(self._aggregates):
+            attributes = aggregate.attributes
+            # Encode each group's value vector once, and match against the
+            # sample columns in a vectorized pass per group.
+            columns = [sample.column(name) for name in attributes]
+            domains = [sample.schema[name].domain for name in attributes]
+            for values, count in aggregate.items():
+                mask = np.ones(n_rows, dtype=bool)
+                for column, domain, value in zip(columns, domains, values):
+                    code = domain.code_of(value)
+                    if code is None:
+                        mask = np.zeros(n_rows, dtype=bool)
+                        break
+                    mask &= column == code
+                blocks.append(mask.astype(float))
+                counts.append(float(count))
+                rows.append(
+                    ConstraintRow(
+                        aggregate_index=aggregate_index,
+                        attributes=attributes,
+                        values=tuple(values),
+                        count=float(count),
+                    )
+                )
+        matrix = (
+            np.vstack(blocks) if blocks else np.zeros((0, n_rows), dtype=float)
+        )
+        return matrix, np.asarray(counts, dtype=float), rows
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def empty_constraints(self) -> np.ndarray:
+        """Indices of constraints with no participating sample tuple.
+
+        These are the groups present in the population aggregates but missing
+        from the sample; IPF skips them and linear regression drops them.
+        """
+        return np.nonzero(self.matrix.sum(axis=1) == 0)[0]
+
+    def residuals(self, weights: np.ndarray) -> np.ndarray:
+        """Per-constraint residuals ``G w - y`` for a candidate weight vector."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.n_tuples,):
+            raise AggregateError(
+                f"weights must have shape ({self.n_tuples},), got {weights.shape}"
+            )
+        return self.matrix @ weights - self.counts
+
+    def max_relative_violation(self, weights: np.ndarray) -> float:
+        """Largest relative constraint violation, ignoring empty constraints."""
+        achieved = self.matrix @ np.asarray(weights, dtype=float)
+        violations = []
+        for index, (value, target) in enumerate(zip(achieved, self.counts)):
+            if self.matrix[index].sum() == 0:
+                continue
+            denominator = max(abs(target), 1.0)
+            violations.append(abs(value - target) / denominator)
+        return max(violations) if violations else 0.0
+
+
+def build_incidence(
+    sample: Relation, aggregates: AggregateSet | AggregateQuery
+) -> IncidenceSystem:
+    """Convenience constructor accepting a single aggregate or a set."""
+    if isinstance(aggregates, AggregateQuery):
+        aggregates = AggregateSet([aggregates])
+    return IncidenceSystem(sample, aggregates)

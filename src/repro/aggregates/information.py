@@ -1,0 +1,133 @@
+"""Information-theoretic utilities over aggregates and relations.
+
+The aggregate-pruning technique (Sec. 5.1) scores candidate t-cherry
+clusters by their *information content* ``I(X_C) = sum_i H(X_i) - H(X_C)``
+computed **from the aggregates alone**.  This module provides entropy,
+mutual information, and information content over both
+:class:`~repro.aggregates.AggregateQuery` objects and relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import AggregateError
+from ..schema import Relation
+from .aggregate import AggregateQuery
+
+
+def entropy_of_distribution(probabilities: Mapping[Any, float]) -> float:
+    """Shannon entropy (nats) of a discrete distribution given as a mapping.
+
+    Zero-probability entries contribute nothing.  Probabilities are
+    renormalized defensively so small numeric drift does not skew the result.
+    """
+    values = np.asarray([p for p in probabilities.values() if p > 0], dtype=float)
+    if values.size == 0:
+        return 0.0
+    values = values / values.sum()
+    return float(-(values * np.log(values)).sum())
+
+
+def entropy_of_aggregate(
+    aggregate: AggregateQuery, attributes: Sequence[str] | None = None
+) -> float:
+    """Entropy of the (possibly marginalized) distribution of an aggregate."""
+    if attributes is not None and tuple(attributes) != aggregate.attributes:
+        aggregate = aggregate.marginalize(attributes)
+    return entropy_of_distribution(aggregate.probabilities())
+
+
+def entropy_of_relation(
+    relation: Relation, attributes: Sequence[str], weighted: bool = True
+) -> float:
+    """Entropy of the empirical (weighted) joint distribution of a relation."""
+    return entropy_of_distribution(
+        relation.marginal_distribution(attributes, weighted=weighted)
+    )
+
+
+def information_content_of_aggregate(aggregate: AggregateQuery) -> float:
+    """Information content ``I(X_C) = sum_i H(X_i) - H(X_C)`` of one aggregate.
+
+    For a two-attribute aggregate this equals the mutual information between
+    the two attributes.  It is always non-negative up to numerical error.
+    """
+    joint_entropy = entropy_of_aggregate(aggregate)
+    marginal_entropy = sum(
+        entropy_of_aggregate(aggregate.marginalize([name]))
+        for name in aggregate.attributes
+    )
+    return max(marginal_entropy - joint_entropy, 0.0)
+
+
+def mutual_information_of_aggregate(aggregate: AggregateQuery) -> float:
+    """Mutual information between the two attributes of a 2D aggregate."""
+    if aggregate.dimension != 2:
+        raise AggregateError(
+            "mutual_information_of_aggregate requires a two-dimensional aggregate"
+        )
+    return information_content_of_aggregate(aggregate)
+
+
+def information_content_of_relation(
+    relation: Relation, attributes: Sequence[str], weighted: bool = True
+) -> float:
+    """Information content of a set of attributes from a relation's joint."""
+    joint_entropy = entropy_of_relation(relation, attributes, weighted=weighted)
+    marginal_entropy = sum(
+        entropy_of_relation(relation, [name], weighted=weighted) for name in attributes
+    )
+    return max(marginal_entropy - joint_entropy, 0.0)
+
+
+def cluster_separator_score(
+    cluster_aggregate: AggregateQuery, separator: Sequence[str]
+) -> float:
+    """The t-cherry score ``I(X_C) - I(X_S)`` of a cluster-separator pair.
+
+    ``separator`` must be a subset of the cluster's attributes so its
+    information content can be obtained by marginalizing the cluster
+    aggregate — exactly the "support in Γ" requirement of Alg. 4.
+    """
+    separator = tuple(separator)
+    if not set(separator) <= set(cluster_aggregate.attributes):
+        raise AggregateError(
+            "separator attributes must be a subset of the cluster attributes"
+        )
+    cluster_information = information_content_of_aggregate(cluster_aggregate)
+    if len(separator) <= 1:
+        separator_information = 0.0
+    else:
+        separator_information = information_content_of_aggregate(
+            cluster_aggregate.marginalize(separator)
+        )
+    return cluster_information - separator_information
+
+
+def kl_divergence(
+    true_distribution: Mapping[Any, float],
+    approx_distribution: Mapping[Any, float],
+    epsilon: float = 1e-12,
+) -> float:
+    """Kullback-Leibler divergence ``KL(true || approx)`` in nats.
+
+    Missing keys in the approximate distribution are smoothed with
+    ``epsilon`` so the divergence stays finite, matching how the pruning
+    analysis compares approximate product distributions with the truth.
+    """
+    total_true = sum(max(p, 0.0) for p in true_distribution.values())
+    if total_true <= 0:
+        return 0.0
+    divergence = 0.0
+    total_approx = sum(max(p, 0.0) for p in approx_distribution.values()) or 1.0
+    for key, p in true_distribution.items():
+        p = max(p, 0.0) / total_true
+        if p == 0.0:
+            continue
+        q = max(approx_distribution.get(key, 0.0), 0.0) / total_approx
+        divergence += p * np.log(p / max(q, epsilon))
+    return float(divergence)

@@ -1,0 +1,251 @@
+"""Aggregate selection (pruning) — Sec. 5.1 of the paper.
+
+Given a large set of candidate population aggregates and a budget ``B``,
+Themis keeps only the ``B`` most informative ones.  The selection follows a
+modified *t-cherry junction tree* construction (Alg. 4): cluster-separator
+pairs are scored by ``I(X_C) - I(X_S)`` using mutual information computable
+from the aggregates alone, and pairs are greedily added subject to the
+running-intersection-style condition that the separator is contained in an
+already chosen cluster and a new attribute is covered.  A random selector is
+provided as the paper's ``Rand`` baseline (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import AggregateError
+from .aggregate import AggregateQuery, AggregateSet
+from .information import cluster_separator_score
+
+
+@dataclass(frozen=True)
+class ClusterSeparatorPair:
+    """A scored candidate cluster-separator pair for the t-cherry construction."""
+
+    cluster: frozenset[str]
+    separator: frozenset[str]
+    score: float
+    aggregate_index: int
+
+
+class AggregateSelector:
+    """Interface for aggregate selection strategies."""
+
+    def select(self, candidates: AggregateSet, budget: int) -> AggregateSet:
+        """Return at most ``budget`` aggregates chosen from ``candidates``."""
+        raise NotImplementedError
+
+
+class RandomAggregateSelector(AggregateSelector):
+    """Select ``budget`` aggregates uniformly at random (the ``Rand`` baseline)."""
+
+    def __init__(self, seed: int | np.random.Generator | None = None):
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, candidates: AggregateSet, budget: int) -> AggregateSet:
+        if budget < 0:
+            raise AggregateError("budget must be non-negative")
+        aggregates = candidates.aggregates
+        if budget >= len(aggregates):
+            return AggregateSet(aggregates)
+        chosen = self._rng.choice(len(aggregates), size=budget, replace=False)
+        return AggregateSet(aggregates[index] for index in sorted(chosen))
+
+
+class TopScoreAggregateSelector(AggregateSelector):
+    """Select the ``budget`` aggregates with the highest information content.
+
+    This is a simpler alternative to the t-cherry construction used in a few
+    ablation benches; it ignores the junction-tree connectivity condition.
+    """
+
+    def select(self, candidates: AggregateSet, budget: int) -> AggregateSet:
+        if budget < 0:
+            raise AggregateError("budget must be non-negative")
+        from .information import information_content_of_aggregate
+
+        scored = sorted(
+            candidates.aggregates,
+            key=information_content_of_aggregate,
+            reverse=True,
+        )
+        return AggregateSet(scored[:budget])
+
+
+class TCherryAggregateSelector(AggregateSelector):
+    """Modified t-cherry junction-tree aggregate selection (Alg. 4).
+
+    Only cluster-separator pairs with support in ``Γ`` (i.e., whose cluster
+    is exactly the attribute set of some candidate aggregate) are
+    initialized, and the algorithm restarts a new tree once all attributes
+    covered by the candidates have been covered, so budgets larger than the
+    number of attributes can still be filled without duplicating clusters.
+    """
+
+    def __init__(self, allow_restarts: bool = True):
+        self._allow_restarts = allow_restarts
+
+    # ------------------------------------------------------------------
+    # Pair generation
+    # ------------------------------------------------------------------
+    def _generate_pairs(self, candidates: AggregateSet) -> list[ClusterSeparatorPair]:
+        pairs: list[ClusterSeparatorPair] = []
+        for index, aggregate in enumerate(candidates):
+            attributes = aggregate.attributes
+            if len(attributes) < 2:
+                # 1D aggregates have no separator; score them by their entropy
+                # so they can still participate when only 1D candidates exist.
+                score = cluster_separator_score(aggregate, ())
+                pairs.append(
+                    ClusterSeparatorPair(
+                        cluster=frozenset(attributes),
+                        separator=frozenset(),
+                        score=score,
+                        aggregate_index=index,
+                    )
+                )
+                continue
+            for separator in combinations(attributes, len(attributes) - 1):
+                score = cluster_separator_score(aggregate, separator)
+                pairs.append(
+                    ClusterSeparatorPair(
+                        cluster=frozenset(attributes),
+                        separator=frozenset(separator),
+                        score=score,
+                        aggregate_index=index,
+                    )
+                )
+        pairs.sort(key=lambda pair: pair.score, reverse=True)
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(self, candidates: AggregateSet, budget: int) -> AggregateSet:
+        if budget < 0:
+            raise AggregateError("budget must be non-negative")
+        if budget == 0 or len(candidates) == 0:
+            return AggregateSet()
+        pairs = self._generate_pairs(candidates)
+        if not pairs:
+            return AggregateSet()
+
+        all_attributes = candidates.covered_attributes()
+        chosen_indices: list[int] = []
+        chosen_clusters: set[frozenset[str]] = set()
+        covered: set[str] = set()
+        used_pairs: set[int] = set()
+
+        def admissible(pair: ClusterSeparatorPair, require_new: bool) -> bool:
+            if pair.cluster in chosen_clusters:
+                return False
+            separator_supported = not chosen_clusters or any(
+                pair.separator <= cluster for cluster in chosen_clusters
+            )
+            if not separator_supported:
+                return False
+            if require_new and not (pair.cluster - covered):
+                return False
+            return True
+
+        def start_tree() -> bool:
+            """Seed a (new) tree with the best unused pair; return success."""
+            for position, pair in enumerate(pairs):
+                if position in used_pairs or pair.cluster in chosen_clusters:
+                    continue
+                used_pairs.add(position)
+                chosen_indices.append(pair.aggregate_index)
+                chosen_clusters.add(pair.cluster)
+                covered.update(pair.cluster)
+                return True
+            return False
+
+        if not start_tree():
+            return AggregateSet()
+
+        while len(chosen_indices) < budget:
+            progressed = False
+            for position, pair in enumerate(pairs):
+                if len(chosen_indices) >= budget:
+                    break
+                if position in used_pairs:
+                    continue
+                if admissible(pair, require_new=True):
+                    used_pairs.add(position)
+                    chosen_indices.append(pair.aggregate_index)
+                    chosen_clusters.add(pair.cluster)
+                    covered.update(pair.cluster)
+                    progressed = True
+            if len(chosen_indices) >= budget:
+                break
+            if covered >= all_attributes and self._allow_restarts:
+                # All attributes covered: start a new tree with unused pairs
+                # (Alg. 4's "start new tree" branch) so larger budgets can be met.
+                if not start_tree():
+                    break
+                continue
+            if not progressed:
+                # No admissible pair extends the current tree; relax the
+                # new-attribute requirement to keep filling the budget, and
+                # fall back to seeding a fresh tree if even that fails.
+                relaxed = False
+                for position, pair in enumerate(pairs):
+                    if position in used_pairs:
+                        continue
+                    if admissible(pair, require_new=False):
+                        used_pairs.add(position)
+                        chosen_indices.append(pair.aggregate_index)
+                        chosen_clusters.add(pair.cluster)
+                        covered.update(pair.cluster)
+                        relaxed = True
+                        break
+                if not relaxed and not start_tree():
+                    break
+
+        aggregates = candidates.aggregates
+        seen: set[int] = set()
+        selected: list[AggregateQuery] = []
+        for index in chosen_indices:
+            if index in seen:
+                continue
+            seen.add(index)
+            selected.append(aggregates[index])
+        return AggregateSet(selected[:budget])
+
+
+def prune_aggregates(
+    candidates: AggregateSet,
+    budget: int,
+    method: str = "t-cherry",
+    seed: int | None = None,
+) -> AggregateSet:
+    """Select ``budget`` aggregates using the named strategy.
+
+    ``method`` is one of ``"t-cherry"`` (paper's Prune), ``"random"`` (Rand
+    baseline), or ``"top-score"``.
+    """
+    selectors: dict[str, AggregateSelector] = {
+        "t-cherry": TCherryAggregateSelector(),
+        "random": RandomAggregateSelector(seed),
+        "top-score": TopScoreAggregateSelector(),
+    }
+    if method not in selectors:
+        raise AggregateError(
+            f"unknown pruning method {method!r}; expected one of {sorted(selectors)}"
+        )
+    return selectors[method].select(candidates, budget)
+
+
+def candidate_attribute_sets(
+    attributes: Iterable[str], dimension: int
+) -> list[tuple[str, ...]]:
+    """All attribute combinations of the given dimension, in sorted order."""
+    names = sorted(attributes)
+    if dimension < 1 or dimension > len(names):
+        return []
+    return list(combinations(names, dimension))

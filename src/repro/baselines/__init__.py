@@ -1,0 +1,11 @@
+"""Baseline query-answering techniques the paper compares against.
+
+The default-AQP baseline (uniform reweighting) lives in
+:mod:`repro.reweighting`; this package adds the query-rewrite reuse technique
+of Galakatos et al. [33].
+"""
+
+from ..reweighting import UniformReweighter
+from .reuse import ConditionalReuseBaseline
+
+__all__ = ["ConditionalReuseBaseline", "UniformReweighter"]

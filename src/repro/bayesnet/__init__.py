@@ -1,0 +1,57 @@
+"""Bayesian-network substrate and Themis's aggregate-aware learning.
+
+From scratch: DAGs, CPTs, factors, exact inference by variable elimination,
+forward sampling, BIC scoring, the two-phase greedy hill climber of
+Sec. 4.2.2, and the constrained parameter learner of Sec. 4.2.3 / 5.2.
+"""
+
+from .cpt import ConditionalProbabilityTable, cpt_for_schema
+from .dag import DirectedAcyclicGraph
+from .factor import Factor, multiply_all, validate_factor_against_schema
+from .inference import ExactInference
+from .learner import (
+    BayesNetLearningResult,
+    LearningMode,
+    ParameterSource,
+    StructureSource,
+    ThemisBayesNetLearner,
+)
+from .network import BayesianNetwork
+from .parameters import ParameterLearner, ParameterLearningReport
+from .sampling import ForwardSampler
+from .scores import (
+    AggregateCountSource,
+    CountSource,
+    SampleCountSource,
+    family_bic,
+    family_log_likelihood,
+    structure_bic,
+)
+from .structure import GreedyHillClimbing, StructureLearningReport
+
+__all__ = [
+    "AggregateCountSource",
+    "BayesNetLearningResult",
+    "BayesianNetwork",
+    "ConditionalProbabilityTable",
+    "CountSource",
+    "DirectedAcyclicGraph",
+    "ExactInference",
+    "Factor",
+    "ForwardSampler",
+    "GreedyHillClimbing",
+    "LearningMode",
+    "ParameterLearner",
+    "ParameterLearningReport",
+    "ParameterSource",
+    "SampleCountSource",
+    "StructureLearningReport",
+    "StructureSource",
+    "ThemisBayesNetLearner",
+    "cpt_for_schema",
+    "family_bic",
+    "family_log_likelihood",
+    "multiply_all",
+    "structure_bic",
+    "validate_factor_against_schema",
+]

@@ -1,0 +1,192 @@
+"""Directed acyclic graphs over attribute names.
+
+The Bayesian network substrate keeps its own small DAG implementation so
+structure-learning moves (add / remove / reverse an edge) and constraints
+(acyclicity, maximum parent count, locked edges) are explicit and cheap to
+check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..exceptions import BayesNetError, CyclicGraphError
+
+
+class DirectedAcyclicGraph:
+    """A mutable DAG whose nodes are attribute names.
+
+    Edges are stored as ``(parent, child)`` pairs.  All mutating operations
+    preserve acyclicity (and raise :class:`CyclicGraphError` otherwise).
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), edges: Iterable[tuple[str, str]] = ()):
+        self._nodes: list[str] = []
+        self._parents: dict[str, set[str]] = {}
+        self._children: dict[str, set[str]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for parent, child in edges:
+            self.add_edge(parent, child)
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """All node names in insertion order."""
+        return tuple(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        """Add a node (no-op if it already exists)."""
+        if node not in self._parents:
+            self._nodes.append(node)
+            self._parents[node] = set()
+            self._children[node] = set()
+
+    def has_node(self, node: str) -> bool:
+        """Whether ``node`` is part of the graph."""
+        return node in self._parents
+
+    def _require_node(self, node: str) -> None:
+        if node not in self._parents:
+            raise BayesNetError(f"node {node!r} is not in the graph")
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        """All ``(parent, child)`` edges, sorted for determinism."""
+        pairs = [
+            (parent, child)
+            for child, parents in self._parents.items()
+            for parent in parents
+        ]
+        return tuple(sorted(pairs))
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges."""
+        return sum(len(parents) for parents in self._parents.values())
+
+    def has_edge(self, parent: str, child: str) -> bool:
+        """Whether the directed edge ``parent -> child`` exists."""
+        return self.has_node(child) and parent in self._parents[child]
+
+    def parents(self, node: str) -> tuple[str, ...]:
+        """Parents of ``node`` (sorted for determinism)."""
+        self._require_node(node)
+        return tuple(sorted(self._parents[node]))
+
+    def children(self, node: str) -> tuple[str, ...]:
+        """Children of ``node`` (sorted for determinism)."""
+        self._require_node(node)
+        return tuple(sorted(self._children[node]))
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Add edge ``parent -> child``, refusing self-loops and cycles."""
+        self._require_node(parent)
+        self._require_node(child)
+        if parent == child:
+            raise CyclicGraphError(f"self-loop on node {parent!r} is not allowed")
+        if self.has_edge(parent, child):
+            return
+        if self._has_path(child, parent):
+            raise CyclicGraphError(
+                f"adding edge {parent!r} -> {child!r} would create a cycle"
+            )
+        self._parents[child].add(parent)
+        self._children[parent].add(child)
+
+    def remove_edge(self, parent: str, child: str) -> None:
+        """Remove edge ``parent -> child`` (error if absent)."""
+        if not self.has_edge(parent, child):
+            raise BayesNetError(f"edge {parent!r} -> {child!r} does not exist")
+        self._parents[child].discard(parent)
+        self._children[parent].discard(child)
+
+    def reverse_edge(self, parent: str, child: str) -> None:
+        """Replace ``parent -> child`` with ``child -> parent`` if acyclic."""
+        self.remove_edge(parent, child)
+        try:
+            self.add_edge(child, parent)
+        except CyclicGraphError:
+            self.add_edge(parent, child)
+            raise
+
+    def would_create_cycle(self, parent: str, child: str) -> bool:
+        """Whether adding ``parent -> child`` would create a directed cycle."""
+        self._require_node(parent)
+        self._require_node(child)
+        if parent == child:
+            return True
+        return self._has_path(child, parent)
+
+    def _has_path(self, source: str, target: str) -> bool:
+        """Depth-first reachability from ``source`` to ``target``."""
+        stack = [source]
+        visited: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.extend(self._children[node])
+        return False
+
+    # ------------------------------------------------------------------
+    # Global structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[str]:
+        """Nodes ordered so every parent precedes its children (Kahn's algorithm)."""
+        in_degree = {node: len(self._parents[node]) for node in self._nodes}
+        ready = sorted(node for node, degree in in_degree.items() if degree == 0)
+        order: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for child in sorted(self._children[node]):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+            ready.sort()
+        if len(order) != len(self._nodes):
+            raise CyclicGraphError("graph contains a cycle; no topological order")
+        return order
+
+    def ancestors(self, node: str) -> set[str]:
+        """All (transitive) ancestors of ``node``."""
+        self._require_node(node)
+        found: set[str] = set()
+        stack = list(self._parents[node])
+        while stack:
+            current = stack.pop()
+            if current in found:
+                continue
+            found.add(current)
+            stack.extend(self._parents[current])
+        return found
+
+    def is_tree(self) -> bool:
+        """Whether every node has at most one parent (a forest of trees)."""
+        return all(len(parents) <= 1 for parents in self._parents.values())
+
+    def copy(self) -> "DirectedAcyclicGraph":
+        """A deep copy of the graph."""
+        return DirectedAcyclicGraph(self._nodes, self.edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectedAcyclicGraph):
+            return NotImplemented
+        return set(self._nodes) == set(other._nodes) and set(self.edges) == set(
+            other.edges
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectedAcyclicGraph(n_nodes={len(self._nodes)}, "
+            f"n_edges={self.n_edges})"
+        )

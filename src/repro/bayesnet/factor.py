@@ -1,0 +1,157 @@
+"""Discrete factors for exact Bayesian-network inference.
+
+A :class:`Factor` is a non-negative table over a tuple of attributes, stored
+as a dense numpy array with one axis per attribute (codes index the axes).
+Factors support the three operations variable elimination needs: restriction
+to evidence, multiplication, and marginalization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import BayesNetError
+from ..schema import Schema
+
+
+class Factor:
+    """A dense factor over named discrete attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, one per axis of ``table`` (in order).
+    table:
+        Non-negative numpy array whose ``i``-th axis ranges over the codes of
+        ``attributes[i]``.
+    """
+
+    __slots__ = ("attributes", "table")
+
+    def __init__(self, attributes: Sequence[str], table: np.ndarray):
+        attributes = tuple(attributes)
+        table = np.asarray(table, dtype=float)
+        if table.ndim != len(attributes):
+            raise BayesNetError(
+                f"factor table has {table.ndim} axes but {len(attributes)} attributes"
+            )
+        if len(set(attributes)) != len(attributes):
+            raise BayesNetError(f"duplicate attributes in factor: {attributes}")
+        if np.any(table < 0):
+            raise BayesNetError("factor tables must be non-negative")
+        self.attributes = attributes
+        self.table = table
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: float = 1.0) -> "Factor":
+        """A scalar factor (no attributes)."""
+        return cls((), np.asarray(float(value)))
+
+    def __repr__(self) -> str:
+        return f"Factor(attributes={self.attributes!r}, shape={self.table.shape})"
+
+    @property
+    def is_scalar(self) -> bool:
+        """Whether the factor has no attributes left."""
+        return not self.attributes
+
+    def value(self) -> float:
+        """The scalar value of an attribute-free factor."""
+        if not self.is_scalar:
+            raise BayesNetError("factor still has free attributes")
+        return float(self.table)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def restrict(self, evidence: Mapping[str, int]) -> "Factor":
+        """Fix some attributes to specific codes, dropping those axes."""
+        if not evidence:
+            return self
+        indexer: list[Any] = []
+        kept: list[str] = []
+        for attribute in self.attributes:
+            if attribute in evidence:
+                code = int(evidence[attribute])
+                axis = self.attributes.index(attribute)
+                size = self.table.shape[axis]
+                if not 0 <= code < size:
+                    raise BayesNetError(
+                        f"evidence code {code} out of range for {attribute!r}"
+                    )
+                indexer.append(code)
+            else:
+                indexer.append(slice(None))
+                kept.append(attribute)
+        return Factor(kept, self.table[tuple(indexer)])
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product, broadcasting over the union of attributes."""
+        if self.is_scalar:
+            return Factor(other.attributes, other.table * float(self.table))
+        if other.is_scalar:
+            return Factor(self.attributes, self.table * float(other.table))
+        union = list(self.attributes)
+        union.extend(a for a in other.attributes if a not in self.attributes)
+
+        def expanded(factor: "Factor") -> np.ndarray:
+            # Permute the factor's axes into union order, then insert
+            # broadcast axes (size one) for the attributes it does not carry.
+            order = sorted(
+                range(len(factor.attributes)),
+                key=lambda axis: union.index(factor.attributes[axis]),
+            )
+            table = np.transpose(factor.table, order)
+            shape = [1] * len(union)
+            for axis in order:
+                attribute = factor.attributes[axis]
+                shape[union.index(attribute)] = factor.table.shape[axis]
+            return table.reshape(shape)
+
+        return Factor(union, expanded(self) * expanded(other))
+
+    def marginalize(self, attributes: Sequence[str]) -> "Factor":
+        """Sum out the given attributes."""
+        to_remove = [a for a in attributes if a in self.attributes]
+        if not to_remove:
+            return self
+        axes = tuple(self.attributes.index(a) for a in to_remove)
+        kept = tuple(a for a in self.attributes if a not in to_remove)
+        return Factor(kept, self.table.sum(axis=axes))
+
+    def normalize(self) -> "Factor":
+        """Scale the table so it sums to one (no-op on an all-zero table)."""
+        total = self.table.sum()
+        if total <= 0:
+            return self
+        return Factor(self.attributes, self.table / total)
+
+    def sum(self) -> float:
+        """Total mass of the factor."""
+        return float(self.table.sum())
+
+
+def multiply_all(factors: Sequence[Factor]) -> Factor:
+    """Multiply a sequence of factors (the constant-1 factor when empty)."""
+    result = Factor.constant(1.0)
+    for factor in factors:
+        result = result.multiply(factor)
+    return result
+
+
+def validate_factor_against_schema(factor: Factor, schema: Schema) -> None:
+    """Check that a factor's axes match the attribute domain sizes of a schema."""
+    for axis, attribute in enumerate(factor.attributes):
+        expected = schema[attribute].size
+        actual = factor.table.shape[axis]
+        if actual != expected:
+            raise BayesNetError(
+                f"factor axis for {attribute!r} has size {actual}, "
+                f"schema says {expected}"
+            )

@@ -1,0 +1,450 @@
+"""Bayesian-network parameter learning with aggregate constraints.
+
+Standard maximum-likelihood parameter learning only uses the sample.  Themis
+additionally enforces that the learned distribution reproduces the population
+aggregates (Sec. 4.2.3).  The naive formulation couples every factor through
+non-linear constraints; the simplification of Sec. 5.2 makes it tractable:
+
+* only aggregate constraints that act on a single factor — i.e. aggregates
+  over a child and (a subset of) its parents — are added, and
+* factors are solved in topological order, so when a node is solved all its
+  ancestors are known constants and each constraint becomes *linear* in the
+  node's own parameters.
+
+This module implements both the plain sample MLE (the ``S`` parameter mode)
+and the constrained per-factor optimization (the ``B`` mode), including the
+closed-form fast path when an aggregate covers the whole family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from ..aggregates import AggregateQuery, AggregateSet
+from ..exceptions import BayesNetError
+from ..schema import Relation, Schema
+from .cpt import ConditionalProbabilityTable
+from .dag import DirectedAcyclicGraph
+from .inference import ExactInference
+from .network import BayesianNetwork
+
+
+@dataclass
+class ParameterLearningReport:
+    """Diagnostics of one parameter-learning run."""
+
+    constrained_nodes: list[str] = field(default_factory=list)
+    closed_form_nodes: list[str] = field(default_factory=list)
+    solver_nodes: list[str] = field(default_factory=list)
+    solver_failures: list[str] = field(default_factory=list)
+
+
+class ParameterLearner:
+    """Learn CPTs for a fixed structure from a sample and (optionally) ``Γ``.
+
+    Parameters
+    ----------
+    smoothing:
+        Dirichlet pseudo-count added to the sample counts so parent
+        configurations unseen in the sample stay well-defined.
+    use_aggregates:
+        When false, plain (smoothed) maximum likelihood from the sample is
+        used — the ``S`` parameter-learning mode of the evaluation.
+    max_solver_variables:
+        Families with more free parameters than this threshold skip the SLSQP
+        solver and use the iterative-scaling fallback directly (keeps the
+        dense IMDB ``name`` attribute tractable).
+    """
+
+    def __init__(
+        self,
+        smoothing: float = 0.1,
+        use_aggregates: bool = True,
+        max_solver_variables: int = 1500,
+        solver_max_iterations: int = 200,
+    ):
+        if smoothing < 0:
+            raise BayesNetError("smoothing must be non-negative")
+        self.smoothing = float(smoothing)
+        self.use_aggregates = bool(use_aggregates)
+        self.max_solver_variables = int(max_solver_variables)
+        self.solver_max_iterations = int(solver_max_iterations)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def learn(
+        self,
+        graph: DirectedAcyclicGraph,
+        schema: Schema,
+        sample: Relation,
+        aggregates: AggregateSet | None = None,
+        population_size: float | None = None,
+    ) -> tuple[BayesianNetwork, ParameterLearningReport]:
+        """Learn all CPTs and return the parameterized network plus a report."""
+        network = BayesianNetwork(schema, graph.copy())
+        report = ParameterLearningReport()
+        aggregates = aggregates if aggregates is not None else AggregateSet()
+        if population_size is None:
+            population_size = aggregates.population_size() or float(sample.n_rows)
+
+        for node in network.topological_order():
+            parents = network.parents(node)
+            counts = ConditionalProbabilityTable.counts_from_relation(
+                sample, node, parents, weighted=False
+            )
+            family_constraints = (
+                self._single_factor_constraints(node, parents, aggregates)
+                if self.use_aggregates
+                else []
+            )
+            if not family_constraints:
+                cpt = ConditionalProbabilityTable.from_counts(
+                    node,
+                    parents,
+                    schema[node].size,
+                    [schema[name].size for name in parents],
+                    counts,
+                    smoothing=self.smoothing,
+                )
+                network.set_cpt(cpt)
+                continue
+
+            report.constrained_nodes.append(node)
+            parent_marginal = self._parent_marginal(network, parents)
+            cpt = self._solve_constrained_factor(
+                node=node,
+                parents=parents,
+                schema=schema,
+                counts=counts,
+                constraints=family_constraints,
+                parent_marginal=parent_marginal,
+                population_size=float(population_size),
+                report=report,
+            )
+            network.set_cpt(cpt)
+        return network, report
+
+    # ------------------------------------------------------------------
+    # Constraint discovery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _single_factor_constraints(
+        node: str, parents: tuple[str, ...], aggregates: AggregateSet
+    ) -> list[AggregateQuery]:
+        """Aggregates acting only on this factor: ``node ∈ γ ⊆ {node} ∪ parents``."""
+        family = set(parents) | {node}
+        selected = []
+        for aggregate in aggregates:
+            attributes = set(aggregate.attributes)
+            if node in attributes and attributes <= family:
+                selected.append(aggregate)
+        return selected
+
+    @staticmethod
+    def _parent_marginal(
+        network: BayesianNetwork, parents: tuple[str, ...]
+    ) -> np.ndarray:
+        """Joint distribution over parent configurations from solved ancestors.
+
+        Returned as a flat vector in row-major parent-code order (matching
+        :meth:`ConditionalProbabilityTable.config_index`).
+        """
+        if not parents:
+            return np.ones(1, dtype=float)
+        factor = ExactInference(network).joint_marginal(parents)
+        return factor.table.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Constrained factor solving
+    # ------------------------------------------------------------------
+    def _solve_constrained_factor(
+        self,
+        node: str,
+        parents: tuple[str, ...],
+        schema: Schema,
+        counts: np.ndarray,
+        constraints: list[AggregateQuery],
+        parent_marginal: np.ndarray,
+        population_size: float,
+        report: ParameterLearningReport,
+    ) -> ConditionalProbabilityTable:
+        child_size = schema[node].size
+        parent_sizes = [schema[name].size for name in parents]
+        n_configs = int(np.prod(parent_sizes)) if parents else 1
+
+        # Start from the smoothed sample MLE.
+        cpt = ConditionalProbabilityTable.from_counts(
+            node, parents, child_size, parent_sizes, counts, smoothing=self.smoothing
+        )
+        theta = cpt.table.copy()
+
+        # Fast path: an aggregate over the full family pins the joint
+        # Pr(node, parents) directly, so θ follows in closed form
+        # (these are the "direct equality constraints" of Sec. 6.9).
+        full_family = self._full_family_aggregate(node, parents, constraints)
+        if full_family is not None:
+            theta = self._closed_form_from_full_family(
+                full_family,
+                node,
+                parents,
+                schema,
+                parent_marginal,
+                population_size,
+                fallback=theta,
+            )
+            report.closed_form_nodes.append(node)
+            remaining = [agg for agg in constraints if agg is not full_family]
+        else:
+            remaining = list(constraints)
+
+        if remaining:
+            rows, targets = self._linear_constraints(
+                remaining, node, parents, schema, parent_marginal, population_size
+            )
+            n_variables = n_configs * child_size
+            solved = None
+            if n_variables <= self.max_solver_variables:
+                solved = self._solve_slsqp(theta, counts, rows, targets)
+                if solved is None:
+                    report.solver_failures.append(node)
+            if solved is None:
+                solved = self._iterative_scaling(theta, rows, targets, parent_marginal)
+            else:
+                report.solver_nodes.append(node)
+            theta = solved
+
+        theta = np.clip(theta, 0.0, None)
+        final = ConditionalProbabilityTable(
+            node, parents, child_size, parent_sizes, table=theta
+        )
+        final.normalize()
+        return final
+
+    @staticmethod
+    def _full_family_aggregate(
+        node: str, parents: tuple[str, ...], constraints: list[AggregateQuery]
+    ) -> AggregateQuery | None:
+        family = set(parents) | {node}
+        for aggregate in constraints:
+            if set(aggregate.attributes) == family:
+                return aggregate
+        return None
+
+    def _closed_form_from_full_family(
+        self,
+        aggregate: AggregateQuery,
+        node: str,
+        parents: tuple[str, ...],
+        schema: Schema,
+        parent_marginal: np.ndarray,
+        population_size: float,
+        fallback: np.ndarray,
+    ) -> np.ndarray:
+        """θ[k, j] ∝ Pr(node=j, parents=k) taken straight from the aggregate."""
+        child_size = schema[node].size
+        parent_sizes = [schema[name].size for name in parents]
+        n_configs = int(np.prod(parent_sizes)) if parents else 1
+        joint = np.zeros((n_configs, child_size), dtype=float)
+        marginal = aggregate.marginalize(list(parents) + [node])
+        child_domain = schema[node].domain
+        parent_domains = [schema[name].domain for name in parents]
+        for values, count in marginal.items():
+            *parent_values, child_value = values
+            child_code = child_domain.code_of(child_value)
+            if child_code is None:
+                continue
+            config = 0
+            valid = True
+            for value, domain, size in zip(parent_values, parent_domains, parent_sizes):
+                code = domain.code_of(value)
+                if code is None:
+                    valid = False
+                    break
+                config = config * size + code
+            if not valid:
+                continue
+            joint[config, child_code] += count / max(population_size, 1e-300)
+        theta = np.array(fallback, dtype=float, copy=True)
+        for config in range(n_configs):
+            mass = joint[config].sum()
+            if mass > 0:
+                theta[config] = joint[config] / mass
+        return theta
+
+    def _linear_constraints(
+        self,
+        aggregates: list[AggregateQuery],
+        node: str,
+        parents: tuple[str, ...],
+        schema: Schema,
+        parent_marginal: np.ndarray,
+        population_size: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Build the linear system ``A vec(θ) = b`` from partial-family aggregates.
+
+        Each aggregate group over attributes ``T`` (with ``node ∈ T`` and
+        ``T ⊆ family``) contributes one equation whose coefficients are the
+        already-known parent-configuration probabilities.
+        """
+        child_size = schema[node].size
+        parent_sizes = [schema[name].size for name in parents]
+        n_configs = int(np.prod(parent_sizes)) if parents else 1
+        rows: list[np.ndarray] = []
+        targets: list[float] = []
+        child_domain = schema[node].domain
+        for aggregate in aggregates:
+            attributes = aggregate.attributes
+            node_position = attributes.index(node)
+            constrained_parents = [name for name in attributes if name != node]
+            for values, count in aggregate.items():
+                child_code = child_domain.code_of(values[node_position])
+                if child_code is None:
+                    continue
+                restrictions: dict[str, int] = {}
+                valid = True
+                for name in constrained_parents:
+                    code = schema[name].domain.code_of(values[attributes.index(name)])
+                    if code is None:
+                        valid = False
+                        break
+                    restrictions[name] = code
+                if not valid:
+                    continue
+                row = np.zeros((n_configs, child_size), dtype=float)
+                for config in range(n_configs):
+                    if not self._config_matches(config, parents, parent_sizes, restrictions):
+                        continue
+                    row[config, child_code] = parent_marginal[config]
+                rows.append(row.reshape(-1))
+                targets.append(count / max(population_size, 1e-300))
+        if not rows:
+            return np.zeros((0, n_configs * child_size)), np.zeros(0)
+        return np.vstack(rows), np.asarray(targets, dtype=float)
+
+    @staticmethod
+    def _config_matches(
+        config: int,
+        parents: tuple[str, ...],
+        parent_sizes: list[int],
+        restrictions: dict[str, int],
+    ) -> bool:
+        if not restrictions:
+            return True
+        codes: dict[str, int] = {}
+        remainder = config
+        for name, size in zip(reversed(parents), reversed(parent_sizes)):
+            codes[name] = remainder % size
+            remainder //= size
+        return all(codes[name] == code for name, code in restrictions.items())
+
+    # ------------------------------------------------------------------
+    # Solvers
+    # ------------------------------------------------------------------
+    def _solve_slsqp(
+        self,
+        theta0: np.ndarray,
+        counts: np.ndarray,
+        constraint_rows: np.ndarray,
+        constraint_targets: np.ndarray,
+    ) -> np.ndarray | None:
+        """Constrained maximum likelihood via SLSQP; ``None`` on failure."""
+        n_configs, child_size = theta0.shape
+        pseudo_counts = counts + self.smoothing
+        floor = 1e-9
+
+        def negative_log_likelihood(flat: np.ndarray) -> float:
+            probabilities = np.maximum(flat.reshape(n_configs, child_size), floor)
+            return float(-np.sum(pseudo_counts * np.log(probabilities)))
+
+        def gradient(flat: np.ndarray) -> np.ndarray:
+            probabilities = np.maximum(flat.reshape(n_configs, child_size), floor)
+            return (-pseudo_counts / probabilities).reshape(-1)
+
+        constraints = []
+        # Row-normalization constraints.
+        for config in range(n_configs):
+            selector = np.zeros((n_configs, child_size))
+            selector[config, :] = 1.0
+            selector = selector.reshape(-1)
+            constraints.append(
+                {
+                    "type": "eq",
+                    "fun": (lambda flat, s=selector: float(s @ flat - 1.0)),
+                    "jac": (lambda flat, s=selector: s),
+                }
+            )
+        # Aggregate constraints.
+        for row, target in zip(constraint_rows, constraint_targets):
+            constraints.append(
+                {
+                    "type": "eq",
+                    "fun": (lambda flat, r=row, t=target: float(r @ flat - t)),
+                    "jac": (lambda flat, r=row: r),
+                }
+            )
+        bounds = [(0.0, 1.0)] * (n_configs * child_size)
+        result = optimize.minimize(
+            negative_log_likelihood,
+            theta0.reshape(-1),
+            jac=gradient,
+            bounds=bounds,
+            constraints=constraints,
+            method="SLSQP",
+            options={"maxiter": self.solver_max_iterations, "ftol": 1e-9},
+        )
+        if not result.success:
+            return None
+        solution = np.clip(result.x.reshape(n_configs, child_size), 0.0, None)
+        row_sums = solution.sum(axis=1, keepdims=True)
+        if np.any(row_sums <= 0):
+            return None
+        return solution / row_sums
+
+    def _iterative_scaling(
+        self,
+        theta0: np.ndarray,
+        constraint_rows: np.ndarray,
+        constraint_targets: np.ndarray,
+        parent_marginal: np.ndarray,
+        n_sweeps: int = 50,
+        tolerance: float = 1e-8,
+    ) -> np.ndarray:
+        """IPF-style fallback: rescale θ entries per constraint, renormalize rows.
+
+        Robust for very large factors (where SLSQP is too slow) and for
+        slightly inconsistent constraints (where SLSQP reports infeasibility).
+        """
+        n_configs, child_size = theta0.shape
+        theta = np.array(theta0, dtype=float, copy=True)
+        if constraint_rows.shape[0] == 0:
+            return theta
+        masks = constraint_rows.reshape(-1, n_configs, child_size) > 0
+        for _ in range(n_sweeps):
+            max_gap = 0.0
+            for mask, row, target in zip(masks, constraint_rows, constraint_targets):
+                achieved = float(row @ theta.reshape(-1))
+                if achieved <= 0:
+                    if target > 0:
+                        # Give the constrained cells a small uniform mass so the
+                        # constraint can be approached on the next sweep.
+                        theta[mask] = np.maximum(theta[mask], 1e-6)
+                    continue
+                scale = target / achieved
+                max_gap = max(max_gap, abs(scale - 1.0))
+                theta[mask] *= scale
+            # Renormalize rows (keeping only non-negative mass).
+            theta = np.clip(theta, 0.0, None)
+            row_sums = theta.sum(axis=1, keepdims=True)
+            uniform = np.full(child_size, 1.0 / child_size)
+            for config in range(n_configs):
+                if row_sums[config, 0] <= 0:
+                    theta[config] = uniform
+                else:
+                    theta[config] = theta[config] / row_sums[config, 0]
+            if max_gap <= tolerance:
+                break
+        return theta

@@ -1,0 +1,244 @@
+"""Two-phase greedy hill-climbing structure learning (Alg. 2 and Alg. 3).
+
+The standard greedy hill climber repeatedly applies the edge move (add,
+remove, or reverse) that most improves the BIC score.  Themis modifies it in
+three ways (Sec. 4.2.2):
+
+1. It runs in two phases.  Phase 1 builds edges from the population
+   aggregates ``Γ``; phase 2 continues from the sample ``S``.
+2. In the Γ phase only edges with *support* in Γ are candidate moves: the
+   child, the new parent, and the child's existing parents must appear
+   together in some aggregate so the family can be scored from Γ alone.
+3. Edges added during the Γ phase are locked: phase 2 may not remove or
+   reverse them, keeping the ground-truth population structure intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..aggregates import AggregateSet
+from ..exceptions import BayesNetError
+from ..schema import Relation, Schema
+from .dag import DirectedAcyclicGraph
+from .scores import AggregateCountSource, CountSource, SampleCountSource, family_bic
+
+
+@dataclass
+class StructureLearningReport:
+    """Diagnostics of one structure-learning run."""
+
+    phase1_edges: list[tuple[str, str]] = field(default_factory=list)
+    phase2_edges: list[tuple[str, str]] = field(default_factory=list)
+    n_iterations: int = 0
+    final_score: float = 0.0
+
+
+@dataclass(frozen=True)
+class _Move:
+    kind: str  # "add", "remove", or "reverse"
+    parent: str
+    child: str
+
+
+class GreedyHillClimbing:
+    """The modified greedy hill-climbing structure learner.
+
+    Parameters
+    ----------
+    max_parents:
+        Maximum number of parents per node.  The paper's evaluation limits
+        networks to trees, i.e. ``max_parents=1`` (the default).
+    max_iterations:
+        Safety cap on the number of greedy moves per phase.
+    epsilon:
+        Minimum score improvement for a move to be applied.
+    """
+
+    def __init__(
+        self,
+        max_parents: int = 1,
+        max_iterations: int = 200,
+        epsilon: float = 1e-9,
+    ):
+        if max_parents < 1:
+            raise BayesNetError("max_parents must be at least 1")
+        self.max_parents = int(max_parents)
+        self.max_iterations = int(max_iterations)
+        self.epsilon = float(epsilon)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def learn(
+        self,
+        schema: Schema,
+        sample: Relation | None,
+        aggregates: AggregateSet | None,
+        use_aggregate_phase: bool = True,
+        use_sample_phase: bool = True,
+    ) -> tuple[DirectedAcyclicGraph, StructureLearningReport]:
+        """Learn a DAG over the schema attributes.
+
+        ``use_aggregate_phase`` / ``use_sample_phase`` select which of the two
+        phases run, which is how the SS / BS / AB / BB learning modes of the
+        evaluation are produced.
+        """
+        graph = DirectedAcyclicGraph(nodes=schema.names)
+        report = StructureLearningReport()
+        locked: set[tuple[str, str]] = set()
+
+        if use_aggregate_phase and aggregates is not None and len(aggregates) > 0:
+            source = AggregateCountSource(aggregates, schema)
+            added = self._climb(graph, schema, source, locked=set(), phase=1, report=report)
+            report.phase1_edges = sorted(added)
+            locked = set(added)
+
+        if use_sample_phase and sample is not None and sample.n_rows > 0:
+            source = SampleCountSource(sample)
+            added = self._climb(graph, schema, source, locked=locked, phase=2, report=report)
+            report.phase2_edges = sorted(added)
+
+        return graph, report
+
+    # ------------------------------------------------------------------
+    # One greedy phase
+    # ------------------------------------------------------------------
+    def _climb(
+        self,
+        graph: DirectedAcyclicGraph,
+        schema: Schema,
+        source: CountSource,
+        locked: set[tuple[str, str]],
+        phase: int,
+        report: StructureLearningReport,
+    ) -> set[tuple[str, str]]:
+        added: set[tuple[str, str]] = set()
+        family_cache: dict[tuple[str, tuple[str, ...]], float] = {}
+
+        def score_family(child: str, parents: tuple[str, ...]) -> float | None:
+            key = (child, parents)
+            if key not in family_cache:
+                family = list(parents) + [child]
+                if not source.supports(family):
+                    family_cache[key] = None
+                else:
+                    family_cache[key] = family_bic(child, parents, source, schema)
+            return family_cache[key]
+
+        for _ in range(self.max_iterations):
+            best_move: _Move | None = None
+            best_delta = self.epsilon
+            for move in self._candidate_moves(graph, schema, source, locked, phase):
+                delta = self._move_delta(graph, move, score_family)
+                if delta is not None and delta > best_delta:
+                    best_delta = delta
+                    best_move = move
+            if best_move is None:
+                break
+            self._apply(graph, best_move)
+            report.n_iterations += 1
+            edge = (best_move.parent, best_move.child)
+            if best_move.kind == "add":
+                added.add(edge)
+            elif best_move.kind == "remove":
+                added.discard(edge)
+            elif best_move.kind == "reverse":
+                added.discard(edge)
+                added.add((best_move.child, best_move.parent))
+            report.final_score += best_delta
+        return added
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+    def _candidate_moves(
+        self,
+        graph: DirectedAcyclicGraph,
+        schema: Schema,
+        source: CountSource,
+        locked: set[tuple[str, str]],
+        phase: int,
+    ):
+        known = source.attributes()
+        nodes = [name for name in schema.names if name in known or phase == 2]
+        for child in nodes:
+            current_parents = graph.parents(child)
+            for parent in nodes:
+                if parent == child:
+                    continue
+                edge = (parent, child)
+                if graph.has_edge(parent, child):
+                    if edge in locked:
+                        continue
+                    yield _Move("remove", parent, child)
+                    # Reversal also requires the reversed family to respect the
+                    # parent limit and acyclicity; checked in _move_delta.
+                    yield _Move("reverse", parent, child)
+                    continue
+                if len(current_parents) >= self.max_parents:
+                    continue
+                if graph.would_create_cycle(parent, child):
+                    continue
+                if phase == 1:
+                    # Support condition: the whole candidate family must be
+                    # covered by some aggregate so it can be scored from Γ.
+                    family = list(current_parents) + [parent, child]
+                    if not source.supports(family):
+                        continue
+                yield _Move("add", parent, child)
+
+    def _move_delta(self, graph, move: _Move, score_family) -> float | None:
+        child = move.child
+        parent = move.parent
+        old_parents = graph.parents(child)
+        if move.kind == "add":
+            new_parents = tuple(sorted(set(old_parents) | {parent}))
+            before = score_family(child, old_parents)
+            after = score_family(child, new_parents)
+            if before is None or after is None:
+                return None
+            return after - before
+        if move.kind == "remove":
+            new_parents = tuple(sorted(set(old_parents) - {parent}))
+            before = score_family(child, old_parents)
+            after = score_family(child, new_parents)
+            if before is None or after is None:
+                return None
+            return after - before
+        if move.kind == "reverse":
+            # Removing parent -> child and adding child -> parent changes two
+            # families; both must stay within limits and remain acyclic.
+            parent_parents = graph.parents(parent)
+            if len(parent_parents) >= self.max_parents:
+                return None
+            graph.remove_edge(parent, child)
+            creates_cycle = graph.would_create_cycle(child, parent)
+            graph.add_edge(parent, child)
+            if creates_cycle:
+                return None
+            child_new = tuple(sorted(set(old_parents) - {parent}))
+            parent_new = tuple(sorted(set(parent_parents) | {child}))
+            scores = [
+                score_family(child, old_parents),
+                score_family(child, child_new),
+                score_family(parent, parent_parents),
+                score_family(parent, parent_new),
+            ]
+            if any(score is None for score in scores):
+                return None
+            before = scores[0] + scores[2]
+            after = scores[1] + scores[3]
+            return after - before
+        raise BayesNetError(f"unknown move kind {move.kind!r}")
+
+    @staticmethod
+    def _apply(graph: DirectedAcyclicGraph, move: _Move) -> None:
+        if move.kind == "add":
+            graph.add_edge(move.parent, move.child)
+        elif move.kind == "remove":
+            graph.remove_edge(move.parent, move.child)
+        elif move.kind == "reverse":
+            graph.reverse_edge(move.parent, move.child)
+        else:
+            raise BayesNetError(f"unknown move kind {move.kind!r}")

@@ -1,0 +1,20 @@
+"""Themis core: the open-world facade, fitted model, and hybrid evaluator."""
+
+from .evaluators import (
+    BayesNetEvaluator,
+    HybridEvaluator,
+    OpenWorldEvaluator,
+    ReweightedSampleEvaluator,
+)
+from .model import ThemisModel
+from .themis import Themis, ThemisConfig
+
+__all__ = [
+    "BayesNetEvaluator",
+    "HybridEvaluator",
+    "OpenWorldEvaluator",
+    "ReweightedSampleEvaluator",
+    "Themis",
+    "ThemisConfig",
+    "ThemisModel",
+]

@@ -1,0 +1,273 @@
+"""The Themis open-world database facade.
+
+The workflow matches the paper's architecture (Fig. 1): the data scientist
+loads a biased sample, registers population aggregates, calls ``fit()`` to
+build the model (reweighted sample + Bayesian network), and then issues
+queries — SQL text or AST objects — that are answered as if they ran over the
+population.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..aggregates import AggregateQuery, AggregateSet, prune_aggregates
+from ..bayesnet import LearningMode, ThemisBayesNetLearner
+from ..exceptions import QueryError, ThemisError
+from ..query.ast import GroupByQuery, JoinGroupByQuery, Query, ScalarAggregateQuery
+from ..reweighting import (
+    IPFReweighter,
+    LinearRegressionReweighter,
+    Reweighter,
+    UniformReweighter,
+)
+from ..schema import Relation
+from ..sql.engine import QueryResult
+from ..sql.parser import parse_sql
+from .evaluators import BayesNetEvaluator, HybridEvaluator, ReweightedSampleEvaluator
+from .model import ThemisModel
+
+
+@dataclass
+class ThemisConfig:
+    """Configuration of one Themis instance.
+
+    Attributes
+    ----------
+    reweighter:
+        Sample reweighting technique: ``"ipf"`` (default, the paper's best),
+        ``"linreg"``, or ``"uniform"`` (the AQP baseline).
+    bn_mode:
+        Bayesian-network learning mode (``"BB"`` by default; see
+        :class:`~repro.bayesnet.LearningMode`).
+    max_parents:
+        Parent limit for BN structure learning (1 = trees, as in the paper).
+    n_generated_samples, generated_sample_size:
+        ``K`` and the per-sample size used for BN GROUP BY answering.
+    aggregate_budget:
+        When set, the registered aggregates are pruned down to this many
+        using ``aggregate_selection`` before fitting (Sec. 5.1).
+    population_size:
+        Explicit ``n``; inferred from the aggregates when omitted.
+    """
+
+    reweighter: str = "ipf"
+    bn_mode: str = "BB"
+    max_parents: int = 1
+    smoothing: float = 0.1
+    n_generated_samples: int = 10
+    generated_sample_size: int = 2000
+    aggregate_budget: int | None = None
+    aggregate_selection: str = "t-cherry"
+    ipf_max_iterations: int = 100
+    population_size: float | None = None
+    seed: int | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class Themis:
+    """The open-world DBMS: ingest a sample and aggregates, then ask queries.
+
+    Examples
+    --------
+    >>> themis = Themis()                                        # doctest: +SKIP
+    >>> themis.load_sample(sample_relation)                      # doctest: +SKIP
+    >>> themis.add_aggregate(AggregateQuery.from_relation(P, ["origin_state"]))
+    ...                                                          # doctest: +SKIP
+    >>> themis.fit()                                             # doctest: +SKIP
+    >>> themis.sql("SELECT COUNT(*) FROM flights WHERE origin_state = 'ME'")
+    ...                                                          # doctest: +SKIP
+    """
+
+    def __init__(self, config: ThemisConfig | None = None, **overrides: Any):
+        if config is None:
+            config = ThemisConfig()
+        for key, value in overrides.items():
+            if not hasattr(config, key):
+                raise ThemisError(f"unknown configuration option {key!r}")
+            setattr(config, key, value)
+        self.config = config
+        self._sample: Relation | None = None
+        self._sample_name = "sample"
+        self._aggregates = AggregateSet()
+        self._model: ThemisModel | None = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def load_sample(self, sample: Relation, name: str = "sample") -> None:
+        """Register the biased sample relation ``S``."""
+        if sample.n_rows == 0:
+            raise ThemisError("cannot load an empty sample")
+        self._sample = sample
+        self._sample_name = name
+        self._model = None
+
+    def add_aggregate(self, aggregate: AggregateQuery) -> None:
+        """Register one population aggregate query result."""
+        self._aggregates.add(aggregate)
+        self._model = None
+
+    def add_aggregates(self, aggregates: Iterable[AggregateQuery] | AggregateSet) -> None:
+        """Register several population aggregates at once."""
+        for aggregate in aggregates:
+            self.add_aggregate(aggregate)
+
+    @property
+    def sample(self) -> Relation:
+        """The loaded sample (before reweighting)."""
+        if self._sample is None:
+            raise ThemisError("no sample loaded; call load_sample() first")
+        return self._sample
+
+    @property
+    def aggregates(self) -> AggregateSet:
+        """The registered aggregates (before pruning)."""
+        return self._aggregates
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether ``fit()`` has produced a model for the current inputs."""
+        return self._model is not None
+
+    @property
+    def model(self) -> ThemisModel:
+        """The fitted model (fitting lazily if needed)."""
+        if self._model is None:
+            self.fit()
+        assert self._model is not None
+        return self._model
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self) -> ThemisModel:
+        """Build the model: prune aggregates, reweight the sample, learn the BN."""
+        sample = self.sample
+        if len(self._aggregates) == 0:
+            raise ThemisError(
+                "no aggregates registered; Themis needs at least one population "
+                "aggregate to debias the sample"
+            )
+        config = self.config
+        timings: dict[str, float] = {}
+
+        aggregates = self._aggregates
+        if config.aggregate_budget is not None:
+            start = time.perf_counter()
+            aggregates = self._prune(aggregates, config.aggregate_budget)
+            timings["aggregate_pruning"] = time.perf_counter() - start
+
+        population_size = config.population_size or aggregates.population_size()
+        if not population_size or population_size <= 0:
+            raise ThemisError("could not determine the population size from Γ")
+
+        start = time.perf_counter()
+        reweighter = self._build_reweighter(population_size)
+        reweighting_result = reweighter.fit(sample, aggregates)
+        weighted_sample = reweighting_result.apply(sample)
+        timings["reweighting"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        learner = ThemisBayesNetLearner.from_mode(
+            LearningMode(config.bn_mode),
+            max_parents=config.max_parents,
+            smoothing=config.smoothing,
+        )
+        bayes_net_result = learner.learn(
+            sample, aggregates, population_size=population_size
+        )
+        timings["bayes_net_learning"] = time.perf_counter() - start
+
+        bn_evaluator = BayesNetEvaluator(
+            bayes_net_result.network,
+            population_size=population_size,
+            n_generated_samples=config.n_generated_samples,
+            generated_sample_size=config.generated_sample_size,
+            seed=config.seed,
+        )
+        sample_evaluator = ReweightedSampleEvaluator(
+            weighted_sample, name=reweighting_result.method
+        )
+        hybrid = HybridEvaluator(weighted_sample, bn_evaluator)
+
+        self._model = ThemisModel(
+            sample=sample,
+            weighted_sample=weighted_sample,
+            aggregates=aggregates,
+            population_size=float(population_size),
+            reweighting_result=reweighting_result,
+            bayes_net_result=bayes_net_result,
+            hybrid_evaluator=hybrid,
+            sample_evaluator=sample_evaluator,
+            bayes_net_evaluator=bn_evaluator,
+            timings=timings,
+        )
+        return self._model
+
+    def _prune(self, aggregates: AggregateSet, budget: int) -> AggregateSet:
+        """Prune only the multi-dimensional aggregates; 1D marginals are kept."""
+        one_dimensional = aggregates.of_dimension(1)
+        higher = AggregateSet(
+            aggregate for aggregate in aggregates if aggregate.dimension > 1
+        )
+        pruned = prune_aggregates(
+            higher,
+            budget,
+            method=self.config.aggregate_selection,
+            seed=self.config.seed,
+        )
+        return one_dimensional.union(pruned)
+
+    def _build_reweighter(self, population_size: float) -> Reweighter:
+        name = self.config.reweighter.lower()
+        if name in ("ipf", "raking"):
+            return IPFReweighter(max_iterations=self.config.ipf_max_iterations)
+        if name in ("linreg", "linear-regression", "regression"):
+            return LinearRegressionReweighter(population_size=population_size)
+        if name in ("uniform", "aqp"):
+            return UniformReweighter(population_size=population_size)
+        raise ThemisError(f"unknown reweighter {self.config.reweighter!r}")
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def point(self, assignment: Mapping[str, Any]) -> float:
+        """Open-world point query: estimated population count of a tuple."""
+        return self.model.hybrid_evaluator.point(assignment)
+
+    def group_by(self, query: GroupByQuery) -> QueryResult:
+        """Open-world GROUP BY query."""
+        return self.model.hybrid_evaluator.group_by(query)
+
+    def scalar(self, query: ScalarAggregateQuery) -> float:
+        """Open-world filtered scalar aggregate."""
+        return self.model.hybrid_evaluator.scalar(query)
+
+    def join_group_by(self, query: JoinGroupByQuery) -> QueryResult:
+        """Open-world self-join GROUP BY query."""
+        return self.model.hybrid_evaluator.join_group_by(query)
+
+    def execute(self, query: Query) -> float | QueryResult:
+        """Open-world evaluation of any supported AST query."""
+        return self.model.hybrid_evaluator.execute(query)
+
+    def sql(self, statement: str) -> float | QueryResult:
+        """Parse and answer a SQL statement with open-world semantics."""
+        parsed = parse_sql(statement)
+        for name in self._referenced_attributes(parsed.query):
+            if name not in self.sample.schema:
+                raise QueryError(
+                    f"query references unknown attribute {name!r}; sample attributes "
+                    f"are {list(self.sample.attribute_names)}"
+                )
+        return self.execute(parsed.query)
+
+    @staticmethod
+    def _referenced_attributes(query: Query) -> tuple[str, ...]:
+        if hasattr(query, "attributes"):
+            return tuple(query.attributes)
+        return ()

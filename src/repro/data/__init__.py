@@ -1,0 +1,51 @@
+"""Synthetic datasets, biased samplers, and the paper's experimental setups."""
+
+from .child import (
+    CHILD_CARDINALITIES,
+    CHILD_EDGES,
+    child_network,
+    child_schema,
+    generate_child_population,
+)
+from .flights import (
+    CORNER_STATES,
+    FLIGHT_STATES,
+    FLIGHTS_ABBREVIATIONS,
+    FlightsConfig,
+    flights_schema,
+    generate_flights_population,
+)
+from .imdb import (
+    IMDB_ABBREVIATIONS,
+    IMDB_AGGREGATE_ATTRIBUTES,
+    IMDBConfig,
+    generate_imdb_population,
+    imdb_schema,
+)
+from .registry import DatasetBundle, load_child, load_flights, load_imdb
+from .samplers import biased_sample, uniform_sample
+
+__all__ = [
+    "CHILD_CARDINALITIES",
+    "CHILD_EDGES",
+    "CORNER_STATES",
+    "DatasetBundle",
+    "FLIGHTS_ABBREVIATIONS",
+    "FLIGHT_STATES",
+    "FlightsConfig",
+    "IMDBConfig",
+    "IMDB_ABBREVIATIONS",
+    "IMDB_AGGREGATE_ATTRIBUTES",
+    "biased_sample",
+    "child_network",
+    "child_schema",
+    "flights_schema",
+    "generate_child_population",
+    "generate_flights_population",
+    "generate_imdb_population",
+    "imdb_schema",
+    "load_child",
+    "load_flights",
+    "load_imdb",
+    "uniform_sample",
+]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Themis reproduction.
+
+All library-raised errors derive from :class:`ThemisError` so callers can
+catch a single base class.  Specific subclasses communicate which subsystem
+rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ThemisError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ThemisError):
+    """Raised when a relation, attribute, or domain is malformed."""
+
+
+class UnknownAttributeError(SchemaError):
+    """Raised when an attribute name is not part of a schema."""
+
+    def __init__(self, attribute: str, available: tuple[str, ...] = ()):
+        self.attribute = attribute
+        self.available = tuple(available)
+        message = f"unknown attribute {attribute!r}"
+        if self.available:
+            message += f"; available attributes: {', '.join(self.available)}"
+        super().__init__(message)
+
+
+class DomainError(SchemaError):
+    """Raised when a value is outside an attribute's active domain."""
+
+
+class AggregateError(ThemisError):
+    """Raised when population aggregates are malformed or inconsistent."""
+
+
+class ReweightingError(ThemisError):
+    """Raised when a sample reweighting procedure cannot produce weights."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative solver stops before convergence."""
+
+
+class BayesNetError(ThemisError):
+    """Raised for structural or parametric problems in a Bayesian network."""
+
+
+class CyclicGraphError(BayesNetError):
+    """Raised when an edge operation would introduce a directed cycle."""
+
+
+class QueryError(ThemisError):
+    """Raised when a query cannot be parsed or evaluated."""
+
+
+class SQLSyntaxError(QueryError):
+    """Raised by the SQL parser on malformed query text."""
+
+
+class ExperimentError(ThemisError):
+    """Raised by the experiment harness on invalid configurations."""

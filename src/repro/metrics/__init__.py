@@ -1,0 +1,21 @@
+"""Evaluation metrics: percent difference and error summaries."""
+
+from .error import (
+    MAX_PERCENT_DIFFERENCE,
+    ErrorSummary,
+    average_group_by_error,
+    group_by_percent_differences,
+    percent_difference,
+    percent_differences,
+    percent_improvement,
+)
+
+__all__ = [
+    "MAX_PERCENT_DIFFERENCE",
+    "ErrorSummary",
+    "average_group_by_error",
+    "group_by_percent_differences",
+    "percent_difference",
+    "percent_differences",
+    "percent_improvement",
+]

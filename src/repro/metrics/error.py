@@ -1,0 +1,133 @@
+"""Error metrics used throughout the evaluation (Sec. 6.3).
+
+The paper measures *percent difference*, ``2 * |true - est| / |true + est|``
+(reported on a 0–200 scale), rather than percent error, so that errors on
+tiny true values are not over-emphasized and so that missed groups (in the
+truth but not the answer) and phantom groups (in the answer but not the
+truth) both receive the maximum error of 200.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+MAX_PERCENT_DIFFERENCE = 200.0
+
+
+def percent_difference(true_value: float, estimated_value: float) -> float:
+    """Symmetric percent difference between a true and an estimated value.
+
+    Returns a value in ``[0, 200]``; both values zero gives zero, and a zero
+    on exactly one side gives the maximum of 200.
+    """
+    true_value = float(true_value)
+    estimated_value = float(estimated_value)
+    if true_value == 0.0 and estimated_value == 0.0:
+        return 0.0
+    denominator = abs(true_value + estimated_value)
+    if denominator == 0.0:
+        return MAX_PERCENT_DIFFERENCE
+    value = 200.0 * abs(true_value - estimated_value) / denominator
+    return float(min(value, MAX_PERCENT_DIFFERENCE))
+
+
+def percent_differences(
+    true_values: Sequence[float], estimated_values: Sequence[float]
+) -> np.ndarray:
+    """Vectorized percent differences for paired sequences."""
+    if len(true_values) != len(estimated_values):
+        raise ValueError("true and estimated sequences must have the same length")
+    return np.asarray(
+        [
+            percent_difference(true_value, estimated_value)
+            for true_value, estimated_value in zip(true_values, estimated_values)
+        ],
+        dtype=float,
+    )
+
+
+def group_by_percent_differences(
+    true_result: Mapping[tuple[Any, ...], float],
+    estimated_result: Mapping[tuple[Any, ...], float],
+) -> dict[tuple[Any, ...], float]:
+    """Per-group percent differences between two GROUP BY answers.
+
+    Groups missing from the estimate (*missed* groups) and groups present
+    only in the estimate (*phantom* groups) both get the maximum error.
+    """
+    errors: dict[tuple[Any, ...], float] = {}
+    for group, true_value in true_result.items():
+        if group in estimated_result:
+            errors[group] = percent_difference(true_value, estimated_result[group])
+        else:
+            errors[group] = MAX_PERCENT_DIFFERENCE
+    for group in estimated_result:
+        if group not in true_result:
+            errors[group] = MAX_PERCENT_DIFFERENCE
+    return errors
+
+
+def average_group_by_error(
+    true_result: Mapping[tuple[Any, ...], float],
+    estimated_result: Mapping[tuple[Any, ...], float],
+) -> float:
+    """Average percent difference across the union of groups (Sec. 6.3)."""
+    errors = group_by_percent_differences(true_result, estimated_result)
+    if not errors:
+        return 0.0
+    return float(np.mean(list(errors.values())))
+
+
+@dataclass
+class ErrorSummary:
+    """Distributional summary of a collection of percent differences."""
+
+    n: int
+    mean: float
+    median: float
+    p25: float
+    p75: float
+    maximum: float
+
+    @classmethod
+    def from_errors(cls, errors: Iterable[float]) -> "ErrorSummary":
+        """Summarize a collection of error values."""
+        values = np.asarray(list(errors), dtype=float)
+        if values.size == 0:
+            return cls(n=0, mean=0.0, median=0.0, p25=0.0, p75=0.0, maximum=0.0)
+        return cls(
+            n=int(values.size),
+            mean=float(values.mean()),
+            median=float(np.median(values)),
+            p25=float(np.percentile(values, 25)),
+            p75=float(np.percentile(values, 75)),
+            maximum=float(values.max()),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """The summary as a plain dictionary (for reporting)."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "median": self.median,
+            "p25": self.p25,
+            "p75": self.p75,
+            "max": self.maximum,
+        }
+
+
+def percent_improvement(baseline: float, improved: float) -> float:
+    """Percent improvement of ``improved`` over ``baseline`` (Table 4).
+
+    ``float('inf')`` is returned when the improved error is zero but the
+    baseline's is not (the paper prints this as ∞).
+    """
+    baseline = float(baseline)
+    improved = float(improved)
+    if improved == 0.0:
+        return float("inf") if baseline > 0 else 0.0
+    return (baseline - improved) / improved * 100.0

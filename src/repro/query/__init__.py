@@ -1,0 +1,29 @@
+"""Query AST and workload generation."""
+
+from .ast import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    JoinGroupByQuery,
+    PointQuery,
+    Predicate,
+    Query,
+    ScalarAggregateQuery,
+)
+from .workload import HitterKind, PointQueryWorkload, WorkloadQuery
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateSpec",
+    "Comparison",
+    "GroupByQuery",
+    "HitterKind",
+    "JoinGroupByQuery",
+    "PointQuery",
+    "PointQueryWorkload",
+    "Predicate",
+    "Query",
+    "ScalarAggregateQuery",
+    "WorkloadQuery",
+]

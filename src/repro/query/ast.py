@@ -1,0 +1,257 @@
+"""Query abstract syntax: predicates, aggregate functions, and query types.
+
+Themis focuses on point queries and GROUP BY aggregate queries (Sec. 3); the
+evaluation additionally runs IDEBench-style queries with filters, AVG
+aggregates, and one self-join (Table 5).  This module models all of those as
+small, immutable AST objects that both the SQL parser and the programmatic
+API produce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..schema import Relation
+
+
+class Comparison(str, Enum):
+    """Supported predicate comparison operators."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "in"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single-attribute filter predicate, e.g. ``elapsed_time < 120``.
+
+    Ordered comparisons (``<``, ``<=``, ``>``, ``>=``) are evaluated against
+    the *position* of values in the attribute's ordered active domain, which
+    matches the paper's bucketized treatment of continuous attributes.
+    """
+
+    attribute: str
+    comparison: Comparison
+    value: Any
+
+    def mask(self, relation: Relation) -> np.ndarray:
+        """Boolean mask of tuples in ``relation`` satisfying the predicate."""
+        if self.attribute not in relation.schema:
+            raise QueryError(f"unknown attribute {self.attribute!r} in predicate")
+        domain = relation.schema[self.attribute].domain
+        column = relation.column(self.attribute)
+        if self.comparison is Comparison.IN:
+            values = self.value if isinstance(self.value, (list, tuple, set)) else [self.value]
+            codes = [domain.code_of(value) for value in values]
+            codes = [code for code in codes if code is not None]
+            if not codes:
+                return np.zeros(relation.n_rows, dtype=bool)
+            return np.isin(column, codes)
+        code = domain.code_of(self.value)
+        if self.comparison is Comparison.EQ:
+            if code is None:
+                return np.zeros(relation.n_rows, dtype=bool)
+            return column == code
+        if self.comparison is Comparison.NE:
+            if code is None:
+                return np.ones(relation.n_rows, dtype=bool)
+            return column != code
+        # Ordered comparisons: compare against the domain position of the
+        # largest domain value not exceeding the literal (for robustness when
+        # the literal itself is not a domain member).
+        threshold = self._ordered_threshold(domain)
+        if self.comparison is Comparison.LT:
+            return column < threshold if threshold is not None else np.zeros(
+                relation.n_rows, dtype=bool
+            )
+        if self.comparison is Comparison.LE:
+            return column <= threshold if threshold is not None else np.zeros(
+                relation.n_rows, dtype=bool
+            )
+        if self.comparison is Comparison.GT:
+            return column > threshold if threshold is not None else np.ones(
+                relation.n_rows, dtype=bool
+            )
+        if self.comparison is Comparison.GE:
+            return column >= threshold if threshold is not None else np.ones(
+                relation.n_rows, dtype=bool
+            )
+        raise QueryError(f"unsupported comparison {self.comparison}")
+
+    def _ordered_threshold(self, domain) -> int | None:
+        """Domain position used as threshold for ordered comparisons."""
+        code = domain.code_of(self.value)
+        if code is not None:
+            return code
+        # The literal is not a domain member; find its ordered position.
+        try:
+            positions = [
+                index for index, value in enumerate(domain.values) if value <= self.value
+            ]
+        except TypeError:
+            raise QueryError(
+                f"cannot order value {self.value!r} against the domain of "
+                f"{self.attribute!r}"
+            ) from None
+        return max(positions) if positions else None
+
+    def matches(self, values: Mapping[str, Any]) -> bool:
+        """Evaluate the predicate against a single decoded record."""
+        if self.attribute not in values:
+            return False
+        actual = values[self.attribute]
+        if self.comparison is Comparison.EQ:
+            return actual == self.value
+        if self.comparison is Comparison.NE:
+            return actual != self.value
+        if self.comparison is Comparison.IN:
+            options = self.value if isinstance(self.value, (list, tuple, set)) else [self.value]
+            return actual in options
+        if self.comparison is Comparison.LT:
+            return actual < self.value
+        if self.comparison is Comparison.LE:
+            return actual <= self.value
+        if self.comparison is Comparison.GT:
+            return actual > self.value
+        if self.comparison is Comparison.GE:
+            return actual >= self.value
+        raise QueryError(f"unsupported comparison {self.comparison}")
+
+
+class AggregateFunction(str, Enum):
+    """Aggregate functions supported by the query evaluator."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """An aggregate expression such as ``COUNT(*)`` or ``AVG(elapsed_time)``."""
+
+    function: AggregateFunction
+    attribute: str | None = None
+
+    def __post_init__(self):
+        if self.function is AggregateFunction.COUNT:
+            return
+        if self.attribute is None:
+            raise QueryError(f"{self.function.value.upper()} requires an attribute")
+
+    @property
+    def label(self) -> str:
+        """Column label used in query results."""
+        target = "*" if self.attribute is None else self.attribute
+        return f"{self.function.value}({target})"
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """``SELECT COUNT(*) FROM R WHERE A1 = v1 AND ... AND Ad = vd``."""
+
+    assignment: tuple[tuple[str, Any], ...]
+
+    def __init__(self, assignment: Mapping[str, Any]):
+        object.__setattr__(self, "assignment", tuple(sorted(assignment.items())))
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attributes fixed by the query."""
+        return tuple(name for name, _ in self.assignment)
+
+    @property
+    def dimension(self) -> int:
+        """Number of attributes fixed by the query."""
+        return len(self.assignment)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The assignment as a plain dictionary."""
+        return dict(self.assignment)
+
+
+@dataclass(frozen=True)
+class GroupByQuery:
+    """``SELECT <group_by>, <aggregate> FROM R [WHERE ...] GROUP BY <group_by>``."""
+
+    group_by: tuple[str, ...]
+    aggregate: AggregateSpec = field(default_factory=lambda: AggregateSpec(AggregateFunction.COUNT))
+    predicates: tuple[Predicate, ...] = ()
+
+    def __post_init__(self):
+        if not self.group_by:
+            raise QueryError("GROUP BY queries need at least one grouping attribute")
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes referenced by the query."""
+        names = list(self.group_by)
+        if self.aggregate.attribute:
+            names.append(self.aggregate.attribute)
+        names.extend(predicate.attribute for predicate in self.predicates)
+        seen: dict[str, None] = {}
+        for name in names:
+            seen.setdefault(name, None)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class ScalarAggregateQuery:
+    """A filtered aggregate with no GROUP BY, e.g. the motivating example's
+    ``SELECT SUM(weight) FROM flights WHERE flight_time <= 30 AND origin_state = 'CA'``.
+    """
+
+    aggregate: AggregateSpec = field(default_factory=lambda: AggregateSpec(AggregateFunction.COUNT))
+    predicates: tuple[Predicate, ...] = ()
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes referenced by the query."""
+        names = []
+        if self.aggregate.attribute:
+            names.append(self.aggregate.attribute)
+        names.extend(predicate.attribute for predicate in self.predicates)
+        seen: dict[str, None] = {}
+        for name in names:
+            seen.setdefault(name, None)
+        return tuple(seen)
+
+    def equality_assignment(self) -> dict[str, Any] | None:
+        """The assignment dict when every predicate is an equality, else ``None``."""
+        assignment: dict[str, Any] = {}
+        for predicate in self.predicates:
+            if predicate.comparison is not Comparison.EQ:
+                return None
+            assignment[predicate.attribute] = predicate.value
+        return assignment
+
+
+@dataclass(frozen=True)
+class JoinGroupByQuery:
+    """A self-join query in the style of Table 5's Q6.
+
+    ``SELECT t.<left_group>, s.<right_group>, COUNT(*) FROM R t, R s
+    WHERE t.<left_join> = s.<right_join> AND <predicates on t> GROUP BY ...``
+    """
+
+    left_join: str
+    right_join: str
+    left_group: str
+    right_group: str
+    left_predicates: tuple[Predicate, ...] = ()
+    right_predicates: tuple[Predicate, ...] = ()
+    aggregate: AggregateSpec = field(default_factory=lambda: AggregateSpec(AggregateFunction.COUNT))
+
+
+Query = PointQuery | GroupByQuery | ScalarAggregateQuery | JoinGroupByQuery

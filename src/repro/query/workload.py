@@ -1,0 +1,118 @@
+"""Point-query workload generation (Sec. 6.3).
+
+The evaluation runs 100 point queries per attribute set, with the query
+selection values drawn from the population's *light hitters* (smallest
+counts), *heavy hitters* (largest counts), or *random values* (any existing
+value).  This module generates those workloads from a ground-truth
+population relation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..schema import Relation
+from .ast import PointQuery
+
+
+class HitterKind(str, Enum):
+    """How point-query selection values are chosen from the population."""
+
+    HEAVY = "heavy"
+    LIGHT = "light"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload entry: the point query plus its true population answer."""
+
+    query: PointQuery
+    true_value: float
+    kind: HitterKind
+    attributes: tuple[str, ...]
+
+
+class PointQueryWorkload:
+    """Generate hitter-based point-query workloads from a population."""
+
+    def __init__(self, population: Relation, seed: int | np.random.Generator | None = None):
+        self._population = population
+        self._rng = np.random.default_rng(seed)
+
+    def generate(
+        self,
+        attributes: Sequence[str],
+        kind: HitterKind | str,
+        n_queries: int,
+    ) -> list[WorkloadQuery]:
+        """Generate ``n_queries`` point queries over one attribute set.
+
+        Heavy (light) hitter workloads sample among the most (least) frequent
+        existing value combinations; random workloads sample uniformly among
+        all existing combinations.
+        """
+        kind = HitterKind(kind)
+        attributes = tuple(attributes)
+        if not attributes:
+            raise QueryError("workload generation needs at least one attribute")
+        if n_queries < 1:
+            raise QueryError("n_queries must be at least 1")
+        counts = self._population.value_counts(attributes)
+        if not counts:
+            raise QueryError("population has no rows to build a workload from")
+        groups = list(counts.items())
+        groups.sort(key=lambda item: item[1])
+
+        if kind is HitterKind.RANDOM:
+            pool = groups
+        else:
+            # Hitter pools: the extreme quartile (at least one group).
+            pool_size = max(1, len(groups) // 4)
+            pool = groups[-pool_size:] if kind is HitterKind.HEAVY else groups[:pool_size]
+
+        indices = self._rng.choice(len(pool), size=n_queries, replace=True)
+        workload: list[WorkloadQuery] = []
+        for index in indices:
+            values, count = pool[int(index)]
+            assignment = dict(zip(attributes, values))
+            workload.append(
+                WorkloadQuery(
+                    query=PointQuery(assignment),
+                    true_value=float(count),
+                    kind=kind,
+                    attributes=attributes,
+                )
+            )
+        return workload
+
+    def generate_over_attribute_sets(
+        self,
+        attribute_sets: Sequence[Sequence[str]],
+        kind: HitterKind | str,
+        n_queries_per_set: int,
+    ) -> list[WorkloadQuery]:
+        """Generate a workload spanning several attribute sets."""
+        workload: list[WorkloadQuery] = []
+        for attributes in attribute_sets:
+            workload.extend(self.generate(attributes, kind, n_queries_per_set))
+        return workload
+
+    def random_attribute_sets(
+        self, sizes: Sequence[int], n_sets: int, attributes: Sequence[str] | None = None
+    ) -> list[tuple[str, ...]]:
+        """Randomly choose ``n_sets`` attribute sets with sizes drawn from ``sizes``."""
+        names = tuple(attributes) if attributes is not None else self._population.attribute_names
+        chosen: list[tuple[str, ...]] = []
+        for _ in range(n_sets):
+            size = int(self._rng.choice(list(sizes)))
+            size = min(size, len(names))
+            picked = self._rng.choice(len(names), size=size, replace=False)
+            chosen.append(tuple(names[index] for index in sorted(picked)))
+        return chosen

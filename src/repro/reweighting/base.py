@@ -1,0 +1,111 @@
+"""Common interface for sample reweighters (Sec. 4.1).
+
+A reweighter assigns each sample tuple ``t`` a weight ``w(t)`` estimating how
+many population tuples it represents.  All reweighters share the same
+``fit`` / ``reweight`` interface and report convergence diagnostics through
+:class:`ReweightingResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..aggregates import AggregateSet, IncidenceSystem
+from ..exceptions import ReweightingError
+from ..schema import Relation
+
+
+@dataclass
+class ReweightingResult:
+    """The outcome of fitting a reweighter to a sample.
+
+    Attributes
+    ----------
+    weights:
+        The per-tuple weights ``w(t)`` in sample row order.
+    method:
+        Name of the reweighting technique that produced the weights.
+    converged:
+        Whether the underlying solver reached its convergence criterion.
+        Uniform reweighting is always "converged".
+    n_iterations:
+        Iterations used by iterative solvers (zero for closed-form methods).
+    max_violation:
+        Largest relative aggregate-constraint violation of the final weights
+        (ignoring constraints with no participating sample tuple).
+    diagnostics:
+        Free-form extra information (e.g. regression coefficients).
+    """
+
+    weights: np.ndarray
+    method: str
+    converged: bool = True
+    n_iterations: int = 0
+    max_violation: float = 0.0
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the weights — the implied population size estimate."""
+        return float(np.sum(self.weights))
+
+    def apply(self, sample: Relation) -> Relation:
+        """Attach the learned weights to ``sample`` and return the new relation."""
+        if len(self.weights) != sample.n_rows:
+            raise ReweightingError(
+                f"result has {len(self.weights)} weights but the sample has "
+                f"{sample.n_rows} rows"
+            )
+        return sample.with_weights(self.weights)
+
+
+class Reweighter:
+    """Base class for all sample reweighting techniques."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "reweighter"
+
+    def fit(self, sample: Relation, aggregates: AggregateSet) -> ReweightingResult:
+        """Learn weights for ``sample`` from the population ``aggregates``."""
+        raise NotImplementedError
+
+    def reweight(self, sample: Relation, aggregates: AggregateSet) -> Relation:
+        """Convenience method returning the weighted sample directly."""
+        return self.fit(sample, aggregates).apply(sample)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_sample(sample: Relation) -> None:
+        if sample.n_rows == 0:
+            raise ReweightingError("cannot reweight an empty sample")
+
+    @staticmethod
+    def _population_size(
+        aggregates: AggregateSet, population_size: float | None
+    ) -> float:
+        """Resolve the population size ``n`` from an explicit value or ``Γ``."""
+        if population_size is not None:
+            if population_size <= 0:
+                raise ReweightingError("population_size must be positive")
+            return float(population_size)
+        inferred = aggregates.population_size() if len(aggregates) else None
+        if inferred is None or inferred <= 0:
+            raise ReweightingError(
+                "population size is unknown: provide population_size explicitly or "
+                "supply at least one aggregate with positive counts"
+            )
+        return float(inferred)
+
+    @staticmethod
+    def _constraint_violation(
+        sample: Relation, aggregates: AggregateSet, weights: np.ndarray
+    ) -> float:
+        """Largest relative violation of the aggregate constraints by ``weights``."""
+        if len(aggregates) == 0:
+            return 0.0
+        system = IncidenceSystem(sample, aggregates)
+        return system.max_relative_violation(weights)

@@ -1,0 +1,93 @@
+"""Horvitz-Thompson reweighting (reference estimator).
+
+When the sampling mechanism ``Pr_S(t)`` *is* known, the classical
+Horvitz-Thompson estimator weights each sampled tuple by the inverse of its
+inclusion probability.  Themis targets the setting where this probability is
+unknown, but the estimator is implemented here as the oracle reference the
+paper's reweighters approximate, and is used in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..aggregates import AggregateSet
+from ..exceptions import ReweightingError
+from ..schema import Relation
+from .base import Reweighter, ReweightingResult
+
+
+class HorvitzThompsonReweighter(Reweighter):
+    """Weight each tuple by ``1 / Pr_S(t)`` from known inclusion probabilities.
+
+    Parameters
+    ----------
+    probabilities:
+        Either an array of per-row inclusion probabilities (aligned with the
+        sample), a mapping from decoded row tuples to probabilities, or a
+        callable taking a decoded row tuple and returning a probability.
+    normalize_to:
+        Optional population size; when given, weights are rescaled so they
+        sum to it (the Hájek variant).
+    """
+
+    name = "Horvitz-Thompson"
+
+    def __init__(
+        self,
+        probabilities: Sequence[float]
+        | Mapping[tuple[Any, ...], float]
+        | Callable[[tuple[Any, ...]], float],
+        normalize_to: float | None = None,
+    ):
+        self._probabilities = probabilities
+        self._normalize_to = normalize_to
+
+    def _probability_for_row(self, row: tuple[Any, ...]) -> float:
+        source = self._probabilities
+        if callable(source):
+            return float(source(row))
+        if isinstance(source, Mapping):
+            try:
+                return float(source[row])
+            except KeyError:
+                raise ReweightingError(
+                    f"no inclusion probability provided for row {row!r}"
+                ) from None
+        raise ReweightingError("per-row probability sequence handled separately")
+
+    def fit(self, sample: Relation, aggregates: AggregateSet) -> ReweightingResult:
+        self._validate_sample(sample)
+        source = self._probabilities
+        if not callable(source) and not isinstance(source, Mapping):
+            probabilities = np.asarray(list(source), dtype=float)
+            if probabilities.shape != (sample.n_rows,):
+                raise ReweightingError(
+                    f"expected {sample.n_rows} inclusion probabilities, "
+                    f"got {probabilities.shape}"
+                )
+        else:
+            probabilities = np.asarray(
+                [self._probability_for_row(row) for row in sample.iter_rows()],
+                dtype=float,
+            )
+        if np.any(probabilities <= 0) or np.any(probabilities > 1):
+            raise ReweightingError("inclusion probabilities must lie in (0, 1]")
+        weights = 1.0 / probabilities
+        if self._normalize_to is not None:
+            total = weights.sum()
+            if total <= 0:
+                raise ReweightingError("weights sum to zero; cannot normalize")
+            weights = weights * (float(self._normalize_to) / total)
+        violation = self._constraint_violation(sample, aggregates, weights)
+        return ReweightingResult(
+            weights=weights,
+            method=self.name,
+            converged=True,
+            n_iterations=0,
+            max_violation=violation,
+            diagnostics={"normalized": self._normalize_to is not None},
+        )

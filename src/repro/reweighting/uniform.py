@@ -1,0 +1,45 @@
+"""Uniform reweighting — the default AQP baseline (Sec. 4.1).
+
+When nothing is known about the sampling mechanism, standard AQP systems set
+every weight to ``|P| / |S|``.  This is the ``AQP`` baseline in every figure
+of the paper and the starting point the other techniques improve upon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..aggregates import AggregateSet
+from ..schema import Relation
+from .base import Reweighter, ReweightingResult
+
+
+class UniformReweighter(Reweighter):
+    """Assign every tuple the same weight ``n / n_S``.
+
+    Parameters
+    ----------
+    population_size:
+        The population size ``n``.  When omitted it is inferred from the
+        aggregates (the largest aggregate total).
+    """
+
+    name = "AQP"
+
+    def __init__(self, population_size: float | None = None):
+        self._n = population_size
+
+    def fit(self, sample: Relation, aggregates: AggregateSet) -> ReweightingResult:
+        self._validate_sample(sample)
+        population_size = Reweighter._population_size(aggregates, self._n)
+        weight = population_size / sample.n_rows
+        weights = np.full(sample.n_rows, weight, dtype=float)
+        violation = self._constraint_violation(sample, aggregates, weights)
+        return ReweightingResult(
+            weights=weights,
+            method=self.name,
+            converged=True,
+            n_iterations=0,
+            max_violation=violation,
+            diagnostics={"population_size": population_size},
+        )

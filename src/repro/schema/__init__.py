@@ -1,0 +1,23 @@
+"""Relational substrate: attributes, domains, relations, and encodings.
+
+Every dataset in this reproduction — populations, samples, and generated BN
+samples alike — is stored as a :class:`Relation` over a :class:`Schema` of
+discrete :class:`Attribute` domains.
+"""
+
+from .attribute import Attribute, Domain, Schema
+from .bucketize import Bucket, EquiWidthBucketizer, bucketize_column
+from .encoding import OneHotColumn, OneHotEncoder
+from .relation import Relation
+
+__all__ = [
+    "Attribute",
+    "Bucket",
+    "Domain",
+    "EquiWidthBucketizer",
+    "OneHotColumn",
+    "OneHotEncoder",
+    "Relation",
+    "Schema",
+    "bucketize_column",
+]

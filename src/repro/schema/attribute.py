@@ -1,0 +1,256 @@
+"""Attributes and their active domains.
+
+Themis assumes every attribute has a discrete, ordered active domain
+(Sec. 3 of the paper); continuous attributes are bucketized before being
+ingested.  :class:`Domain` stores the ordered set of values together with a
+value-to-code mapping so relations can keep integer-coded columns, and
+:class:`Attribute` ties a name to a domain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import DomainError, SchemaError
+
+
+class Domain:
+    """An ordered, discrete active domain of attribute values.
+
+    Parameters
+    ----------
+    values:
+        The distinct values of the domain, in order.  Values must be hashable.
+
+    Examples
+    --------
+    >>> d = Domain(["CA", "NY", "WA"])
+    >>> d.encode("NY")
+    1
+    >>> d.decode(2)
+    'WA'
+    >>> len(d)
+    3
+    """
+
+    __slots__ = ("_values", "_codes")
+
+    def __init__(self, values: Iterable[Any]):
+        values = tuple(values)
+        if not values:
+            raise DomainError("a domain must contain at least one value")
+        codes = {}
+        for index, value in enumerate(values):
+            if value in codes:
+                raise DomainError(f"duplicate domain value: {value!r}")
+            codes[value] = index
+        self._values = values
+        self._codes = codes
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        """The ordered tuple of domain values."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._codes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        if len(self._values) <= 6:
+            inner = ", ".join(repr(v) for v in self._values)
+        else:
+            head = ", ".join(repr(v) for v in self._values[:3])
+            inner = f"{head}, ... ({len(self._values)} values)"
+        return f"Domain([{inner}])"
+
+    def encode(self, value: Any) -> int:
+        """Return the integer code of ``value``.
+
+        Raises
+        ------
+        DomainError
+            If ``value`` is not part of the domain.
+        """
+        try:
+            return self._codes[value]
+        except KeyError:
+            raise DomainError(f"value {value!r} is not in the active domain") from None
+
+    def encode_many(self, values: Iterable[Any]) -> np.ndarray:
+        """Encode an iterable of values into an ``int64`` numpy array."""
+        return np.fromiter(
+            (self.encode(value) for value in values), dtype=np.int64
+        )
+
+    def decode(self, code: int) -> Any:
+        """Return the value for an integer ``code``."""
+        try:
+            return self._values[int(code)]
+        except IndexError:
+            raise DomainError(
+                f"code {code} is out of range for a domain of size {len(self)}"
+            ) from None
+
+    def decode_many(self, codes: Iterable[int]) -> list[Any]:
+        """Decode an iterable of integer codes back to values."""
+        return [self.decode(code) for code in codes]
+
+    def code_of(self, value: Any, default: int | None = None) -> int | None:
+        """Like :meth:`encode` but returns ``default`` for unknown values."""
+        return self._codes.get(value, default)
+
+    @classmethod
+    def from_values(cls, observed: Iterable[Any]) -> "Domain":
+        """Build a domain from observed (possibly repeated) values.
+
+        The resulting domain is sorted when all values are mutually
+        comparable; otherwise insertion order of first appearance is kept.
+        """
+        seen: dict[Any, None] = {}
+        for value in observed:
+            seen.setdefault(value, None)
+        values = list(seen)
+        try:
+            values.sort()
+        except TypeError:
+            pass
+        return cls(values)
+
+
+class Attribute:
+    """A named attribute with a discrete active domain.
+
+    Examples
+    --------
+    >>> month = Attribute("month", Domain(range(1, 13)))
+    >>> month.size
+    12
+    """
+
+    __slots__ = ("_name", "_domain")
+
+    def __init__(self, name: str, domain: Domain | Iterable[Any]):
+        if not name or not isinstance(name, str):
+            raise SchemaError("attribute name must be a non-empty string")
+        if not isinstance(domain, Domain):
+            domain = Domain(domain)
+        self._name = name
+        self._domain = domain
+
+    @property
+    def name(self) -> str:
+        """The attribute name."""
+        return self._name
+
+    @property
+    def domain(self) -> Domain:
+        """The attribute's active domain."""
+        return self._domain
+
+    @property
+    def size(self) -> int:
+        """Number of values in the active domain (``N_i`` in the paper)."""
+        return len(self._domain)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self._name == other._name and self._domain == other._domain
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._domain))
+
+    def __repr__(self) -> str:
+        return f"Attribute({self._name!r}, {self._domain!r})"
+
+
+class Schema:
+    """An ordered collection of :class:`Attribute` objects.
+
+    The schema defines the column order of a :class:`~repro.schema.Relation`
+    and provides name-based lookup.
+    """
+
+    __slots__ = ("_attributes", "_by_name")
+
+    def __init__(self, attributes: Sequence[Attribute]):
+        attributes = tuple(attributes)
+        if not attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        by_name = {}
+        for attribute in attributes:
+            if not isinstance(attribute, Attribute):
+                raise SchemaError(f"expected Attribute, got {type(attribute).__name__}")
+            if attribute.name in by_name:
+                raise SchemaError(f"duplicate attribute name: {attribute.name!r}")
+            by_name[attribute.name] = attribute
+        self._attributes = attributes
+        self._by_name = by_name
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The ordered attributes."""
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The attribute names, in schema order."""
+        return tuple(attribute.name for attribute in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            from ..exceptions import UnknownAttributeError
+
+            raise UnknownAttributeError(name, self.names) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self.names)!r})"
+
+    def index_of(self, name: str) -> int:
+        """Return the position of ``name`` in schema order."""
+        attribute = self[name]
+        return self._attributes.index(attribute)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (in the given order)."""
+        return Schema(tuple(self[name] for name in names))
+
+    def domain_sizes(self) -> dict[str, int]:
+        """Map attribute name to active-domain size."""
+        return {attribute.name: attribute.size for attribute in self._attributes}

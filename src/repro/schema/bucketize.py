@@ -1,0 +1,135 @@
+"""Equi-width bucketization of continuous attributes.
+
+The paper supports continuous data types "by bucketizing their active
+domains" (Sec. 3, footnote 2) and preprocesses the real-valued attributes of
+the evaluation datasets into equi-width buckets (Sec. 6.2).  This module
+provides that preprocessing step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import SchemaError
+from .attribute import Attribute, Domain
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A half-open interval ``[low, high)`` used as one bucketized value.
+
+    The final bucket of a bucketization is closed on the right so the maximum
+    observed value falls inside it.
+    """
+
+    low: float
+    high: float
+    index: int
+
+    def __str__(self) -> str:
+        return f"[{self.low:g}, {self.high:g})"
+
+    def midpoint(self) -> float:
+        """The midpoint of the interval, useful for plotting."""
+        return (self.low + self.high) / 2.0
+
+
+class EquiWidthBucketizer:
+    """Bucketize a numeric column into ``n_buckets`` equal-width intervals.
+
+    Parameters
+    ----------
+    n_buckets:
+        Number of buckets to create (at least one).
+    low, high:
+        Optional explicit range.  If omitted, the range is learned from the
+        data passed to :meth:`fit`.
+
+    Examples
+    --------
+    >>> bucketizer = EquiWidthBucketizer(4)
+    >>> codes = bucketizer.fit_transform([0, 1, 2, 3, 4, 5, 6, 7])
+    >>> sorted(set(codes.tolist()))
+    [0, 1, 2, 3]
+    """
+
+    def __init__(
+        self,
+        n_buckets: int,
+        low: float | None = None,
+        high: float | None = None,
+    ):
+        if n_buckets < 1:
+            raise SchemaError("n_buckets must be at least 1")
+        self.n_buckets = int(n_buckets)
+        self._low = low
+        self._high = high
+        self._edges: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether bucket edges have been computed."""
+        return self._edges is not None
+
+    @property
+    def edges(self) -> np.ndarray:
+        """The ``n_buckets + 1`` bucket edges."""
+        if self._edges is None:
+            raise SchemaError("bucketizer has not been fitted")
+        return self._edges
+
+    def fit(self, values: Iterable[float]) -> "EquiWidthBucketizer":
+        """Learn bucket edges from ``values`` (unless an explicit range was given)."""
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0 and (self._low is None or self._high is None):
+            raise SchemaError("cannot fit a bucketizer on empty data without a range")
+        low = self._low if self._low is not None else float(np.min(array))
+        high = self._high if self._high is not None else float(np.max(array))
+        if high < low:
+            raise SchemaError(f"invalid bucket range: high={high} < low={low}")
+        if high == low:
+            high = low + 1.0
+        self._edges = np.linspace(low, high, self.n_buckets + 1)
+        return self
+
+    def transform(self, values: Iterable[float]) -> np.ndarray:
+        """Map numeric ``values`` to bucket indices in ``[0, n_buckets)``."""
+        edges = self.edges
+        array = np.asarray(list(values), dtype=float)
+        codes = np.searchsorted(edges, array, side="right") - 1
+        return np.clip(codes, 0, self.n_buckets - 1).astype(np.int64)
+
+    def fit_transform(self, values: Iterable[float]) -> np.ndarray:
+        """Convenience composition of :meth:`fit` and :meth:`transform`."""
+        return self.fit(values).transform(values)
+
+    def buckets(self) -> list[Bucket]:
+        """Return the bucket objects describing each interval."""
+        edges = self.edges
+        return [
+            Bucket(low=float(edges[i]), high=float(edges[i + 1]), index=i)
+            for i in range(self.n_buckets)
+        ]
+
+    def to_attribute(self, name: str) -> Attribute:
+        """Build an :class:`Attribute` whose domain is the bucket index range."""
+        return Attribute(name, Domain(range(self.n_buckets)))
+
+
+def bucketize_column(
+    values: Sequence[float],
+    n_buckets: int,
+    low: float | None = None,
+    high: float | None = None,
+) -> tuple[np.ndarray, EquiWidthBucketizer]:
+    """Bucketize one numeric column and return ``(codes, bucketizer)``.
+
+    This is the functional form of :class:`EquiWidthBucketizer` used by the
+    dataset generators.
+    """
+    bucketizer = EquiWidthBucketizer(n_buckets, low=low, high=high)
+    codes = bucketizer.fit_transform(values)
+    return codes, bucketizer

@@ -1,0 +1,78 @@
+"""A tiny in-memory database of named, weighted relations.
+
+The paper's prototype stores the reweighted samples in Postgres and queries
+them through SQL.  :class:`Database` plays that role here: it holds named
+relations, parses SQL text, and routes queries to the weighted execution
+engine.  The Themis facade (``repro.core``) layers open-world semantics on
+top of this closed-world engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import QueryError
+from ..query.ast import Query
+from ..schema import Relation
+from .engine import QueryResult, WeightedQueryEngine
+from .parser import ParsedQuery, parse_sql
+
+
+class Database:
+    """A named collection of relations with SQL and AST query entry points."""
+
+    def __init__(self):
+        self._tables: dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog management
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, relation: Relation, replace: bool = False) -> None:
+        """Register a relation under ``name``."""
+        if not name:
+            raise QueryError("table name must be non-empty")
+        if name in self._tables and not replace:
+            raise QueryError(f"table {name!r} already exists (pass replace=True)")
+        self._tables[name] = relation
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise QueryError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def table(self, name: str) -> Relation:
+        """Fetch a registered relation."""
+        if name not in self._tables:
+            raise QueryError(
+                f"table {name!r} does not exist; known tables: {sorted(self._tables)}"
+            )
+        return self._tables[name]
+
+    def tables(self) -> dict[str, Relation]:
+        """All registered relations keyed by name."""
+        return dict(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __repr__(self) -> str:
+        return f"Database(tables={sorted(self._tables)})"
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def execute_sql(self, sql: str) -> float | QueryResult:
+        """Parse and execute a SQL statement against its FROM table."""
+        parsed: ParsedQuery = parse_sql(sql)
+        relation = self.table(parsed.table)
+        return WeightedQueryEngine(relation).execute(parsed.query)
+
+    def execute(self, table: str, query: Query) -> float | QueryResult:
+        """Execute an AST query against a named table."""
+        relation = self.table(table)
+        return WeightedQueryEngine(relation).execute(query)
+
+    def point(self, table: str, assignment: dict[str, Any]) -> float:
+        """Weighted point-query answer against a named table."""
+        return WeightedQueryEngine(self.table(table)).point(assignment)

@@ -1,0 +1,224 @@
+"""Weighted query execution over relations.
+
+This is the reproduction's stand-in for the Postgres instance used by the
+paper's prototype: point queries, filtered GROUP BY aggregates, and the
+self-join query of Table 5 are evaluated directly over the (reweighted)
+in-memory relations.  ``COUNT(*)`` is evaluated as ``SUM(weight)`` exactly as
+Sec. 4.1 describes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..query.ast import (
+    AggregateFunction,
+    GroupByQuery,
+    JoinGroupByQuery,
+    PointQuery,
+    Predicate,
+    Query,
+    ScalarAggregateQuery,
+)
+from ..schema import Relation
+
+
+class QueryResult:
+    """A GROUP BY query result: mapping from group tuples to aggregate values."""
+
+    def __init__(self, group_by: tuple[str, ...], values: dict[tuple[Any, ...], float]):
+        self.group_by = tuple(group_by)
+        self._values = dict(values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values.items())
+
+    def __contains__(self, group: tuple[Any, ...]) -> bool:
+        return tuple(group) in self._values
+
+    def value(self, group: tuple[Any, ...], default: float = 0.0) -> float:
+        """Aggregate value for one group."""
+        return self._values.get(tuple(group), default)
+
+    def groups(self) -> set[tuple[Any, ...]]:
+        """All group keys in the result."""
+        return set(self._values)
+
+    def as_dict(self) -> dict[tuple[Any, ...], float]:
+        """A copy of the underlying mapping."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return f"QueryResult(group_by={self.group_by!r}, n_groups={len(self)})"
+
+
+class WeightedQueryEngine:
+    """Evaluate queries against a weighted relation."""
+
+    def __init__(self, relation: Relation):
+        self._relation = relation
+
+    @property
+    def relation(self) -> Relation:
+        """The relation queries run against."""
+        return self._relation
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def execute(self, query: Query) -> float | QueryResult:
+        """Evaluate any supported query type."""
+        if isinstance(query, PointQuery):
+            return self.point(query.as_dict())
+        if isinstance(query, GroupByQuery):
+            return self.group_by(query)
+        if isinstance(query, ScalarAggregateQuery):
+            return self.scalar(query)
+        if isinstance(query, JoinGroupByQuery):
+            return self.join_group_by(query)
+        raise QueryError(f"unsupported query type {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    # Point queries
+    # ------------------------------------------------------------------
+    def point(self, assignment: Mapping[str, Any]) -> float:
+        """``SELECT SUM(weight) WHERE A1=v1 AND ...`` — the weighted COUNT(*)."""
+        if not assignment:
+            raise QueryError("a point query needs at least one attribute-value pair")
+        mask = self._relation.mask_equal(assignment)
+        return float(self._relation.weights[mask].sum())
+
+    # ------------------------------------------------------------------
+    # Scalar (no GROUP BY) aggregates
+    # ------------------------------------------------------------------
+    def scalar(self, query: ScalarAggregateQuery) -> float:
+        """A filtered aggregate with no grouping, returned as a single number."""
+        relation = self._apply_predicates(self._relation, query.predicates)
+        weights = relation.weights
+        function = query.aggregate.function
+        if function is AggregateFunction.COUNT:
+            return float(weights.sum())
+        measure = self._numeric_column(relation, query.aggregate.attribute)
+        if function is AggregateFunction.SUM:
+            return float(np.sum(weights * measure))
+        if function is AggregateFunction.AVG:
+            total = weights.sum()
+            return float(np.sum(weights * measure) / total) if total > 0 else 0.0
+        raise QueryError(f"unsupported aggregate function {function}")
+
+    # ------------------------------------------------------------------
+    # GROUP BY queries
+    # ------------------------------------------------------------------
+    def group_by(self, query: GroupByQuery) -> QueryResult:
+        """Evaluate a filtered GROUP BY aggregate with weighted semantics."""
+        relation = self._apply_predicates(self._relation, query.predicates)
+        if relation.n_rows == 0:
+            return QueryResult(query.group_by, {})
+        group_index, unique_rows = relation.group_codes(query.group_by)
+        weights = relation.weights
+        n_groups = unique_rows.shape[0]
+        weight_totals = np.bincount(group_index, weights=weights, minlength=n_groups)
+
+        function = query.aggregate.function
+        if function is AggregateFunction.COUNT:
+            values = weight_totals
+        else:
+            attribute = query.aggregate.attribute
+            measure = self._numeric_column(relation, attribute)
+            weighted_sums = np.bincount(
+                group_index, weights=weights * measure, minlength=n_groups
+            )
+            if function is AggregateFunction.SUM:
+                values = weighted_sums
+            elif function is AggregateFunction.AVG:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    values = np.where(
+                        weight_totals > 0, weighted_sums / weight_totals, 0.0
+                    )
+            else:
+                raise QueryError(f"unsupported aggregate function {function}")
+
+        domains = [relation.schema[name].domain for name in query.group_by]
+        results: dict[tuple[Any, ...], float] = {}
+        for row, value, weight_total in zip(unique_rows, values, weight_totals):
+            if weight_total <= 0:
+                continue
+            key = tuple(domain.decode(code) for domain, code in zip(domains, row))
+            results[key] = float(value)
+        return QueryResult(query.group_by, results)
+
+    # ------------------------------------------------------------------
+    # Self-join queries (Table 5, Q6)
+    # ------------------------------------------------------------------
+    def join_group_by(self, query: JoinGroupByQuery, other: Relation | None = None) -> QueryResult:
+        """Evaluate a weighted self-join (or join against ``other``) GROUP BY COUNT.
+
+        The joined weight of a tuple pair is the product of the two tuple
+        weights divided by the estimated population size is *not* applied:
+        the count of joined pairs in the population is estimated by
+        ``sum_{i,j} w_i * w_j`` over matching pairs, which is the natural
+        plug-in estimator for a weighted sample.
+        """
+        left = self._apply_predicates(self._relation, query.left_predicates)
+        right = self._apply_predicates(
+            other if other is not None else self._relation, query.right_predicates
+        )
+        if left.n_rows == 0 or right.n_rows == 0:
+            return QueryResult((query.left_group, query.right_group), {})
+
+        # Aggregate both sides by (join key, group attribute) first so the join
+        # is a merge of two small tables instead of a row-by-row nested loop.
+        left_counts = self._grouped_weights(left, (query.left_join, query.left_group))
+        right_counts = self._grouped_weights(right, (query.right_join, query.right_group))
+
+        right_by_key: dict[Any, list[tuple[Any, float]]] = {}
+        for (join_value, group_value), weight in right_counts.items():
+            right_by_key.setdefault(join_value, []).append((group_value, weight))
+
+        results: dict[tuple[Any, ...], float] = {}
+        for (join_value, left_group_value), left_weight in left_counts.items():
+            for right_group_value, right_weight in right_by_key.get(join_value, []):
+                key = (left_group_value, right_group_value)
+                results[key] = results.get(key, 0.0) + left_weight * right_weight
+        return QueryResult((query.left_group, query.right_group), results)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_predicates(relation: Relation, predicates: tuple[Predicate, ...]) -> Relation:
+        if not predicates:
+            return relation
+        mask = np.ones(relation.n_rows, dtype=bool)
+        for predicate in predicates:
+            mask &= predicate.mask(relation)
+        return relation.filter_mask(mask)
+
+    @staticmethod
+    def _numeric_column(relation: Relation, attribute: str) -> np.ndarray:
+        """Decoded numeric values of a column (for SUM/AVG aggregates)."""
+        values = relation.decoded_column(attribute)
+        try:
+            return np.asarray(values, dtype=float)
+        except (TypeError, ValueError):
+            raise QueryError(
+                f"attribute {attribute!r} is not numeric; cannot SUM/AVG over it"
+            ) from None
+
+    @staticmethod
+    def _grouped_weights(
+        relation: Relation, attributes: tuple[str, ...]
+    ) -> dict[tuple[Any, ...], float]:
+        return relation.value_counts(attributes, weighted=True)
+
+
+def answer_point_query(relation: Relation, assignment: Mapping[str, Any]) -> float:
+    """Convenience function: weighted point-query answer over a relation."""
+    return WeightedQueryEngine(relation).point(assignment)

@@ -1,0 +1,202 @@
+"""A small SQL parser for the query shapes Themis supports.
+
+The data scientist in the motivating example interacts with Themis through
+SQL (Sec. 2).  This parser covers exactly the query shapes the paper uses:
+
+* point queries — ``SELECT COUNT(*) FROM R WHERE A = v AND B = w``
+* aggregate / GROUP BY queries with ``COUNT(*)``, ``SUM(x)``, ``AVG(x)``,
+  equality / ordered / IN predicates, and an optional GROUP BY clause.
+
+It produces the AST objects of :mod:`repro.query.ast`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..exceptions import SQLSyntaxError
+from ..query.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    PointQuery,
+    Predicate,
+    ScalarAggregateQuery,
+)
+
+_SELECT_RE = re.compile(
+    r"^\s*select\s+(?P<select>.+?)\s+from\s+(?P<table>\w+)"
+    r"(?:\s+where\s+(?P<where>.+?))?"
+    r"(?:\s+group\s+by\s+(?P<group>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_AGGREGATE_RE = re.compile(
+    r"^(?P<func>count|sum|avg)\s*\(\s*(?P<arg>\*|[\w.]+)\s*\)(?:\s+as\s+\w+)?$",
+    re.IGNORECASE,
+)
+
+_CONDITION_RE = re.compile(
+    r"^(?P<attr>[\w.]+)\s*(?P<op><=|>=|!=|<>|=|<|>)\s*(?P<value>.+)$", re.DOTALL
+)
+
+_IN_RE = re.compile(
+    r"^(?P<attr>[\w.]+)\s+in\s*\(\s*(?P<values>.+?)\s*\)$", re.IGNORECASE | re.DOTALL
+)
+
+
+class ParsedQuery:
+    """The outcome of parsing one SQL statement."""
+
+    def __init__(
+        self,
+        table: str,
+        query: PointQuery | GroupByQuery | ScalarAggregateQuery,
+        select_attributes: tuple[str, ...],
+        aggregate: AggregateSpec,
+    ):
+        self.table = table
+        self.query = query
+        self.select_attributes = select_attributes
+        self.aggregate = aggregate
+
+    def __repr__(self) -> str:
+        return f"ParsedQuery(table={self.table!r}, query={self.query!r})"
+
+
+def _parse_literal(text: str) -> Any:
+    text = text.strip().rstrip(";").strip()
+    if (text.startswith("'") and text.endswith("'")) or (
+        text.startswith('"') and text.endswith('"')
+    ):
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _strip_alias(name: str) -> str:
+    """Drop a leading table alias, e.g. ``t.origin_state`` -> ``origin_state``."""
+    return name.split(".")[-1].strip()
+
+
+def _split_conditions(where: str) -> list[str]:
+    """Split a WHERE clause on top-level ANDs (no nested parentheses support)."""
+    parts = re.split(r"\s+and\s+", where, flags=re.IGNORECASE)
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _parse_condition(text: str) -> Predicate:
+    in_match = _IN_RE.match(text)
+    if in_match:
+        attribute = _strip_alias(in_match.group("attr"))
+        raw_values = in_match.group("values")
+        values = tuple(_parse_literal(item) for item in raw_values.split(","))
+        return Predicate(attribute, Comparison.IN, values)
+    match = _CONDITION_RE.match(text)
+    if not match:
+        raise SQLSyntaxError(f"cannot parse condition: {text!r}")
+    attribute = _strip_alias(match.group("attr"))
+    operator = match.group("op")
+    if operator == "<>":
+        operator = "!="
+    value = _parse_literal(match.group("value"))
+    return Predicate(attribute, Comparison(operator), value)
+
+
+def _parse_select_list(select: str) -> tuple[list[str], AggregateSpec | None]:
+    attributes: list[str] = []
+    aggregate: AggregateSpec | None = None
+    for item in select.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        match = _AGGREGATE_RE.match(item)
+        if match:
+            if aggregate is not None:
+                raise SQLSyntaxError("only one aggregate expression is supported")
+            function = AggregateFunction(match.group("func").lower())
+            argument = match.group("arg")
+            attribute = None if argument == "*" else _strip_alias(argument)
+            # SUM(weight) is how reweighted samples express COUNT(*) (Sec. 4.1).
+            if function is AggregateFunction.SUM and attribute == "weight":
+                aggregate = AggregateSpec(AggregateFunction.COUNT)
+            else:
+                aggregate = AggregateSpec(function, attribute)
+        else:
+            attributes.append(_strip_alias(re.sub(r"\s+as\s+\w+$", "", item, flags=re.IGNORECASE)))
+    return attributes, aggregate
+
+
+def parse_sql(sql: str) -> ParsedQuery:
+    """Parse one SQL statement into a :class:`ParsedQuery`.
+
+    Raises
+    ------
+    SQLSyntaxError
+        If the statement does not match the supported grammar.
+    """
+    match = _SELECT_RE.match(sql)
+    if not match:
+        raise SQLSyntaxError(f"cannot parse SQL statement: {sql!r}")
+    table = match.group("table")
+    select_attributes, aggregate = _parse_select_list(match.group("select"))
+    where = match.group("where")
+    group = match.group("group")
+
+    predicates: list[Predicate] = []
+    if where:
+        predicates = [_parse_condition(part) for part in _split_conditions(where)]
+
+    group_by: list[str] = []
+    if group:
+        group_by = [_strip_alias(item) for item in group.split(",") if item.strip()]
+    elif select_attributes:
+        # Plain-SQL convention used throughout the paper's Table 5: the
+        # non-aggregate select columns are the grouping columns.
+        group_by = list(select_attributes)
+
+    if aggregate is None:
+        aggregate = AggregateSpec(AggregateFunction.COUNT)
+
+    query: PointQuery | GroupByQuery | ScalarAggregateQuery
+    if group_by:
+        query = GroupByQuery(
+            group_by=tuple(group_by),
+            aggregate=aggregate,
+            predicates=tuple(predicates),
+        )
+    else:
+        all_equalities = predicates and all(
+            predicate.comparison is Comparison.EQ for predicate in predicates
+        )
+        is_count = aggregate.function is AggregateFunction.COUNT
+        if all_equalities and is_count:
+            assignment: dict[str, Any] = {
+                predicate.attribute: predicate.value for predicate in predicates
+            }
+            query = PointQuery(assignment)
+        else:
+            query = ScalarAggregateQuery(
+                aggregate=aggregate, predicates=tuple(predicates)
+            )
+
+    return ParsedQuery(
+        table=table,
+        query=query,
+        select_attributes=tuple(select_attributes),
+        aggregate=aggregate,
+    )

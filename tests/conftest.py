@@ -1,0 +1,104 @@
+"""Shared fixtures: the paper's running example and small synthetic datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregates import AggregateQuery, AggregateSet
+from repro.schema import Attribute, Domain, Relation, Schema
+
+
+@pytest.fixture
+def paper_schema() -> Schema:
+    """The schema of Example 3.1: date, origin state, destination state."""
+    return Schema(
+        [
+            Attribute("date", Domain(["01", "02"])),
+            Attribute("o_st", Domain(["FL", "NC", "NY"])),
+            Attribute("d_st", Domain(["FL", "NC", "NY"])),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_population(paper_schema) -> Relation:
+    """The ten-tuple population P of Example 3.1."""
+    rows = [
+        ("01", "FL", "FL"),
+        ("01", "FL", "FL"),
+        ("02", "FL", "NY"),
+        ("01", "NC", "FL"),
+        ("02", "NC", "NY"),
+        ("02", "NC", "NY"),
+        ("02", "NC", "NY"),
+        ("01", "NY", "FL"),
+        ("01", "NY", "NC"),
+        ("02", "NY", "NY"),
+    ]
+    return Relation.from_rows(paper_schema, rows)
+
+
+@pytest.fixture
+def paper_sample(paper_schema) -> Relation:
+    """The four-tuple sample S of Example 3.1."""
+    rows = [
+        ("01", "FL", "FL"),
+        ("01", "FL", "FL"),
+        ("02", "NC", "NY"),
+        ("01", "NY", "NC"),
+    ]
+    return Relation.from_rows(paper_schema, rows)
+
+
+@pytest.fixture
+def paper_aggregates(paper_population) -> AggregateSet:
+    """Γ = {Γ1 over date, Γ2 over (o_st, d_st)} of Example 3.1."""
+    return AggregateSet(
+        [
+            AggregateQuery.from_relation(paper_population, ["date"]),
+            AggregateQuery.from_relation(paper_population, ["o_st", "d_st"]),
+        ]
+    )
+
+
+@pytest.fixture
+def correlated_population() -> Relation:
+    """A 3-attribute correlated population used by BN and reweighting tests."""
+    rng = np.random.default_rng(123)
+    n = 4000
+    a = rng.choice(3, size=n, p=[0.6, 0.3, 0.1])
+    b_table = np.array([[0.7, 0.2, 0.1], [0.2, 0.6, 0.2], [0.1, 0.3, 0.6]])
+    b = np.array([rng.choice(3, p=b_table[value]) for value in a])
+    c_table = np.array([[0.9, 0.1], [0.5, 0.5], [0.2, 0.8]])
+    c = np.array([rng.choice(2, p=c_table[value]) for value in b])
+    schema = Schema(
+        [
+            Attribute("A", Domain([0, 1, 2])),
+            Attribute("B", Domain([0, 1, 2])),
+            Attribute("C", Domain([0, 1])),
+        ]
+    )
+    return Relation(schema, {"A": a, "B": b, "C": c})
+
+
+@pytest.fixture
+def biased_correlated_sample(correlated_population) -> Relation:
+    """A sample of the correlated population heavily biased towards A = 0."""
+    rng = np.random.default_rng(7)
+    a = correlated_population.column("A")
+    eligible = np.where((a == 0) | (rng.random(correlated_population.n_rows) < 0.1))[0]
+    chosen = rng.choice(eligible, size=600, replace=False)
+    return correlated_population.take(np.sort(chosen))
+
+
+@pytest.fixture
+def correlated_aggregates(correlated_population) -> AggregateSet:
+    """1D and 2D aggregates over the correlated population."""
+    return AggregateSet(
+        [
+            AggregateQuery.from_relation(correlated_population, ["A"]),
+            AggregateQuery.from_relation(correlated_population, ["A", "B"]),
+            AggregateQuery.from_relation(correlated_population, ["B", "C"]),
+        ]
+    )

@@ -1,0 +1,82 @@
+"""Tests for the reuse baseline of Galakatos et al. [33]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates import AggregateQuery, AggregateSet
+from repro.baselines import ConditionalReuseBaseline
+from repro.exceptions import QueryError
+from repro.metrics import average_group_by_error
+
+
+@pytest.fixture
+def baseline(correlated_population, biased_correlated_sample):
+    aggregates = AggregateSet(
+        [AggregateQuery.from_relation(correlated_population, ["A"])]
+    )
+    return ConditionalReuseBaseline(
+        biased_correlated_sample, aggregates, population_size=correlated_population.n_rows
+    )
+
+
+class TestConditionalReuse:
+    def test_covered_pair_uses_known_marginal(self, baseline, correlated_population):
+        """GROUP BY (A, B) benefits from the known Pr(A): totals per A match Γ."""
+        result = baseline.group_by_count(("A", "B"))
+        truth_a = correlated_population.value_counts(["A"])
+        for a_value, true_count in truth_a.items():
+            estimated = sum(
+                value for group, value in result.as_dict().items() if group[0] == a_value[0]
+            )
+            assert estimated == pytest.approx(true_count, rel=0.05)
+
+    def test_uncovered_pair_degenerates_to_uniform_scaling(
+        self, correlated_population, biased_correlated_sample
+    ):
+        """Without a usable aggregate the estimate is the uniformly scaled sample."""
+        aggregates = AggregateSet(
+            [AggregateQuery.from_relation(correlated_population, ["A"])]
+        )
+        baseline = ConditionalReuseBaseline(
+            biased_correlated_sample, aggregates, correlated_population.n_rows
+        )
+        result = baseline.group_by_count(("B", "C"))
+        scale = correlated_population.n_rows / biased_correlated_sample.n_rows
+        sample_counts = biased_correlated_sample.value_counts(["B", "C"])
+        for group, value in result.as_dict().items():
+            assert value == pytest.approx(sample_counts[group] * scale)
+
+    def test_point_query(self, baseline, correlated_population):
+        estimate = baseline.point({"A": 0, "B": 0})
+        truth = correlated_population.count({"A": 0, "B": 0})
+        assert estimate == pytest.approx(truth, rel=0.25)
+
+    def test_covered_pair_beats_uniform_scaling(
+        self, correlated_population, biased_correlated_sample
+    ):
+        aggregates = AggregateSet(
+            [AggregateQuery.from_relation(correlated_population, ["A"])]
+        )
+        baseline = ConditionalReuseBaseline(
+            biased_correlated_sample, aggregates, correlated_population.n_rows
+        )
+        truth = correlated_population.value_counts(["A", "B"])
+        reuse_error = average_group_by_error(
+            truth, baseline.group_by_count(("A", "B")).as_dict()
+        )
+        scale = correlated_population.n_rows / biased_correlated_sample.n_rows
+        uniform_estimate = {
+            group: value * scale
+            for group, value in biased_correlated_sample.value_counts(["A", "B"]).items()
+        }
+        uniform_error = average_group_by_error(truth, uniform_estimate)
+        assert reuse_error < uniform_error
+
+    def test_invalid_population_size(self, biased_correlated_sample):
+        with pytest.raises(QueryError):
+            ConditionalReuseBaseline(biased_correlated_sample, AggregateSet(), 0)
+
+    def test_empty_attribute_list_rejected(self, baseline):
+        with pytest.raises(QueryError):
+            baseline.group_by_count(())

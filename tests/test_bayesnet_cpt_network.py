@@ -1,0 +1,257 @@
+"""Tests for CPTs, the BayesianNetwork container, inference, and sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (
+    BayesianNetwork,
+    ConditionalProbabilityTable,
+    DirectedAcyclicGraph,
+    ExactInference,
+    ForwardSampler,
+    cpt_for_schema,
+)
+from repro.exceptions import BayesNetError
+from repro.schema import Attribute, Domain, Relation, Schema
+
+
+@pytest.fixture
+def rain_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("rain", ["no", "yes"]),
+            Attribute("sprinkler", ["off", "on"]),
+            Attribute("wet", ["dry", "wet"]),
+        ]
+    )
+
+
+@pytest.fixture
+def rain_network(rain_schema) -> BayesianNetwork:
+    """The classic rain/sprinkler/wet-grass network with known CPTs."""
+    graph = DirectedAcyclicGraph(
+        rain_schema.names, [("rain", "sprinkler"), ("rain", "wet"), ("sprinkler", "wet")]
+    )
+    network = BayesianNetwork(rain_schema, graph)
+    network.set_cpt(
+        ConditionalProbabilityTable("rain", (), 2, (), table=np.array([[0.8, 0.2]]))
+    )
+    network.set_cpt(
+        ConditionalProbabilityTable(
+            "sprinkler", ("rain",), 2, (2,), table=np.array([[0.6, 0.4], [0.99, 0.01]])
+        )
+    )
+    network.set_cpt(
+        ConditionalProbabilityTable(
+            "wet",
+            ("rain", "sprinkler"),
+            2,
+            (2, 2),
+            table=np.array([[1.0, 0.0], [0.2, 0.8], [0.1, 0.9], [0.01, 0.99]]),
+        )
+    )
+    return network
+
+
+class TestCPT:
+    def test_default_is_uniform(self):
+        cpt = ConditionalProbabilityTable("x", (), 4, ())
+        assert np.allclose(cpt.table, 0.25)
+
+    def test_config_index_roundtrip(self):
+        cpt = ConditionalProbabilityTable("x", ("p", "q"), 2, (3, 4))
+        for index in range(cpt.n_parent_configs):
+            assert cpt.config_index(cpt.config_codes(index)) == index
+
+    def test_config_index_mapping_input(self):
+        cpt = ConditionalProbabilityTable("x", ("p", "q"), 2, (2, 3))
+        assert cpt.config_index({"p": 1, "q": 2}) == 1 * 3 + 2
+
+    def test_probability_and_distribution(self):
+        table = np.array([[0.3, 0.7], [0.9, 0.1]])
+        cpt = ConditionalProbabilityTable("x", ("p",), 2, (2,), table=table)
+        assert cpt.probability(1, [0]) == 0.7
+        assert cpt.distribution([1]).tolist() == [0.9, 0.1]
+
+    def test_set_distribution_normalizes(self):
+        cpt = ConditionalProbabilityTable("x", (), 2, ())
+        cpt.set_distribution((), [2.0, 2.0])
+        assert cpt.distribution(()).tolist() == [0.5, 0.5]
+
+    def test_set_distribution_rejects_negative(self):
+        cpt = ConditionalProbabilityTable("x", (), 2, ())
+        with pytest.raises(BayesNetError):
+            cpt.set_distribution((), [-1.0, 2.0])
+
+    def test_normalize_handles_zero_rows(self):
+        cpt = ConditionalProbabilityTable(
+            "x", ("p",), 2, (2,), table=np.array([[0.0, 0.0], [3.0, 1.0]])
+        )
+        cpt.normalize()
+        assert cpt.distribution([0]).tolist() == [0.5, 0.5]
+        assert cpt.distribution([1]).tolist() == [0.75, 0.25]
+
+    def test_from_counts_with_smoothing(self):
+        counts = np.array([[0.0, 0.0], [8.0, 2.0]])
+        cpt = ConditionalProbabilityTable.from_counts(
+            "x", ("p",), 2, (2,), counts, smoothing=1.0
+        )
+        assert cpt.distribution([0]).tolist() == [0.5, 0.5]
+        assert cpt.distribution([1])[0] == pytest.approx(9 / 12)
+
+    def test_counts_from_relation(self, rain_schema):
+        relation = Relation.from_rows(
+            rain_schema,
+            [("no", "off", "dry"), ("yes", "on", "wet"), ("no", "off", "dry")],
+        )
+        counts = ConditionalProbabilityTable.counts_from_relation(
+            relation, "wet", ("rain",)
+        )
+        assert counts.shape == (2, 2)
+        assert counts[0, 0] == 2.0  # rain=no, wet=dry
+        assert counts[1, 1] == 1.0  # rain=yes, wet=wet
+
+    def test_counts_from_relation_respects_weights(self, rain_schema):
+        relation = Relation.from_rows(
+            rain_schema, [("no", "off", "dry")], weights=[5.0]
+        )
+        counts = ConditionalProbabilityTable.counts_from_relation(
+            relation, "wet", (), weighted=True
+        )
+        assert counts[0, 0] == 5.0
+
+    def test_to_factor_shape(self):
+        cpt = ConditionalProbabilityTable("x", ("p",), 3, (2,))
+        factor = cpt.to_factor()
+        assert factor.attributes == ("p", "x")
+        assert factor.table.shape == (2, 3)
+
+    def test_invalid_table_shape_rejected(self):
+        with pytest.raises(BayesNetError):
+            ConditionalProbabilityTable("x", ("p",), 2, (2,), table=np.ones((3, 2)))
+
+    def test_n_parameters(self):
+        cpt = ConditionalProbabilityTable("x", ("p",), 4, (3,))
+        assert cpt.n_parameters == 3 * 3
+
+
+class TestBayesianNetwork:
+    def test_joint_probability_chain_rule(self, rain_network):
+        probability = rain_network.joint_probability(
+            {"rain": "yes", "sprinkler": "off", "wet": "wet"}
+        )
+        assert probability == pytest.approx(0.2 * 0.99 * 0.9)
+
+    def test_joint_probability_requires_all_nodes(self, rain_network):
+        with pytest.raises(BayesNetError):
+            rain_network.joint_probability({"rain": "yes"})
+
+    def test_set_cpt_checks_parents(self, rain_network, rain_schema):
+        with pytest.raises(BayesNetError):
+            rain_network.set_cpt(
+                ConditionalProbabilityTable("wet", ("rain",), 2, (2,))
+            )
+
+    def test_n_parameters(self, rain_network):
+        # rain: 1, sprinkler: 2, wet: 4 free parameters.
+        assert rain_network.n_parameters() == 1 + 2 + 4
+
+    def test_log_likelihood_finite_even_for_impossible_tuple(
+        self, rain_network, rain_schema
+    ):
+        relation = Relation.from_rows(rain_schema, [("no", "off", "wet")])
+        assert np.isfinite(rain_network.log_likelihood(relation))
+
+    def test_copy_is_deep(self, rain_network):
+        copied = rain_network.copy()
+        copied.cpt("rain").table[0, 0] = 0.5
+        assert rain_network.cpt("rain").table[0, 0] == 0.8
+
+    def test_cpt_for_schema_helper(self, rain_schema):
+        cpt = cpt_for_schema(rain_schema, "wet", ("rain",))
+        assert cpt.table.shape == (2, 2)
+
+
+class TestExactInference:
+    def test_marginal_of_root(self, rain_network):
+        marginal = ExactInference(rain_network).marginal("rain")
+        assert marginal.tolist() == pytest.approx([0.8, 0.2])
+
+    def test_marginal_of_leaf_matches_enumeration(self, rain_network):
+        inference = ExactInference(rain_network)
+        wet_marginal = inference.marginal("wet")
+        # Brute-force enumeration over the joint.
+        total = 0.0
+        for rain in ("no", "yes"):
+            for sprinkler in ("off", "on"):
+                total += rain_network.joint_probability(
+                    {"rain": rain, "sprinkler": sprinkler, "wet": "wet"}
+                )
+        assert wet_marginal[1] == pytest.approx(total)
+
+    def test_partial_assignment_probability(self, rain_network):
+        inference = ExactInference(rain_network)
+        probability = inference.probability({"rain": "yes", "wet": "wet"})
+        expected = sum(
+            rain_network.joint_probability(
+                {"rain": "yes", "sprinkler": sprinkler, "wet": "wet"}
+            )
+            for sprinkler in ("off", "on")
+        )
+        assert probability == pytest.approx(expected)
+
+    def test_empty_assignment_probability_is_one(self, rain_network):
+        assert ExactInference(rain_network).probability({}) == 1.0
+
+    def test_out_of_domain_value_gives_zero(self, rain_network):
+        assert (
+            ExactInference(rain_network).probability_or_zero({"rain": "maybe"}) == 0.0
+        )
+
+    def test_conditional(self, rain_network):
+        inference = ExactInference(rain_network)
+        conditional = inference.conditional("wet", {"rain": "yes"})
+        joint_wet = inference.probability({"rain": "yes", "wet": "wet"})
+        assert conditional[1] == pytest.approx(joint_wet / 0.2)
+
+    def test_joint_marginal_order(self, rain_network):
+        factor = ExactInference(rain_network).joint_marginal(["sprinkler", "rain"])
+        assert factor.attributes == ("sprinkler", "rain")
+        assert factor.table.sum() == pytest.approx(1.0)
+
+    def test_unknown_attribute_rejected(self, rain_network):
+        with pytest.raises(BayesNetError):
+            ExactInference(rain_network).probability({"bogus": 1})
+
+
+class TestForwardSampler:
+    def test_sample_size_and_weights(self, rain_network):
+        sample = ForwardSampler(rain_network, seed=0).sample_relation(
+            500, population_size=5000
+        )
+        assert sample.n_rows == 500
+        assert sample.total_weight() == pytest.approx(5000.0)
+
+    def test_sampled_marginal_close_to_model(self, rain_network):
+        sample = ForwardSampler(rain_network, seed=1).sample_relation(4000)
+        rain_fraction = sample.count({"rain": "yes"}) / sample.n_rows
+        assert rain_fraction == pytest.approx(0.2, abs=0.03)
+
+    def test_sample_many(self, rain_network):
+        samples = ForwardSampler(rain_network, seed=2).sample_many(3, 100)
+        assert len(samples) == 3
+        assert all(sample.n_rows == 100 for sample in samples)
+
+    def test_deterministic_with_seed(self, rain_network):
+        first = ForwardSampler(rain_network, seed=7).sample_relation(50)
+        second = ForwardSampler(rain_network, seed=7).sample_relation(50)
+        assert list(first.iter_rows()) == list(second.iter_rows())
+
+    def test_invalid_sizes_rejected(self, rain_network):
+        sampler = ForwardSampler(rain_network, seed=0)
+        with pytest.raises(BayesNetError):
+            sampler.sample_codes(-1)
+        with pytest.raises(BayesNetError):
+            sampler.sample_many(0, 10)

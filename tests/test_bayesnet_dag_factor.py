@@ -1,0 +1,166 @@
+"""Tests for the DAG and Factor building blocks of the Bayesian network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet import DirectedAcyclicGraph, Factor, multiply_all
+from repro.exceptions import BayesNetError, CyclicGraphError
+
+
+class TestDAG:
+    def test_add_and_query_edges(self):
+        graph = DirectedAcyclicGraph(["a", "b", "c"])
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        assert graph.has_edge("a", "b")
+        assert graph.parents("c") == ("b",)
+        assert graph.children("a") == ("b",)
+        assert graph.n_edges == 2
+
+    def test_cycle_rejected(self):
+        graph = DirectedAcyclicGraph(["a", "b"], [("a", "b")])
+        with pytest.raises(CyclicGraphError):
+            graph.add_edge("b", "a")
+
+    def test_self_loop_rejected(self):
+        graph = DirectedAcyclicGraph(["a"])
+        with pytest.raises(CyclicGraphError):
+            graph.add_edge("a", "a")
+
+    def test_would_create_cycle(self):
+        graph = DirectedAcyclicGraph(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert graph.would_create_cycle("c", "a")
+        assert not graph.would_create_cycle("a", "c")
+
+    def test_remove_edge(self):
+        graph = DirectedAcyclicGraph(["a", "b"], [("a", "b")])
+        graph.remove_edge("a", "b")
+        assert graph.n_edges == 0
+        with pytest.raises(BayesNetError):
+            graph.remove_edge("a", "b")
+
+    def test_reverse_edge(self):
+        graph = DirectedAcyclicGraph(["a", "b"], [("a", "b")])
+        graph.reverse_edge("a", "b")
+        assert graph.has_edge("b", "a")
+
+    def test_reverse_edge_that_would_cycle_restores_original(self):
+        graph = DirectedAcyclicGraph(
+            ["a", "b", "c"], [("a", "b"), ("a", "c"), ("c", "b")]
+        )
+        with pytest.raises(CyclicGraphError):
+            graph.reverse_edge("a", "b")
+        assert graph.has_edge("a", "b")
+
+    def test_topological_order(self):
+        graph = DirectedAcyclicGraph(["c", "a", "b"], [("a", "b"), ("b", "c")])
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_ancestors(self):
+        graph = DirectedAcyclicGraph(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert graph.ancestors("c") == {"a", "b"}
+        assert graph.ancestors("a") == set()
+
+    def test_is_tree(self):
+        tree = DirectedAcyclicGraph(["a", "b", "c"], [("a", "b"), ("a", "c")])
+        assert tree.is_tree()
+        non_tree = DirectedAcyclicGraph(
+            ["a", "b", "c"], [("a", "c"), ("b", "c")]
+        )
+        assert not non_tree.is_tree()
+
+    def test_copy_is_independent(self):
+        graph = DirectedAcyclicGraph(["a", "b"], [("a", "b")])
+        copied = graph.copy()
+        copied.remove_edge("a", "b")
+        assert graph.has_edge("a", "b")
+
+    def test_unknown_node_rejected(self):
+        graph = DirectedAcyclicGraph(["a"])
+        with pytest.raises(BayesNetError):
+            graph.add_edge("a", "missing")
+
+    def test_equality(self):
+        assert DirectedAcyclicGraph(["a", "b"], [("a", "b")]) == DirectedAcyclicGraph(
+            ["b", "a"], [("a", "b")]
+        )
+
+
+class TestFactor:
+    def test_restrict(self):
+        factor = Factor(("a", "b"), np.arange(6).reshape(2, 3))
+        restricted = factor.restrict({"a": 1})
+        assert restricted.attributes == ("b",)
+        assert restricted.table.tolist() == [3, 4, 5]
+
+    def test_restrict_out_of_range_rejected(self):
+        factor = Factor(("a",), np.ones(2))
+        with pytest.raises(BayesNetError):
+            factor.restrict({"a": 5})
+
+    def test_multiply_disjoint(self):
+        left = Factor(("a",), np.array([0.2, 0.8]))
+        right = Factor(("b",), np.array([0.5, 0.5]))
+        product = left.multiply(right)
+        assert set(product.attributes) == {"a", "b"}
+        assert product.table.sum() == pytest.approx(1.0)
+
+    def test_multiply_shared_attribute(self):
+        left = Factor(("a", "b"), np.ones((2, 3)))
+        right = Factor(("b",), np.array([1.0, 2.0, 3.0]))
+        product = left.multiply(right)
+        assert product.table.shape == (2, 3)
+        assert product.table[0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_multiply_with_scalar(self):
+        scalar = Factor.constant(2.0)
+        other = Factor(("a",), np.array([1.0, 3.0]))
+        assert scalar.multiply(other).table.tolist() == [2.0, 6.0]
+
+    def test_marginalize(self):
+        factor = Factor(("a", "b"), np.arange(6).reshape(2, 3).astype(float))
+        marginal = factor.marginalize(["b"])
+        assert marginal.attributes == ("a",)
+        assert marginal.table.tolist() == [3.0, 12.0]
+
+    def test_marginalize_missing_attribute_is_noop(self):
+        factor = Factor(("a",), np.ones(2))
+        assert factor.marginalize(["zzz"]) is factor
+
+    def test_normalize(self):
+        factor = Factor(("a",), np.array([2.0, 2.0]))
+        assert factor.normalize().table.tolist() == [0.5, 0.5]
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(BayesNetError):
+            Factor(("a",), np.array([-1.0, 1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(BayesNetError):
+            Factor(("a", "b"), np.ones(3))
+
+    def test_multiply_all(self):
+        factors = [Factor(("a",), np.array([0.5, 0.5])), Factor(("a",), np.array([2.0, 4.0]))]
+        product = multiply_all(factors)
+        assert product.table.tolist() == [1.0, 2.0]
+
+    def test_value_of_scalar(self):
+        assert Factor.constant(3.5).value() == 3.5
+        with pytest.raises(BayesNetError):
+            Factor(("a",), np.ones(2)).value()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        left=st.lists(st.floats(0.0, 10.0), min_size=2, max_size=2),
+        right=st.lists(st.floats(0.0, 10.0), min_size=3, max_size=3),
+    )
+    def test_multiplication_order_invariant(self, left, right):
+        """Property: factor multiplication commutes (same total mass)."""
+        f = Factor(("a",), np.asarray(left))
+        g = Factor(("b",), np.asarray(right))
+        assert f.multiply(g).sum() == pytest.approx(g.multiply(f).sum())

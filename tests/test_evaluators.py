@@ -1,0 +1,173 @@
+"""Tests for the open-world evaluators (sample, Bayesian network, hybrid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregates import AggregateQuery, AggregateSet
+from repro.bayesnet import LearningMode, ThemisBayesNetLearner
+from repro.core import BayesNetEvaluator, HybridEvaluator, ReweightedSampleEvaluator
+from repro.exceptions import QueryError
+from repro.metrics import percent_difference
+from repro.query import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    PointQuery,
+    Predicate,
+    ScalarAggregateQuery,
+)
+from repro.reweighting import IPFReweighter
+from repro.sql.engine import WeightedQueryEngine
+
+
+@pytest.fixture
+def fitted_components(correlated_population, biased_correlated_sample, correlated_aggregates):
+    """IPF-weighted sample and BB network for the correlated dataset."""
+    n = correlated_population.n_rows
+    weighted = IPFReweighter(max_iterations=60).reweight(
+        biased_correlated_sample, correlated_aggregates
+    )
+    learner = ThemisBayesNetLearner.from_mode(LearningMode.BB)
+    network = learner.learn(
+        biased_correlated_sample, correlated_aggregates, population_size=n
+    ).network
+    bn_evaluator = BayesNetEvaluator(
+        network, population_size=n, n_generated_samples=4, generated_sample_size=800, seed=3
+    )
+    return weighted, bn_evaluator, n
+
+
+class TestReweightedSampleEvaluator:
+    def test_point_matches_engine(self, fitted_components):
+        weighted, _, _ = fitted_components
+        evaluator = ReweightedSampleEvaluator(weighted)
+        engine = WeightedQueryEngine(weighted)
+        assert evaluator.point({"A": 0}) == engine.point({"A": 0})
+
+    def test_execute_dispatch(self, fitted_components):
+        weighted, _, _ = fitted_components
+        evaluator = ReweightedSampleEvaluator(weighted)
+        assert evaluator.execute(PointQuery({"A": 0})) == evaluator.point({"A": 0})
+        result = evaluator.execute(GroupByQuery(group_by=("A",)))
+        assert len(result) >= 1
+
+    def test_unknown_query_type_rejected(self, fitted_components):
+        weighted, _, _ = fitted_components
+        with pytest.raises(QueryError):
+            ReweightedSampleEvaluator(weighted).execute("not a query")
+
+
+class TestBayesNetEvaluator:
+    def test_point_is_population_scaled_probability(self, fitted_components, correlated_population):
+        _, bn_evaluator, n = fitted_components
+        estimate = bn_evaluator.point({"A": 1})
+        truth = correlated_population.count({"A": 1})
+        assert percent_difference(truth, estimate) < 25
+
+    def test_point_out_of_domain_is_zero(self, fitted_components):
+        _, bn_evaluator, _ = fitted_components
+        assert bn_evaluator.point({"A": 99}) == 0.0
+
+    def test_group_by_total_close_to_population(self, fitted_components, correlated_population):
+        _, bn_evaluator, n = fitted_components
+        result = bn_evaluator.group_by(GroupByQuery(group_by=("A",)))
+        assert sum(result.as_dict().values()) == pytest.approx(n, rel=0.1)
+
+    def test_group_by_is_cached_across_calls(self, fitted_components):
+        _, bn_evaluator, _ = fitted_components
+        first = bn_evaluator.group_by(GroupByQuery(group_by=("A",))).as_dict()
+        second = bn_evaluator.group_by(GroupByQuery(group_by=("A",))).as_dict()
+        assert first == second
+
+    def test_scalar_query(self, fitted_components):
+        _, bn_evaluator, n = fitted_components
+        value = bn_evaluator.scalar(
+            ScalarAggregateQuery(predicates=(Predicate("A", Comparison.LE, 1),))
+        )
+        assert 0 < value < n * 1.2
+
+    def test_invalid_population_size_rejected(self, fitted_components):
+        _, bn_evaluator, _ = fitted_components
+        with pytest.raises(QueryError):
+            BayesNetEvaluator(bn_evaluator.network, population_size=0)
+
+
+class TestHybridEvaluator:
+    def test_point_uses_sample_when_tuple_present(self, fitted_components):
+        weighted, bn_evaluator, _ = fitted_components
+        hybrid = HybridEvaluator(weighted, bn_evaluator)
+        sample_answer = ReweightedSampleEvaluator(weighted).point({"A": 0, "B": 0})
+        assert hybrid.point({"A": 0, "B": 0}) == sample_answer
+
+    def test_point_falls_back_to_bn_for_missing_tuple(self, fitted_components):
+        weighted, bn_evaluator, _ = fitted_components
+        hybrid = HybridEvaluator(weighted, bn_evaluator)
+        # Find an assignment absent from the sample (if none exists, fabricate
+        # one by checking the rarest combination).
+        missing = None
+        for a in (2, 1, 0):
+            for b in (2, 1, 0):
+                for c in (1, 0):
+                    if not weighted.contains({"A": a, "B": b, "C": c}):
+                        missing = {"A": a, "B": b, "C": c}
+                        break
+        if missing is None:
+            pytest.skip("sample covers the full domain for this seed")
+        assert hybrid.point(missing) == bn_evaluator.point(missing)
+
+    def test_group_by_union_includes_bn_only_groups(self, fitted_components):
+        weighted, bn_evaluator, _ = fitted_components
+        hybrid = HybridEvaluator(weighted, bn_evaluator)
+        query = GroupByQuery(group_by=("A", "B", "C"))
+        sample_groups = ReweightedSampleEvaluator(weighted).group_by(query).groups()
+        hybrid_groups = hybrid.group_by(query).groups()
+        assert sample_groups <= hybrid_groups
+
+    def test_group_by_prefers_sample_values_for_shared_groups(self, fitted_components):
+        weighted, bn_evaluator, _ = fitted_components
+        hybrid = HybridEvaluator(weighted, bn_evaluator)
+        query = GroupByQuery(group_by=("A",))
+        sample_result = ReweightedSampleEvaluator(weighted).group_by(query)
+        hybrid_result = hybrid.group_by(query)
+        for group in sample_result.groups():
+            assert hybrid_result.value(group) == sample_result.value(group)
+
+    def test_scalar_uses_bn_when_sample_filtered_empty(self, fitted_components):
+        weighted, bn_evaluator, _ = fitted_components
+        hybrid = HybridEvaluator(weighted, bn_evaluator)
+        query = ScalarAggregateQuery(
+            predicates=(Predicate("A", Comparison.EQ, 99),)
+        )
+        assert hybrid.scalar(query) == bn_evaluator.scalar(query)
+
+    def test_hybrid_more_accurate_than_sample_on_missing_tuples(
+        self, fitted_components, correlated_population
+    ):
+        """The hybrid's whole point: missing tuples get non-zero BN answers."""
+        weighted, bn_evaluator, _ = fitted_components
+        hybrid = HybridEvaluator(weighted, bn_evaluator)
+        sample_evaluator = ReweightedSampleEvaluator(weighted)
+        improvements = 0
+        comparisons = 0
+        for a in (0, 1, 2):
+            for b in (0, 1, 2):
+                for c in (0, 1):
+                    assignment = {"A": a, "B": b, "C": c}
+                    if weighted.contains(assignment):
+                        continue
+                    truth = correlated_population.count(assignment)
+                    if truth == 0:
+                        continue
+                    comparisons += 1
+                    hybrid_error = percent_difference(truth, hybrid.point(assignment))
+                    sample_error = percent_difference(
+                        truth, sample_evaluator.point(assignment)
+                    )
+                    if hybrid_error <= sample_error:
+                        improvements += 1
+        if comparisons == 0:
+            pytest.skip("sample covers every populated combination for this seed")
+        assert improvements == comparisons

@@ -1,0 +1,70 @@
+"""Tests for the ``python -m repro.experiments`` command-line runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import (
+    available_experiments,
+    build_parser,
+    main,
+    resolve_scale,
+)
+from repro.experiments.config import PAPER_SCALE, SMALL_SCALE, TINY_SCALE
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_entry(self):
+        names = set(available_experiments())
+        expected = {
+            "table1",
+            "table4",
+            "table6",
+            "table7",
+            "table8",
+            "ablation",
+        } | {f"fig{i}" for i in range(3, 17)}
+        assert expected <= names
+
+    def test_resolve_scale_names(self):
+        assert resolve_scale("tiny") is TINY_SCALE
+        assert resolve_scale("small") is SMALL_SCALE
+        assert resolve_scale("paper") is PAPER_SCALE
+
+    def test_resolve_scale_override(self):
+        scale = resolve_scale("tiny", flights_rows=1234)
+        assert scale.flights_rows == 1234
+        assert scale.n_queries == TINY_SCALE.n_queries
+
+    def test_resolve_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            resolve_scale("huge")
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig3" in output and "table8" in output
+
+    def test_no_arguments_lists_experiments(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_runs_one_experiment(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "table-1" in output and "Motivating example" in output
+
+    def test_runs_ablation(self, capsys):
+        assert main(["ablation", "--scale", "tiny"]) == 0
+        assert "per-factor" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.scale == "small"
+        assert args.experiments == ["fig3"]

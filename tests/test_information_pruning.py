@@ -1,0 +1,175 @@
+"""Tests for information-theoretic utilities and aggregate pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import (
+    AggregateQuery,
+    AggregateSet,
+    RandomAggregateSelector,
+    TCherryAggregateSelector,
+    TopScoreAggregateSelector,
+    aggregates_from_population,
+    candidate_attribute_sets,
+    cluster_separator_score,
+    entropy_of_aggregate,
+    entropy_of_distribution,
+    entropy_of_relation,
+    information_content_of_aggregate,
+    information_content_of_relation,
+    kl_divergence,
+    mutual_information_of_aggregate,
+    prune_aggregates,
+)
+from repro.exceptions import AggregateError
+from repro.schema import Attribute, Domain, Relation, Schema
+
+
+def _independent_aggregate() -> AggregateQuery:
+    """A 2D aggregate whose attributes are exactly independent."""
+    groups = {}
+    for a in ("x", "y"):
+        for b in ("p", "q"):
+            groups[(a, b)] = 25.0
+    return AggregateQuery(("a", "b"), groups)
+
+
+def _dependent_aggregate() -> AggregateQuery:
+    """A 2D aggregate with perfectly dependent attributes."""
+    return AggregateQuery(("a", "b"), {("x", "p"): 50.0, ("y", "q"): 50.0})
+
+
+class TestEntropy:
+    def test_uniform_entropy(self):
+        assert entropy_of_distribution({"a": 0.5, "b": 0.5}) == pytest.approx(np.log(2))
+
+    def test_degenerate_entropy_is_zero(self):
+        assert entropy_of_distribution({"a": 1.0, "b": 0.0}) == 0.0
+
+    def test_empty_distribution(self):
+        assert entropy_of_distribution({}) == 0.0
+
+    def test_entropy_of_aggregate_marginalizes(self, paper_population):
+        gamma2 = AggregateQuery.from_relation(paper_population, ["o_st", "d_st"])
+        h_origin = entropy_of_aggregate(gamma2, ["o_st"])
+        assert 0 < h_origin <= np.log(3) + 1e-9
+
+    def test_entropy_of_relation_matches_aggregate(self, paper_population):
+        gamma = AggregateQuery.from_relation(paper_population, ["date"])
+        assert entropy_of_relation(paper_population, ["date"]) == pytest.approx(
+            entropy_of_aggregate(gamma)
+        )
+
+
+class TestInformationContent:
+    def test_independent_attributes_have_zero_information(self):
+        assert information_content_of_aggregate(_independent_aggregate()) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_dependent_attributes_have_positive_information(self):
+        assert information_content_of_aggregate(_dependent_aggregate()) > 0.5
+
+    def test_mutual_information_requires_two_dimensions(self, paper_population):
+        gamma1 = AggregateQuery.from_relation(paper_population, ["date"])
+        with pytest.raises(AggregateError):
+            mutual_information_of_aggregate(gamma1)
+
+    def test_relation_information_content_non_negative(self, correlated_population):
+        value = information_content_of_relation(correlated_population, ["A", "B"])
+        assert value >= 0.0
+
+    def test_cluster_separator_score_requires_subset(self):
+        aggregate = _dependent_aggregate()
+        with pytest.raises(AggregateError):
+            cluster_separator_score(aggregate, ("missing",))
+
+    def test_cluster_separator_score_single_separator(self):
+        aggregate = _dependent_aggregate()
+        score = cluster_separator_score(aggregate, ("a",))
+        assert score == pytest.approx(information_content_of_aggregate(aggregate))
+
+
+class TestKLDivergence:
+    def test_identical_distributions(self):
+        p = {"a": 0.3, "b": 0.7}
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_divergence_positive_for_different_distributions(self):
+        assert kl_divergence({"a": 0.9, "b": 0.1}, {"a": 0.1, "b": 0.9}) > 0.0
+
+    def test_missing_support_stays_finite(self):
+        assert np.isfinite(kl_divergence({"a": 1.0}, {"b": 1.0}))
+
+
+class TestPruning:
+    @pytest.fixture
+    def candidates(self, correlated_population) -> AggregateSet:
+        sets = candidate_attribute_sets(["A", "B", "C"], 2)
+        return aggregates_from_population(correlated_population, sets)
+
+    def test_candidate_attribute_sets(self):
+        assert candidate_attribute_sets(["a", "b", "c"], 2) == [
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "c"),
+        ]
+        assert candidate_attribute_sets(["a"], 2) == []
+
+    def test_tcherry_respects_budget(self, candidates):
+        selected = TCherryAggregateSelector().select(candidates, 2)
+        assert len(selected) == 2
+
+    def test_tcherry_prefers_informative_clusters(self, candidates):
+        """The most correlated pair (A, B) should be chosen first."""
+        selected = TCherryAggregateSelector().select(candidates, 1)
+        assert set(selected[0].attributes) in ({"A", "B"}, {"B", "C"})
+
+    def test_tcherry_zero_budget(self, candidates):
+        assert len(TCherryAggregateSelector().select(candidates, 0)) == 0
+
+    def test_tcherry_budget_larger_than_candidates(self, candidates):
+        selected = TCherryAggregateSelector().select(candidates, 10)
+        assert len(selected) == len(candidates)
+
+    def test_random_selector_is_seeded(self, candidates):
+        first = RandomAggregateSelector(seed=3).select(candidates, 2)
+        second = RandomAggregateSelector(seed=3).select(candidates, 2)
+        assert [a.attributes for a in first] == [a.attributes for a in second]
+
+    def test_top_score_selector(self, candidates):
+        selected = TopScoreAggregateSelector().select(candidates, 1)
+        assert len(selected) == 1
+
+    def test_prune_aggregates_dispatch(self, candidates):
+        assert len(prune_aggregates(candidates, 2, method="t-cherry")) == 2
+        assert len(prune_aggregates(candidates, 2, method="random", seed=1)) == 2
+        assert len(prune_aggregates(candidates, 2, method="top-score")) == 2
+
+    def test_prune_aggregates_unknown_method(self, candidates):
+        with pytest.raises(AggregateError):
+            prune_aggregates(candidates, 2, method="bogus")
+
+    def test_negative_budget_rejected(self, candidates):
+        with pytest.raises(AggregateError):
+            prune_aggregates(candidates, -1)
+
+    def test_no_duplicate_clusters_selected(self, candidates):
+        selected = TCherryAggregateSelector().select(candidates, 3)
+        clusters = [frozenset(a.attributes) for a in selected]
+        assert len(clusters) == len(set(clusters))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    probabilities=st.lists(st.floats(0.01, 1.0), min_size=2, max_size=8),
+)
+def test_entropy_bounds(probabilities):
+    """Property: 0 <= H(p) <= log(k)."""
+    distribution = {i: p for i, p in enumerate(probabilities)}
+    entropy = entropy_of_distribution(distribution)
+    assert 0.0 <= entropy <= np.log(len(probabilities)) + 1e-9

@@ -1,0 +1,113 @@
+"""Tests for the percent-difference error metrics (Sec. 6.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    MAX_PERCENT_DIFFERENCE,
+    ErrorSummary,
+    average_group_by_error,
+    group_by_percent_differences,
+    percent_difference,
+    percent_differences,
+    percent_improvement,
+)
+
+
+class TestPercentDifference:
+    def test_exact_match_is_zero(self):
+        assert percent_difference(10, 10) == 0.0
+
+    def test_both_zero_is_zero(self):
+        assert percent_difference(0, 0) == 0.0
+
+    def test_missing_value_is_maximum(self):
+        assert percent_difference(10, 0) == MAX_PERCENT_DIFFERENCE
+        assert percent_difference(0, 10) == MAX_PERCENT_DIFFERENCE
+
+    def test_symmetry(self):
+        assert percent_difference(5, 15) == percent_difference(15, 5)
+
+    def test_known_value(self):
+        # 2 * |100 - 50| / 150 = 0.666... -> 66.7 on the 0-200 scale.
+        assert percent_difference(100, 50) == pytest.approx(200 / 3)
+
+    def test_vectorized_matches_scalar(self):
+        values = percent_differences([1, 2, 3], [1, 4, 0])
+        assert values[0] == 0.0
+        assert values[2] == MAX_PERCENT_DIFFERENCE
+
+    def test_vectorized_length_mismatch(self):
+        with pytest.raises(ValueError):
+            percent_differences([1], [1, 2])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        true=st.floats(0, 1e9, allow_nan=False),
+        estimate=st.floats(0, 1e9, allow_nan=False),
+    )
+    def test_bounds_property(self, true, estimate):
+        value = percent_difference(true, estimate)
+        assert 0.0 <= value <= MAX_PERCENT_DIFFERENCE
+
+
+class TestGroupByErrors:
+    def test_missed_and_phantom_groups_get_maximum(self):
+        truth = {("a",): 10.0, ("b",): 5.0}
+        estimate = {("a",): 10.0, ("c",): 3.0}
+        errors = group_by_percent_differences(truth, estimate)
+        assert errors[("a",)] == 0.0
+        assert errors[("b",)] == MAX_PERCENT_DIFFERENCE  # missed
+        assert errors[("c",)] == MAX_PERCENT_DIFFERENCE  # phantom
+
+    def test_average_group_by_error(self):
+        truth = {("a",): 10.0}
+        estimate = {("a",): 10.0, ("b",): 1.0}
+        assert average_group_by_error(truth, estimate) == 100.0
+
+    def test_empty_results(self):
+        assert average_group_by_error({}, {}) == 0.0
+
+
+class TestErrorSummary:
+    def test_summary_statistics(self):
+        summary = ErrorSummary.from_errors([0, 50, 100, 150, 200])
+        assert summary.n == 5
+        assert summary.median == 100
+        assert summary.mean == 100
+        assert summary.maximum == 200
+        assert summary.p25 == 50
+        assert summary.p75 == 150
+
+    def test_empty_summary(self):
+        summary = ErrorSummary.from_errors([])
+        assert summary.n == 0
+        assert summary.mean == 0.0
+
+    def test_as_dict(self):
+        assert set(ErrorSummary.from_errors([1.0]).as_dict()) == {
+            "n",
+            "mean",
+            "median",
+            "p25",
+            "p75",
+            "max",
+        }
+
+
+class TestPercentImprovement:
+    def test_improvement(self):
+        assert percent_improvement(20, 10) == pytest.approx(100.0)
+
+    def test_zero_improved_error_is_infinite(self):
+        assert percent_improvement(10, 0) == float("inf")
+
+    def test_both_zero(self):
+        assert percent_improvement(0, 0) == 0.0
+
+    def test_regression_is_negative(self):
+        assert percent_improvement(10, 20) == pytest.approx(-50.0)

@@ -1,0 +1,155 @@
+"""Tests for the query AST, predicates, and workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    HitterKind,
+    JoinGroupByQuery,
+    PointQuery,
+    PointQueryWorkload,
+    Predicate,
+    ScalarAggregateQuery,
+)
+from repro.schema import Attribute, Domain, Relation, Schema
+
+
+@pytest.fixture
+def relation() -> Relation:
+    schema = Schema(
+        [Attribute("state", ["CA", "NY", "WA"]), Attribute("minutes", [10, 30, 60, 120])]
+    )
+    rows = [
+        ("CA", 10),
+        ("CA", 30),
+        ("CA", 120),
+        ("NY", 60),
+        ("NY", 10),
+        ("WA", 30),
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+class TestPredicate:
+    def test_equality_mask(self, relation):
+        mask = Predicate("state", Comparison.EQ, "CA").mask(relation)
+        assert mask.sum() == 3
+
+    def test_inequality_mask(self, relation):
+        mask = Predicate("state", Comparison.NE, "CA").mask(relation)
+        assert mask.sum() == 3
+
+    def test_ordered_masks_use_domain_order(self, relation):
+        assert Predicate("minutes", Comparison.LE, 30).mask(relation).sum() == 4
+        assert Predicate("minutes", Comparison.LT, 30).mask(relation).sum() == 2
+        assert Predicate("minutes", Comparison.GT, 60).mask(relation).sum() == 1
+        assert Predicate("minutes", Comparison.GE, 60).mask(relation).sum() == 2
+
+    def test_in_mask(self, relation):
+        mask = Predicate("state", Comparison.IN, ("NY", "WA")).mask(relation)
+        assert mask.sum() == 3
+
+    def test_unknown_value_equality_matches_nothing(self, relation):
+        assert Predicate("state", Comparison.EQ, "TX").mask(relation).sum() == 0
+
+    def test_unknown_attribute_rejected(self, relation):
+        with pytest.raises(QueryError):
+            Predicate("bogus", Comparison.EQ, 1).mask(relation)
+
+    def test_matches_record(self):
+        predicate = Predicate("x", Comparison.LT, 10)
+        assert predicate.matches({"x": 5})
+        assert not predicate.matches({"x": 20})
+        assert not predicate.matches({"y": 5})
+
+
+class TestQueryTypes:
+    def test_point_query_normalizes_order(self):
+        first = PointQuery({"b": 1, "a": 2})
+        second = PointQuery({"a": 2, "b": 1})
+        assert first == second
+        assert first.attributes == ("a", "b")
+        assert first.dimension == 2
+
+    def test_group_by_requires_attributes(self):
+        with pytest.raises(QueryError):
+            GroupByQuery(group_by=())
+
+    def test_group_by_attribute_collection(self):
+        query = GroupByQuery(
+            group_by=("a",),
+            aggregate=AggregateSpec(AggregateFunction.AVG, "b"),
+            predicates=(Predicate("c", Comparison.EQ, 1),),
+        )
+        assert query.attributes == ("a", "b", "c")
+
+    def test_aggregate_spec_requires_attribute_for_avg(self):
+        with pytest.raises(QueryError):
+            AggregateSpec(AggregateFunction.AVG)
+
+    def test_aggregate_spec_label(self):
+        assert AggregateSpec(AggregateFunction.COUNT).label == "count(*)"
+        assert AggregateSpec(AggregateFunction.SUM, "x").label == "sum(x)"
+
+    def test_scalar_query_equality_assignment(self):
+        query = ScalarAggregateQuery(
+            predicates=(
+                Predicate("a", Comparison.EQ, 1),
+                Predicate("b", Comparison.EQ, 2),
+            )
+        )
+        assert query.equality_assignment() == {"a": 1, "b": 2}
+        ranged = ScalarAggregateQuery(predicates=(Predicate("a", Comparison.LT, 1),))
+        assert ranged.equality_assignment() is None
+
+    def test_join_query_fields(self):
+        query = JoinGroupByQuery(
+            left_join="dest", right_join="origin", left_group="origin", right_group="dest"
+        )
+        assert query.aggregate.function is AggregateFunction.COUNT
+
+
+class TestWorkload:
+    def test_heavy_hitters_have_larger_counts_than_light(self, relation):
+        generator = PointQueryWorkload(relation, seed=0)
+        heavy = generator.generate(["state"], HitterKind.HEAVY, 10)
+        light = generator.generate(["state"], HitterKind.LIGHT, 10)
+        assert min(item.true_value for item in heavy) >= max(
+            item.true_value for item in light
+        )
+
+    def test_true_values_match_population(self, relation):
+        generator = PointQueryWorkload(relation, seed=1)
+        for item in generator.generate(["state", "minutes"], "random", 20):
+            assert item.true_value == relation.count(item.query.as_dict())
+
+    def test_generate_over_attribute_sets(self, relation):
+        generator = PointQueryWorkload(relation, seed=2)
+        workload = generator.generate_over_attribute_sets(
+            [("state",), ("minutes",)], "random", 5
+        )
+        assert len(workload) == 10
+
+    def test_random_attribute_sets_sizes(self, relation):
+        generator = PointQueryWorkload(relation, seed=3)
+        sets = generator.random_attribute_sets([1, 2], n_sets=4)
+        assert len(sets) == 4
+        assert all(1 <= len(attributes) <= 2 for attributes in sets)
+
+    def test_deterministic_with_seed(self, relation):
+        first = PointQueryWorkload(relation, seed=5).generate(["state"], "random", 5)
+        second = PointQueryWorkload(relation, seed=5).generate(["state"], "random", 5)
+        assert [item.query for item in first] == [item.query for item in second]
+
+    def test_invalid_inputs_rejected(self, relation):
+        generator = PointQueryWorkload(relation, seed=0)
+        with pytest.raises(QueryError):
+            generator.generate([], "random", 5)
+        with pytest.raises(QueryError):
+            generator.generate(["state"], "random", 0)

@@ -1,0 +1,219 @@
+"""Tests for the sample reweighting techniques (Sec. 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import AggregateQuery, AggregateSet, IncidenceSystem
+from repro.exceptions import ReweightingError
+from repro.reweighting import (
+    HorvitzThompsonReweighter,
+    IPFReweighter,
+    LinearRegressionReweighter,
+    UniformReweighter,
+)
+from repro.schema import Attribute, Domain, Relation, Schema
+
+
+class TestUniformReweighter:
+    def test_weights_are_population_over_sample(self, paper_sample, paper_aggregates):
+        result = UniformReweighter().fit(paper_sample, paper_aggregates)
+        assert np.allclose(result.weights, 10.0 / 4.0)
+        assert result.converged
+
+    def test_explicit_population_size(self, paper_sample):
+        result = UniformReweighter(population_size=100).fit(paper_sample, AggregateSet())
+        assert np.allclose(result.weights, 25.0)
+
+    def test_missing_population_size_rejected(self, paper_sample):
+        with pytest.raises(ReweightingError):
+            UniformReweighter().fit(paper_sample, AggregateSet())
+
+    def test_empty_sample_rejected(self, paper_schema, paper_aggregates):
+        empty = Relation.empty(paper_schema)
+        with pytest.raises(ReweightingError):
+            UniformReweighter().fit(empty, paper_aggregates)
+
+    def test_apply_attaches_weights(self, paper_sample, paper_aggregates):
+        weighted = UniformReweighter().reweight(paper_sample, paper_aggregates)
+        assert weighted.has_weights
+        assert weighted.total_weight() == pytest.approx(10.0)
+
+
+class TestHorvitzThompson:
+    def test_inverse_probability_weights(self, paper_sample, paper_aggregates):
+        probabilities = [0.5, 0.5, 0.25, 0.1]
+        result = HorvitzThompsonReweighter(probabilities).fit(
+            paper_sample, paper_aggregates
+        )
+        assert np.allclose(result.weights, [2.0, 2.0, 4.0, 10.0])
+
+    def test_normalization(self, paper_sample, paper_aggregates):
+        result = HorvitzThompsonReweighter([0.5] * 4, normalize_to=10.0).fit(
+            paper_sample, paper_aggregates
+        )
+        assert result.total_weight == pytest.approx(10.0)
+
+    def test_mapping_probabilities(self, paper_sample, paper_aggregates):
+        probabilities = {row: 0.4 for row in paper_sample.iter_rows()}
+        result = HorvitzThompsonReweighter(probabilities).fit(
+            paper_sample, paper_aggregates
+        )
+        assert np.allclose(result.weights, 2.5)
+
+    def test_callable_probabilities(self, paper_sample, paper_aggregates):
+        result = HorvitzThompsonReweighter(lambda row: 0.2).fit(
+            paper_sample, paper_aggregates
+        )
+        assert np.allclose(result.weights, 5.0)
+
+    def test_invalid_probability_rejected(self, paper_sample, paper_aggregates):
+        with pytest.raises(ReweightingError):
+            HorvitzThompsonReweighter([0.0, 0.5, 0.5, 0.5]).fit(
+                paper_sample, paper_aggregates
+            )
+
+    def test_wrong_length_rejected(self, paper_sample, paper_aggregates):
+        with pytest.raises(ReweightingError):
+            HorvitzThompsonReweighter([0.5, 0.5]).fit(paper_sample, paper_aggregates)
+
+
+class TestLinearRegression:
+    def test_weights_sum_to_population_size(self, paper_sample, paper_aggregates):
+        result = LinearRegressionReweighter().fit(paper_sample, paper_aggregates)
+        assert result.total_weight == pytest.approx(10.0)
+
+    def test_weights_strictly_positive(self, paper_sample, paper_aggregates):
+        result = LinearRegressionReweighter().fit(paper_sample, paper_aggregates)
+        assert np.all(result.weights > 0)
+
+    def test_requires_aggregates(self, paper_sample):
+        with pytest.raises(ReweightingError):
+            LinearRegressionReweighter(population_size=10).fit(
+                paper_sample, AggregateSet()
+            )
+
+    def test_dropped_constraints_recorded(self, paper_sample, paper_aggregates):
+        result = LinearRegressionReweighter().fit(paper_sample, paper_aggregates)
+        # Four (o_st, d_st) groups are missing from the sample.
+        assert result.diagnostics["dropped_constraints"] == 4
+
+    def test_uniform_recovery_on_unbiased_data(self, correlated_population):
+        """On the full population with exact aggregates, weights are ~1."""
+        aggregates = AggregateSet(
+            [AggregateQuery.from_relation(correlated_population, ["A"])]
+        )
+        result = LinearRegressionReweighter().fit(correlated_population, aggregates)
+        assert result.total_weight == pytest.approx(correlated_population.n_rows)
+        assert result.weights.std() < 0.5
+
+    def test_corrects_known_bias(self, correlated_population, biased_correlated_sample,
+                                 correlated_aggregates):
+        """Weighted marginal of the biased attribute approaches the truth."""
+        result = LinearRegressionReweighter().fit(
+            biased_correlated_sample, correlated_aggregates
+        )
+        weighted = result.apply(biased_correlated_sample)
+        estimated = weighted.value_counts(["A"], weighted=True)
+        truth = correlated_population.value_counts(["A"])
+        for key, true_count in truth.items():
+            assert estimated.get(key, 0.0) == pytest.approx(true_count, rel=0.35)
+
+
+class TestIPF:
+    def test_paper_example_first_iteration(self, paper_sample, paper_aggregates):
+        """After one sweep the weights match Example 4.2's last column."""
+        result = IPFReweighter(max_iterations=1).fit(paper_sample, paper_aggregates)
+        assert np.allclose(result.weights, [1.0, 1.0, 3.0, 1.0])
+        assert not result.converged
+
+    def test_non_convergence_reported_for_missing_support(
+        self, paper_sample, paper_aggregates
+    ):
+        result = IPFReweighter(max_iterations=20).fit(paper_sample, paper_aggregates)
+        assert not result.converged
+        assert result.max_violation > 0
+
+    def test_convergence_on_consistent_system(self, correlated_population):
+        aggregates = AggregateSet(
+            [
+                AggregateQuery.from_relation(correlated_population, ["A"]),
+                AggregateQuery.from_relation(correlated_population, ["B"]),
+            ]
+        )
+        result = IPFReweighter(max_iterations=50).fit(correlated_population, aggregates)
+        assert result.converged
+        assert result.max_violation < 1e-5
+
+    def test_constraints_satisfied_after_fit(
+        self, correlated_population, biased_correlated_sample, correlated_aggregates
+    ):
+        result = IPFReweighter(max_iterations=100).fit(
+            biased_correlated_sample, correlated_aggregates
+        )
+        system = IncidenceSystem(biased_correlated_sample, correlated_aggregates)
+        assert system.max_relative_violation(result.weights) < 0.05
+
+    def test_corrects_known_bias_better_than_uniform(
+        self, correlated_population, biased_correlated_sample, correlated_aggregates
+    ):
+        ipf = IPFReweighter(max_iterations=100).reweight(
+            biased_correlated_sample, correlated_aggregates
+        )
+        uniform = UniformReweighter().reweight(
+            biased_correlated_sample, correlated_aggregates
+        )
+        truth = correlated_population.value_counts(["A", "B"])
+
+        def total_error(weighted):
+            estimated = weighted.value_counts(["A", "B"], weighted=True)
+            return sum(
+                abs(estimated.get(key, 0.0) - value) for key, value in truth.items()
+            )
+
+        assert total_error(ipf) < total_error(uniform)
+
+    def test_normalize_population_size(self, paper_sample, paper_aggregates):
+        result = IPFReweighter(
+            max_iterations=5, normalize_population_size=True
+        ).fit(paper_sample, paper_aggregates)
+        assert result.total_weight == pytest.approx(10.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReweightingError):
+            IPFReweighter(max_iterations=0)
+        with pytest.raises(ReweightingError):
+            IPFReweighter(tolerance=-1.0)
+        with pytest.raises(ReweightingError):
+            IPFReweighter(initial_weight=0.0)
+
+    def test_requires_aggregates(self, paper_sample):
+        with pytest.raises(ReweightingError):
+            IPFReweighter().fit(paper_sample, AggregateSet())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_ipf_weights_always_non_negative(seed):
+    """Property: IPF never produces negative weights on random data."""
+    rng = np.random.default_rng(seed)
+    schema = Schema([Attribute("a", [0, 1, 2]), Attribute("b", [0, 1])])
+    population = Relation(
+        schema,
+        {
+            "a": rng.integers(0, 3, size=200),
+            "b": rng.integers(0, 2, size=200),
+        },
+    )
+    sample = population.take(rng.choice(200, size=40, replace=False))
+    aggregates = AggregateSet(
+        [
+            AggregateQuery.from_relation(population, ["a"]),
+            AggregateQuery.from_relation(population, ["b"]),
+        ]
+    )
+    result = IPFReweighter(max_iterations=30).fit(sample, aggregates)
+    assert np.all(result.weights >= 0)

@@ -1,0 +1,120 @@
+"""Tests for domains, attributes, and schemas."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DomainError, SchemaError, UnknownAttributeError
+from repro.schema import Attribute, Domain, Schema
+
+
+class TestDomain:
+    def test_encode_decode_roundtrip(self):
+        domain = Domain(["a", "b", "c"])
+        for value in domain.values:
+            assert domain.decode(domain.encode(value)) == value
+
+    def test_encode_unknown_value_raises(self):
+        domain = Domain(["a", "b"])
+        with pytest.raises(DomainError):
+            domain.encode("z")
+
+    def test_decode_out_of_range_raises(self):
+        domain = Domain(["a", "b"])
+        with pytest.raises(DomainError):
+            domain.decode(5)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(DomainError):
+            Domain(["a", "a"])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DomainError):
+            Domain([])
+
+    def test_code_of_returns_default_for_unknown(self):
+        domain = Domain(["a"])
+        assert domain.code_of("missing") is None
+        assert domain.code_of("missing", -1) == -1
+
+    def test_from_values_sorts_and_dedupes(self):
+        domain = Domain.from_values([3, 1, 2, 1, 3])
+        assert domain.values == (1, 2, 3)
+
+    def test_from_values_keeps_insertion_order_when_unsortable(self):
+        domain = Domain.from_values(["b", 1, "a"])
+        assert set(domain.values) == {"b", 1, "a"}
+
+    def test_contains_and_len(self):
+        domain = Domain(range(5))
+        assert 3 in domain
+        assert 9 not in domain
+        assert len(domain) == 5
+
+    def test_equality_and_hash(self):
+        assert Domain([1, 2]) == Domain([1, 2])
+        assert Domain([1, 2]) != Domain([2, 1])
+        assert hash(Domain([1, 2])) == hash(Domain([1, 2]))
+
+    def test_encode_many(self):
+        domain = Domain(["x", "y"])
+        codes = domain.encode_many(["y", "x", "y"])
+        assert codes.tolist() == [1, 0, 1]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=30, unique=True))
+    def test_encode_decode_property(self, values):
+        domain = Domain(values)
+        assert domain.decode_many(domain.encode_many(values)) == list(values)
+
+
+class TestAttribute:
+    def test_size_matches_domain(self):
+        attribute = Attribute("month", Domain(range(1, 13)))
+        assert attribute.size == 12
+
+    def test_accepts_iterable_domain(self):
+        attribute = Attribute("flag", [True, False])
+        assert attribute.size == 2
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", Domain([1]))
+
+    def test_equality(self):
+        assert Attribute("a", [1, 2]) == Attribute("a", [1, 2])
+        assert Attribute("a", [1, 2]) != Attribute("b", [1, 2])
+
+
+class TestSchema:
+    def test_lookup_by_name(self):
+        schema = Schema([Attribute("x", [1]), Attribute("y", [1, 2])])
+        assert schema["y"].size == 2
+        assert schema.names == ("x", "y")
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema([Attribute("x", [1])])
+        with pytest.raises(UnknownAttributeError):
+            schema["missing"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("x", [1]), Attribute("x", [2])])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_project_preserves_order(self):
+        schema = Schema([Attribute("a", [1]), Attribute("b", [1]), Attribute("c", [1])])
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_index_of(self):
+        schema = Schema([Attribute("a", [1]), Attribute("b", [1])])
+        assert schema.index_of("b") == 1
+
+    def test_domain_sizes(self):
+        schema = Schema([Attribute("a", [1, 2]), Attribute("b", [1, 2, 3])])
+        assert schema.domain_sizes() == {"a": 2, "b": 3}

@@ -1,0 +1,122 @@
+"""Tests for one-hot encoding and equi-width bucketization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SchemaError
+from repro.schema import (
+    Attribute,
+    Domain,
+    EquiWidthBucketizer,
+    OneHotEncoder,
+    Relation,
+    Schema,
+    bucketize_column,
+)
+
+
+@pytest.fixture
+def relation() -> Relation:
+    schema = Schema([Attribute("a", ["x", "y"]), Attribute("b", [0, 1, 2])])
+    rows = [("x", 0), ("y", 2), ("x", 1)]
+    return Relation.from_rows(schema, rows)
+
+
+class TestOneHotEncoder:
+    def test_matrix_shape_includes_intercept(self, relation):
+        encoder = OneHotEncoder(relation)
+        # 1 intercept + 2 (a) + 3 (b) columns.
+        assert encoder.matrix().shape == (3, 6)
+
+    def test_each_row_has_one_indicator_per_attribute(self, relation):
+        matrix = OneHotEncoder(relation).matrix()
+        # intercept + exactly one indicator per encoded attribute.
+        assert np.all(matrix.sum(axis=1) == 3)
+
+    def test_without_intercept(self, relation):
+        encoder = OneHotEncoder(relation, add_intercept=False)
+        assert encoder.matrix().shape == (3, 5)
+
+    def test_column_index_lookup(self, relation):
+        encoder = OneHotEncoder(relation)
+        matrix = encoder.matrix()
+        index = encoder.column_index("b", 2)
+        assert matrix[1, index] == 1.0
+        assert matrix[0, index] == 0.0
+
+    def test_subset_of_attributes(self, relation):
+        encoder = OneHotEncoder(relation, attributes=["b"])
+        assert encoder.matrix().shape == (3, 4)
+
+    def test_unknown_attribute_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            OneHotEncoder(relation, attributes=["missing"])
+
+    def test_encode_assignment(self, relation):
+        encoder = OneHotEncoder(relation)
+        row = encoder.encode_assignment({"a": "y"})
+        assert row[0] == 1.0  # intercept
+        assert row[encoder.column_index("a", "y")] == 1.0
+        assert row.sum() == 2.0
+
+    def test_paper_example_matrix(self, paper_sample):
+        """The one-hot matrix of Example 4.1 has 1 + 2 + 3 + 3 columns."""
+        encoder = OneHotEncoder(paper_sample)
+        matrix = encoder.matrix()
+        assert matrix.shape == (4, 9)
+        assert np.all(matrix[:, 0] == 1.0)
+
+
+class TestBucketizer:
+    def test_codes_cover_all_buckets(self):
+        bucketizer = EquiWidthBucketizer(4)
+        codes = bucketizer.fit_transform(np.linspace(0, 10, 100))
+        assert set(codes.tolist()) == {0, 1, 2, 3}
+
+    def test_max_value_lands_in_last_bucket(self):
+        bucketizer = EquiWidthBucketizer(5)
+        codes = bucketizer.fit_transform([0, 1, 2, 3, 10])
+        assert codes[-1] == 4
+
+    def test_explicit_range(self):
+        bucketizer = EquiWidthBucketizer(2, low=0.0, high=10.0)
+        bucketizer.fit([])
+        assert bucketizer.transform([1.0, 9.0]).tolist() == [0, 1]
+
+    def test_constant_column(self):
+        codes, _ = bucketize_column([5.0, 5.0, 5.0], 3)
+        assert set(codes.tolist()) == {0}
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(SchemaError):
+            EquiWidthBucketizer(0)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(SchemaError):
+            EquiWidthBucketizer(3).transform([1.0])
+
+    def test_buckets_metadata(self):
+        bucketizer = EquiWidthBucketizer(2, low=0.0, high=4.0)
+        bucketizer.fit([])
+        buckets = bucketizer.buckets()
+        assert buckets[0].low == 0.0 and buckets[1].high == 4.0
+        assert buckets[0].midpoint() == 1.0
+
+    def test_to_attribute(self):
+        bucketizer = EquiWidthBucketizer(3, low=0, high=1)
+        attribute = bucketizer.to_attribute("x")
+        assert attribute.size == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50),
+        n_buckets=st.integers(1, 10),
+    )
+    def test_codes_always_in_range(self, values, n_buckets):
+        codes, _ = bucketize_column(values, n_buckets)
+        assert codes.min() >= 0
+        assert codes.max() < n_buckets

@@ -1,0 +1,212 @@
+"""Tests for the weighted query engine and the in-memory database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    JoinGroupByQuery,
+    PointQuery,
+    Predicate,
+    ScalarAggregateQuery,
+)
+from repro.schema import Attribute, Domain, Relation, Schema
+from repro.sql import Database, WeightedQueryEngine, answer_point_query
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            Attribute("origin", ["CA", "NY", "WA"]),
+            Attribute("dest", ["CA", "NY", "WA"]),
+            Attribute("minutes", [30, 60, 120]),
+        ]
+    )
+
+
+@pytest.fixture
+def flights(schema) -> Relation:
+    rows = [
+        ("CA", "NY", 120),
+        ("CA", "WA", 60),
+        ("CA", "CA", 30),
+        ("NY", "CA", 120),
+        ("NY", "NY", 30),
+        ("WA", "CA", 60),
+    ]
+    return Relation.from_rows(schema, rows, weights=[2, 2, 1, 1, 3, 1])
+
+
+class TestPointQueries:
+    def test_point_sums_weights(self, flights):
+        engine = WeightedQueryEngine(flights)
+        assert engine.point({"origin": "CA"}) == 5.0
+        assert engine.point({"origin": "CA", "dest": "NY"}) == 2.0
+
+    def test_point_missing_tuple_is_zero(self, flights):
+        assert WeightedQueryEngine(flights).point({"origin": "WA", "dest": "NY"}) == 0.0
+
+    def test_point_requires_assignment(self, flights):
+        with pytest.raises(QueryError):
+            WeightedQueryEngine(flights).point({})
+
+    def test_answer_point_query_helper(self, flights):
+        assert answer_point_query(flights, {"dest": "CA"}) == 3.0
+
+    def test_execute_dispatch_point(self, flights):
+        engine = WeightedQueryEngine(flights)
+        assert engine.execute(PointQuery({"origin": "NY"})) == 4.0
+
+
+class TestScalarQueries:
+    def test_count_with_range_filter(self, flights):
+        query = ScalarAggregateQuery(
+            predicates=(Predicate("minutes", Comparison.LE, 60),)
+        )
+        assert WeightedQueryEngine(flights).scalar(query) == 7.0
+
+    def test_weighted_average(self, flights):
+        query = ScalarAggregateQuery(
+            aggregate=AggregateSpec(AggregateFunction.AVG, "minutes"),
+            predicates=(Predicate("origin", Comparison.EQ, "CA"),),
+        )
+        expected = (2 * 120 + 2 * 60 + 1 * 30) / 5
+        assert WeightedQueryEngine(flights).scalar(query) == pytest.approx(expected)
+
+    def test_sum_aggregate(self, flights):
+        query = ScalarAggregateQuery(
+            aggregate=AggregateSpec(AggregateFunction.SUM, "minutes")
+        )
+        expected = 2 * 120 + 2 * 60 + 30 + 120 + 3 * 30 + 60
+        assert WeightedQueryEngine(flights).scalar(query) == expected
+
+    def test_empty_filter_result(self, flights):
+        query = ScalarAggregateQuery(
+            aggregate=AggregateSpec(AggregateFunction.AVG, "minutes"),
+            predicates=(Predicate("origin", Comparison.EQ, "TX"),),
+        )
+        assert WeightedQueryEngine(flights).scalar(query) == 0.0
+
+
+class TestGroupByQueries:
+    def test_weighted_counts_per_group(self, flights):
+        query = GroupByQuery(group_by=("origin",))
+        result = WeightedQueryEngine(flights).group_by(query)
+        assert result.value(("CA",)) == 5.0
+        assert result.value(("NY",)) == 4.0
+        assert result.value(("WA",)) == 1.0
+
+    def test_average_per_group_with_filter(self, flights):
+        query = GroupByQuery(
+            group_by=("origin",),
+            aggregate=AggregateSpec(AggregateFunction.AVG, "minutes"),
+            predicates=(Predicate("dest", Comparison.EQ, "CA"),),
+        )
+        result = WeightedQueryEngine(flights).group_by(query)
+        assert result.value(("CA",)) == 30.0
+        assert result.value(("NY",)) == 120.0
+        assert ("WA",) in result
+
+    def test_groups_with_zero_weight_dropped(self, schema):
+        relation = Relation.from_rows(
+            schema, [("CA", "NY", 30), ("NY", "CA", 60)], weights=[0.0, 1.0]
+        )
+        result = WeightedQueryEngine(relation).group_by(GroupByQuery(group_by=("origin",)))
+        assert ("CA",) not in result
+        assert result.value(("NY",)) == 1.0
+
+    def test_empty_relation(self, schema):
+        result = WeightedQueryEngine(Relation.empty(schema)).group_by(
+            GroupByQuery(group_by=("origin",))
+        )
+        assert len(result) == 0
+
+    def test_result_helpers(self, flights):
+        result = WeightedQueryEngine(flights).group_by(GroupByQuery(group_by=("dest",)))
+        assert result.groups() == {("CA",), ("NY",), ("WA",)}
+        assert result.value(("XX",), default=-1.0) == -1.0
+        assert len(result.as_dict()) == 3
+
+    def test_non_numeric_average_rejected(self, flights):
+        query = GroupByQuery(
+            group_by=("minutes",),
+            aggregate=AggregateSpec(AggregateFunction.AVG, "origin"),
+        )
+        with pytest.raises(QueryError):
+            WeightedQueryEngine(flights).group_by(query)
+
+
+class TestJoinQueries:
+    def test_self_join_counts_weighted_pairs(self, flights):
+        query = JoinGroupByQuery(
+            left_join="dest",
+            right_join="origin",
+            left_group="origin",
+            right_group="dest",
+            left_predicates=(Predicate("dest", Comparison.IN, ("CA",)),),
+        )
+        result = WeightedQueryEngine(flights).join_group_by(query)
+        # Left tuples with dest=CA: CA->CA (w=1), NY->CA (w=1), WA->CA (w=1).
+        # They join with right tuples having origin=CA (weights 2, 2, 1).
+        assert result.value(("CA", "NY")) == 1 * 2
+        assert result.value(("NY", "WA")) == 1 * 2
+        assert result.value(("WA", "CA")) == 1 * 1
+
+    def test_join_with_no_matches(self, flights):
+        query = JoinGroupByQuery(
+            left_join="dest",
+            right_join="origin",
+            left_group="origin",
+            right_group="dest",
+            left_predicates=(Predicate("dest", Comparison.EQ, "TX"),),
+        )
+        result = WeightedQueryEngine(flights).join_group_by(query)
+        assert len(result) == 0
+
+
+class TestDatabase:
+    def test_create_and_query_table(self, flights):
+        database = Database()
+        database.create_table("flights", flights)
+        assert "flights" in database
+        assert database.point("flights", {"origin": "CA"}) == 5.0
+
+    def test_duplicate_table_rejected_unless_replace(self, flights):
+        database = Database()
+        database.create_table("flights", flights)
+        with pytest.raises(QueryError):
+            database.create_table("flights", flights)
+        database.create_table("flights", flights, replace=True)
+
+    def test_drop_table(self, flights):
+        database = Database()
+        database.create_table("flights", flights)
+        database.drop_table("flights")
+        with pytest.raises(QueryError):
+            database.table("flights")
+
+    def test_execute_sql(self, flights):
+        database = Database()
+        database.create_table("flights", flights)
+        value = database.execute_sql(
+            "SELECT COUNT(*) FROM flights WHERE origin = 'CA' AND dest = 'NY'"
+        )
+        assert value == 2.0
+
+    def test_execute_sql_group_by(self, flights):
+        database = Database()
+        database.create_table("flights", flights)
+        result = database.execute_sql(
+            "SELECT origin, COUNT(*) FROM flights GROUP BY origin"
+        )
+        assert result.value(("CA",)) == 5.0
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(QueryError):
+            Database().execute_sql("SELECT COUNT(*) FROM nope WHERE a = 1")

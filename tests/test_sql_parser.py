@@ -1,0 +1,114 @@
+"""Tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.query import (
+    AggregateFunction,
+    Comparison,
+    GroupByQuery,
+    PointQuery,
+    ScalarAggregateQuery,
+)
+from repro.sql import parse_sql
+
+
+class TestPointQueries:
+    def test_simple_point_query(self):
+        parsed = parse_sql(
+            "SELECT COUNT(*) FROM flights WHERE origin_state = 'CA' AND dest_state = 'NY'"
+        )
+        assert parsed.table == "flights"
+        assert isinstance(parsed.query, PointQuery)
+        assert parsed.query.as_dict() == {"origin_state": "CA", "dest_state": "NY"}
+
+    def test_numeric_literals(self):
+        parsed = parse_sql("SELECT COUNT(*) FROM t WHERE a = 3 AND b = 2.5")
+        assert parsed.query.as_dict() == {"a": 3, "b": 2.5}
+
+    def test_case_insensitive_keywords(self):
+        parsed = parse_sql("select count(*) from t where a = 'x'")
+        assert isinstance(parsed.query, PointQuery)
+
+    def test_trailing_semicolon(self):
+        parsed = parse_sql("SELECT COUNT(*) FROM t WHERE a = 'x';")
+        assert parsed.query.as_dict() == {"a": "x"}
+
+
+class TestScalarQueries:
+    def test_motivating_example_query(self):
+        """The paper's Sec. 2 query parses to a filtered scalar aggregate."""
+        parsed = parse_sql(
+            "SELECT SUM(weight) AS num_flights FROM flights "
+            "WHERE flight_time <= 30 AND origin_state = 'CA'"
+        )
+        assert isinstance(parsed.query, ScalarAggregateQuery)
+        # SUM(weight) is treated as the weighted COUNT(*).
+        assert parsed.query.aggregate.function is AggregateFunction.COUNT
+        comparisons = {p.attribute: p.comparison for p in parsed.query.predicates}
+        assert comparisons == {"flight_time": Comparison.LE, "origin_state": Comparison.EQ}
+
+    def test_avg_without_group_by(self):
+        parsed = parse_sql("SELECT AVG(elapsed_time) FROM flights WHERE origin = 'CA'")
+        assert isinstance(parsed.query, ScalarAggregateQuery)
+        assert parsed.query.aggregate.function is AggregateFunction.AVG
+        assert parsed.query.aggregate.attribute == "elapsed_time"
+
+
+class TestGroupByQueries:
+    def test_explicit_group_by(self):
+        parsed = parse_sql(
+            "SELECT origin_state, COUNT(*) FROM flights GROUP BY origin_state"
+        )
+        assert isinstance(parsed.query, GroupByQuery)
+        assert parsed.query.group_by == ("origin_state",)
+
+    def test_implicit_group_by_from_select_list(self):
+        parsed = parse_sql("SELECT origin_state, AVG(elapsed_time) FROM flights")
+        assert isinstance(parsed.query, GroupByQuery)
+        assert parsed.query.group_by == ("origin_state",)
+        assert parsed.query.aggregate.function is AggregateFunction.AVG
+
+    def test_group_by_with_filters(self):
+        parsed = parse_sql(
+            "SELECT dest_state, COUNT(*) FROM flights WHERE elapsed_time < 120 "
+            "GROUP BY dest_state"
+        )
+        assert parsed.query.predicates[0].comparison is Comparison.LT
+
+    def test_in_predicate(self):
+        parsed = parse_sql(
+            "SELECT dest_state, COUNT(*) FROM flights "
+            "WHERE dest_state IN ('CO', 'WY') GROUP BY dest_state"
+        )
+        predicate = parsed.query.predicates[0]
+        assert predicate.comparison is Comparison.IN
+        assert predicate.value == ("CO", "WY")
+
+    def test_alias_stripping(self):
+        parsed = parse_sql(
+            "SELECT t.origin_state, COUNT(*) FROM flights GROUP BY t.origin_state"
+        )
+        assert parsed.query.group_by == ("origin_state",)
+
+    def test_multiple_group_by_columns(self):
+        parsed = parse_sql(
+            "SELECT a, b, COUNT(*) FROM t GROUP BY a, b"
+        )
+        assert parsed.query.group_by == ("a", "b")
+
+
+class TestErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("DELETE FROM t")
+
+    def test_two_aggregates_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT COUNT(*), SUM(x) FROM t")
+
+    def test_bad_condition_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT COUNT(*) FROM t WHERE ???")

@@ -1,0 +1,139 @@
+"""Tests for the Themis facade: ingestion, fitting, and open-world querying."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates import AggregateQuery, AggregateSet
+from repro.core import Themis, ThemisConfig
+from repro.exceptions import QueryError, ThemisError
+from repro.metrics import percent_difference
+from repro.query import GroupByQuery
+from repro.schema import Relation
+
+
+@pytest.fixture
+def fitted_themis(biased_correlated_sample, correlated_aggregates):
+    themis = Themis(
+        ThemisConfig(
+            seed=1,
+            ipf_max_iterations=60,
+            n_generated_samples=4,
+            generated_sample_size=600,
+        )
+    )
+    themis.load_sample(biased_correlated_sample)
+    themis.add_aggregates(correlated_aggregates)
+    themis.fit()
+    return themis
+
+
+class TestIngestion:
+    def test_empty_sample_rejected(self, correlated_population):
+        themis = Themis()
+        with pytest.raises(ThemisError):
+            themis.load_sample(Relation.empty(correlated_population.schema))
+
+    def test_fit_without_sample_rejected(self):
+        with pytest.raises(ThemisError):
+            Themis().fit()
+
+    def test_fit_without_aggregates_rejected(self, biased_correlated_sample):
+        themis = Themis()
+        themis.load_sample(biased_correlated_sample)
+        with pytest.raises(ThemisError):
+            themis.fit()
+
+    def test_unknown_config_override_rejected(self):
+        with pytest.raises(ThemisError):
+            Themis(bogus_option=1)
+
+    def test_config_overrides_apply(self):
+        themis = Themis(reweighter="linreg", bn_mode="SB")
+        assert themis.config.reweighter == "linreg"
+        assert themis.config.bn_mode == "SB"
+
+    def test_adding_aggregate_invalidates_model(self, fitted_themis, correlated_population):
+        assert fitted_themis.is_fitted
+        fitted_themis.add_aggregate(
+            AggregateQuery.from_relation(correlated_population, ["C"])
+        )
+        assert not fitted_themis.is_fitted
+
+
+class TestFitting:
+    def test_model_summary_contents(self, fitted_themis):
+        summary = fitted_themis.model.summary()
+        assert summary["reweighter"] == "IPF"
+        assert summary["bn_mode"] == "BB"
+        assert summary["population_size"] == 4000.0
+        assert "reweighting" in summary["timings"]
+
+    def test_weighted_sample_total_close_to_population(self, fitted_themis):
+        total = fitted_themis.model.weighted_sample.total_weight()
+        assert total == pytest.approx(4000.0, rel=0.15)
+
+    def test_evaluator_lookup(self, fitted_themis):
+        model = fitted_themis.model
+        assert model.evaluator("hybrid") is model.hybrid_evaluator
+        assert model.evaluator("sample") is model.sample_evaluator
+        assert model.evaluator("bn") is model.bayes_net_evaluator
+        with pytest.raises(KeyError):
+            model.evaluator("bogus")
+
+    @pytest.mark.parametrize("reweighter", ["uniform", "linreg", "ipf"])
+    def test_all_reweighters_fit(
+        self, reweighter, biased_correlated_sample, correlated_aggregates
+    ):
+        themis = Themis(reweighter=reweighter, n_generated_samples=3, generated_sample_size=300)
+        themis.load_sample(biased_correlated_sample)
+        themis.add_aggregates(correlated_aggregates)
+        model = themis.fit()
+        assert model.weighted_sample.has_weights
+
+    def test_unknown_reweighter_rejected(self, biased_correlated_sample, correlated_aggregates):
+        themis = Themis(reweighter="bogus")
+        themis.load_sample(biased_correlated_sample)
+        themis.add_aggregates(correlated_aggregates)
+        with pytest.raises(ThemisError):
+            themis.fit()
+
+    def test_aggregate_budget_prunes(self, biased_correlated_sample, correlated_aggregates):
+        themis = Themis(aggregate_budget=1, n_generated_samples=3, generated_sample_size=300)
+        themis.load_sample(biased_correlated_sample)
+        themis.add_aggregates(correlated_aggregates)
+        model = themis.fit()
+        # One 1D aggregate is always kept plus one pruned 2D aggregate.
+        assert len(model.aggregates) == 2
+
+
+class TestQuerying:
+    def test_point_query_accuracy(self, fitted_themis, correlated_population):
+        truth = correlated_population.count({"A": 2, "B": 2})
+        estimate = fitted_themis.point({"A": 2, "B": 2})
+        assert percent_difference(truth, estimate) < 60
+
+    def test_group_by_covers_population_groups(self, fitted_themis, correlated_population):
+        result = fitted_themis.group_by(GroupByQuery(group_by=("A",)))
+        assert result.groups() == correlated_population.distinct(["A"])
+
+    def test_sql_entry_point(self, fitted_themis, correlated_population):
+        truth = correlated_population.count({"A": 0})
+        estimate = fitted_themis.sql("SELECT COUNT(*) FROM sample WHERE A = 0")
+        assert percent_difference(truth, estimate) < 30
+
+    def test_sql_group_by(self, fitted_themis):
+        result = fitted_themis.sql("SELECT A, COUNT(*) FROM sample GROUP BY A")
+        assert len(result) == 3
+
+    def test_sql_unknown_attribute_rejected(self, fitted_themis):
+        with pytest.raises(QueryError):
+            fitted_themis.sql("SELECT COUNT(*) FROM sample WHERE bogus = 1")
+
+    def test_lazy_fit_on_query(self, biased_correlated_sample, correlated_aggregates):
+        themis = Themis(n_generated_samples=3, generated_sample_size=300)
+        themis.load_sample(biased_correlated_sample)
+        themis.add_aggregates(correlated_aggregates)
+        assert not themis.is_fitted
+        themis.point({"A": 0})
+        assert themis.is_fitted
