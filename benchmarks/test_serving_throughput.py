@@ -1,0 +1,23 @@
+"""Benchmark: serving-layer throughput, cache cold vs. warm.
+
+Not a paper artefact — this measures the query-serving subsystem added on
+top of the reproduction.  The acceptance bar: the warm-cache path must be at
+least 2x faster than the cold path on a repeated workload (in practice it is
+orders of magnitude faster, since warm serving is two LRU lookups).
+"""
+
+from repro.experiments import run_serving_throughput
+
+
+def test_serving_throughput(run_experiment, scale):
+    result = run_experiment(run_serving_throughput, scale)
+    phases = {row["phase"]: row for row in result.rows}
+    assert set(phases) == {"unbatched", "batch-cold", "batch-warm"}
+
+    cold = phases["batch-cold"]
+    warm = phases["batch-warm"]
+    assert cold["result_cache_hits"] == 0
+    assert warm["result_cache_hits"] == result.parameters["n_queries"]
+    # The headline claim: repeated workloads serve >= 2x faster warm than cold.
+    assert warm["speedup_vs_cold"] >= 2.0
+    assert warm["queries_per_second"] >= 2.0 * cold["queries_per_second"]

@@ -45,6 +45,13 @@ from .reweighting import (
     UniformReweighter,
 )
 from .schema import Attribute, Domain, Relation, Schema
+from .serving import (
+    BatchExecutor,
+    BatchResult,
+    QueryPlan,
+    QueryPlanner,
+    ServingSession,
+)
 from .sql import Database, parse_sql
 
 __version__ = "1.0.0"
@@ -53,6 +60,8 @@ __all__ = [
     "AggregateQuery",
     "AggregateSet",
     "Attribute",
+    "BatchExecutor",
+    "BatchResult",
     "BayesNetEvaluator",
     "BayesianNetwork",
     "Database",
@@ -67,10 +76,13 @@ __all__ = [
     "LinearRegressionReweighter",
     "PointQuery",
     "Predicate",
+    "QueryPlan",
+    "QueryPlanner",
     "Relation",
     "ReweightedSampleEvaluator",
     "ScalarAggregateQuery",
     "Schema",
+    "ServingSession",
     "Themis",
     "ThemisBayesNetLearner",
     "ThemisConfig",

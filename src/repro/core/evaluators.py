@@ -137,6 +137,20 @@ class BayesNetEvaluator(OpenWorldEvaluator):
         """The population size used to scale probabilities."""
         return self._population_size
 
+    @property
+    def inference(self) -> ExactInference:
+        """The exact-inference engine (used by the serving inference cache)."""
+        return self._inference
+
+    @property
+    def has_generated_samples(self) -> bool:
+        """Whether the ``K`` forward-sampled relations are materialized."""
+        return self._generated is not None
+
+    def generated_samples(self) -> list[Relation]:
+        """The ``K`` forward-sampled relations, generating them on first use."""
+        return self._generated_samples()
+
     def point(self, assignment: Mapping[str, Any]) -> float:
         """``n * Pr(X_1 = x_1, ..., X_d = x_d)`` by exact inference."""
         probability = self._inference.probability_or_zero(dict(assignment))

@@ -10,9 +10,9 @@ population.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..aggregates import AggregateQuery, AggregateSet, prune_aggregates
 from ..bayesnet import LearningMode, ThemisBayesNetLearner
@@ -29,6 +29,9 @@ from ..sql.engine import QueryResult
 from ..sql.parser import parse_sql
 from .evaluators import BayesNetEvaluator, HybridEvaluator, ReweightedSampleEvaluator
 from .model import ThemisModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..serving import BatchResult, ServingSession
 
 
 @dataclass
@@ -94,6 +97,8 @@ class Themis:
         self._sample_name = "sample"
         self._aggregates = AggregateSet()
         self._model: ThemisModel | None = None
+        self._generation = 0
+        self._serving_session: "ServingSession | None" = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -105,11 +110,13 @@ class Themis:
         self._sample = sample
         self._sample_name = name
         self._model = None
+        self._generation += 1
 
     def add_aggregate(self, aggregate: AggregateQuery) -> None:
         """Register one population aggregate query result."""
         self._aggregates.add(aggregate)
         self._model = None
+        self._generation += 1
 
     def add_aggregates(self, aggregates: Iterable[AggregateQuery] | AggregateSet) -> None:
         """Register several population aggregates at once."""
@@ -132,6 +139,15 @@ class Themis:
     def is_fitted(self) -> bool:
         """Whether ``fit()`` has produced a model for the current inputs."""
         return self._model is not None
+
+    @property
+    def generation(self) -> int:
+        """A counter bumped by every ingestion call and every (re)fit.
+
+        Serving sessions compare it against the generation their caches were
+        built at and invalidate themselves when it moves.
+        """
+        return self._generation
 
     @property
     def model(self) -> ThemisModel:
@@ -206,7 +222,17 @@ class Themis:
             bayes_net_evaluator=bn_evaluator,
             timings=timings,
         )
+        self._generation += 1
         return self._model
+
+    def refit(self) -> ThemisModel:
+        """Discard the current model and fit again from the registered inputs.
+
+        Bumps :attr:`generation`, so every serving session (and its result,
+        plan, and inference caches) invalidates before the next query.
+        """
+        self._model = None
+        return self.fit()
 
     def _prune(self, aggregates: AggregateSet, budget: int) -> AggregateSet:
         """Prune only the multi-dimensional aggregates; 1D marginals are kept."""
@@ -265,6 +291,36 @@ class Themis:
                     f"are {list(self.sample.attribute_names)}"
                 )
         return self.execute(parsed.query)
+
+    def query(self, statement: str | Query) -> float | QueryResult:
+        """Answer a SQL string or an AST query (the uniform entry point)."""
+        if isinstance(statement, str):
+            return self.sql(statement)
+        return self.execute(statement)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, **session_options: Any) -> "ServingSession":
+        """Open a new serving session: cached, batched query answering.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.serving.session.ServingSession` (cache capacities).
+        """
+        from ..serving import ServingSession
+
+        return ServingSession(self, **session_options)
+
+    def execute_batch(self, queries: Sequence[str | Query]) -> "BatchResult":
+        """Serve a batch of SQL strings and/or ASTs through a shared session.
+
+        The session (and its caches) persists across calls and survives until
+        the model is refitted; answers are identical to issuing each query
+        through :meth:`query` one by one.
+        """
+        if self._serving_session is None:
+            self._serving_session = self.serve()
+        return self._serving_session.execute_batch(queries)
 
     @staticmethod
     def _referenced_attributes(query: Query) -> tuple[str, ...]:

@@ -37,6 +37,7 @@ from .harness import (
     point_query_workload,
 )
 from .reporting import ExperimentResult, format_table
+from .serving_throughput import run_serving_throughput, serving_workload
 from .table1_motivating import run_table1
 from .table6_reuse_baseline import run_reuse_comparison
 from .table7_table8_timing import run_query_execution_time, run_solver_time
@@ -71,11 +72,13 @@ __all__ = [
     "run_query_execution_time",
     "run_reuse_comparison",
     "run_reweighting_comparison",
+    "run_serving_throughput",
     "run_simplification_ablation",
     "run_solver_time",
     "run_sql_queries",
     "run_table1",
     "run_table4_improvement",
     "run_time_accuracy",
+    "serving_workload",
     "table5_queries",
 ]

@@ -43,6 +43,7 @@ def _build_registry() -> None:
     from .fig14_reweighting import run_reweighting_comparison
     from .fig15_pruning import run_pruning
     from .fig16_time_accuracy import run_time_accuracy
+    from .serving_throughput import run_serving_throughput
     from .table1_motivating import run_table1
     from .table6_reuse_baseline import run_reuse_comparison
     from .table7_table8_timing import run_query_execution_time, run_solver_time
@@ -67,6 +68,7 @@ def _build_registry() -> None:
     _register("table7", lambda scale: run_query_execution_time(scale))
     _register("table8", lambda scale: run_solver_time(scale))
     _register("ablation", lambda scale: run_simplification_ablation(scale))
+    _register("serving", lambda scale: run_serving_throughput(scale))
 
 
 def available_experiments() -> list[str]:

@@ -38,7 +38,7 @@ class Relation:
     relations that share the underlying column arrays when possible.
     """
 
-    __slots__ = ("_schema", "_columns", "_weights", "_n_rows")
+    __slots__ = ("_schema", "_columns", "_weights", "_n_rows", "_group_codes_cache")
 
     def __init__(
         self,
@@ -73,6 +73,7 @@ class Relation:
         assert n_rows is not None
         self._columns = prepared
         self._n_rows = int(n_rows)
+        self._group_codes_cache: dict[tuple[str, ...], tuple[np.ndarray, np.ndarray]] = {}
         if weights is None:
             self._weights = None
         else:
@@ -307,14 +308,27 @@ class Relation:
         ``group_index[i]`` is the row index into ``unique_code_rows`` of tuple
         ``i``'s group.  ``unique_code_rows`` has one row per distinct group and
         one column per attribute in ``names``.
+
+        The result is memoized per attribute tuple: relations are immutable,
+        and repeated GROUP BY queries over the same columns (the serving
+        layer's batched workloads, the BN evaluator's ``K`` generated samples)
+        would otherwise recompute the same ``np.unique`` every time.  Callers
+        must treat the returned arrays as read-only.
         """
         if not names:
             raise SchemaError("group_codes needs at least one attribute")
+        key = tuple(names)
+        cached = self._group_codes_cache.get(key)
+        if cached is not None:
+            return cached
         stacked = np.stack([self.column(name) for name in names], axis=1)
         if stacked.shape[0] == 0:
-            return np.zeros(0, dtype=np.int64), stacked
-        unique_rows, group_index = np.unique(stacked, axis=0, return_inverse=True)
-        return group_index.astype(np.int64), unique_rows
+            result = np.zeros(0, dtype=np.int64), stacked
+        else:
+            unique_rows, group_index = np.unique(stacked, axis=0, return_inverse=True)
+            result = group_index.astype(np.int64), unique_rows
+        self._group_codes_cache[key] = result
+        return result
 
     def value_counts(
         self, names: Sequence[str], weighted: bool = False

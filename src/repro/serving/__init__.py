@@ -1,0 +1,48 @@
+"""Query serving: planner, result/plan/inference caches, batched execution.
+
+This subsystem turns the one-shot :class:`~repro.core.themis.Themis` facade
+into a reusable query service for high-throughput workloads:
+
+* :mod:`repro.serving.planner` — canonical, hashable plan keys and evaluator
+  routing (reweighted sample / Bayesian network / hybrid);
+* :mod:`repro.serving.cache` — the LRU result and plan caches plus the shared
+  BN inference cache, all invalidated when the model is refitted;
+* :mod:`repro.serving.executor` — batched execution that groups plans sharing
+  GROUP BY columns/BN factors and amortizes generated-sample inference;
+* :mod:`repro.serving.session` — the long-lived serving front-end returned by
+  ``Themis.serve()``;
+* :mod:`repro.serving.stats` — per-query outcomes, batch results, and
+  session statistics.
+"""
+
+from .cache import CacheStatistics, InferenceCache, LRUCache, PlanCache, ResultCache
+from .executor import BatchExecutor
+from .planner import (
+    ROUTE_BAYES_NET,
+    ROUTE_HYBRID,
+    ROUTE_SAMPLE,
+    PlanKey,
+    QueryPlan,
+    QueryPlanner,
+)
+from .session import ServingSession
+from .stats import BatchResult, QueryOutcome, ServingStatistics
+
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "CacheStatistics",
+    "InferenceCache",
+    "LRUCache",
+    "PlanCache",
+    "PlanKey",
+    "QueryOutcome",
+    "QueryPlan",
+    "QueryPlanner",
+    "ResultCache",
+    "ROUTE_BAYES_NET",
+    "ROUTE_HYBRID",
+    "ROUTE_SAMPLE",
+    "ServingSession",
+    "ServingStatistics",
+]

@@ -1,0 +1,228 @@
+"""Two-tier serving caches: LRU result/plan caches and a shared inference cache.
+
+Tier one is :class:`ResultCache`, an LRU map from canonical plan keys to final
+query answers, plus :class:`PlanCache`, an LRU map from raw SQL text to its
+:class:`~repro.serving.planner.QueryPlan` (parsing and bucketizing are cheap
+but not free at serving rates).  Tier two is :class:`InferenceCache`, shared
+by *all* queries of one session: it memoizes exact-inference point
+probabilities and node marginals and owns the warm-up of the Bayesian
+network's forward-sampled relations, so repeated BN work is paid once per
+fitted model rather than once per query.
+
+Every cache is tagged with the generation of the model it was built against;
+:class:`~repro.serving.session.ServingSession` drops all tiers whenever
+``Themis.refit()`` (or any ingestion call) bumps the generation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.evaluators import BayesNetEvaluator
+from ..schema import Relation
+
+#: Sentinel distinguishing "missing" from a cached ``None``/0.0 value.
+_MISSING = object()
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss/eviction counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """A plain-dict snapshot (for reports and session statistics)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A small least-recently-used cache with hit/miss accounting."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.statistics = CacheStatistics()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Fetch ``key``, marking it most recently used."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.statistics.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.statistics.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key``, evicting the least recently used entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.statistics.evictions += 1
+
+    def keys(self) -> list[Hashable]:
+        """Keys from least to most recently used."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+
+class ResultCache:
+    """Tier-one cache: canonical plan key -> final query answer."""
+
+    def __init__(self, capacity: int = 256, generation: int = 0):
+        self._cache = LRUCache(capacity)
+        self.generation = generation
+
+    @property
+    def statistics(self) -> CacheStatistics:
+        """Hit/miss counters of the underlying LRU."""
+        return self._cache.statistics
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def lookup(self, key: Hashable) -> Any:
+        """The cached answer for a plan key, or ``None`` on a miss."""
+        value = self._cache.get(key, _MISSING)
+        return None if value is _MISSING else value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Cache the answer of one plan."""
+        self._cache.put(key, value)
+
+    def invalidate(self, generation: int | None = None) -> None:
+        """Drop everything (called when the model generation changes)."""
+        self._cache.clear()
+        if generation is not None:
+            self.generation = generation
+
+
+class PlanCache:
+    """LRU map from raw SQL text to its planned form."""
+
+    def __init__(self, capacity: int = 512):
+        self._cache = LRUCache(capacity)
+
+    @property
+    def statistics(self) -> CacheStatistics:
+        """Hit/miss counters of the underlying LRU."""
+        return self._cache.statistics
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, sql: str) -> Any:
+        """The cached plan for a SQL string, or ``None``."""
+        return self._cache.get(sql)
+
+    def put(self, sql: str, plan: Any) -> None:
+        """Cache the plan of one SQL string."""
+        self._cache.put(sql, plan)
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (routes are model-dependent)."""
+        self._cache.clear()
+
+
+@dataclass
+class InferenceCache:
+    """Tier-two cache: BN inference state shared across all queries.
+
+    The executor's hot path uses two pieces: memoized exact-inference point
+    answers (:meth:`point`) and the warm-up of the evaluator's ``K``
+    forward-sampled relations (:meth:`warm_samples`), so a whole batch
+    materializes them exactly once.  :meth:`marginal` memoizes per-node
+    marginals for serving-layer consumers outside the executor (diagnostics,
+    and the planned async/sharded front-ends in ROADMAP.md); nothing on the
+    batch path calls it today.
+    """
+
+    evaluator: BayesNetEvaluator
+    generation: int = 0
+    point_capacity: int = 4096
+    statistics: CacheStatistics = field(default_factory=CacheStatistics)
+    _points: LRUCache = field(init=False, repr=False)
+    _marginals: dict[str, Any] = field(init=False, repr=False)
+    _samples_warm: bool = field(init=False, default=False, repr=False)
+
+    def __post_init__(self):
+        self._points = LRUCache(self.point_capacity)
+        self._marginals = {}
+
+    def point(self, assignment: Mapping[str, Any]) -> float:
+        """Memoized ``n * Pr(X = x)`` from exact inference."""
+        key = tuple(sorted(assignment.items()))
+        value = self._points.get(key, _MISSING)
+        if value is not _MISSING:
+            self.statistics.hits += 1
+            return value
+        self.statistics.misses += 1
+        value = self.evaluator.point(assignment)
+        self._points.put(key, value)
+        return value
+
+    def marginal(self, node: str):
+        """Memoized exact marginal distribution of one BN node."""
+        if node in self._marginals:
+            self.statistics.hits += 1
+        else:
+            self.statistics.misses += 1
+            self._marginals[node] = self.evaluator.inference.marginal(node)
+        return self._marginals[node]
+
+    @property
+    def samples_warm(self) -> bool:
+        """Whether the generated samples have been materialized."""
+        return self._samples_warm or self.evaluator.has_generated_samples
+
+    def warm_samples(self) -> list[Relation]:
+        """Materialize (once) and return the BN's generated samples."""
+        if self.samples_warm:
+            self.statistics.hits += 1
+        else:
+            self.statistics.misses += 1
+        samples = self.evaluator.generated_samples()
+        self._samples_warm = True
+        return samples
+
+    def invalidate(self, evaluator: BayesNetEvaluator, generation: int) -> None:
+        """Rebind to a freshly fitted model, dropping all memoized state."""
+        self.evaluator = evaluator
+        self.generation = generation
+        self._points.clear()
+        self._marginals.clear()
+        self._samples_warm = False

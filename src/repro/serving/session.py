@@ -1,0 +1,173 @@
+"""Serving sessions: a long-lived query interface over one Themis instance.
+
+A :class:`ServingSession` owns the planner, the two cache tiers, and the
+batch executor for one :class:`~repro.core.themis.Themis` facade.  It tracks
+the facade's model generation: any ingestion call or ``refit()`` bumps the
+generation, and the session transparently rebuilds its executor and drops
+every cache tier before serving the next query — a stale cache can never leak
+answers from a previous model.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+from ..query.ast import Query
+from ..sql.engine import QueryResult
+from .cache import InferenceCache, PlanCache, ResultCache
+from .executor import BatchExecutor
+from .planner import QueryPlanner
+from .stats import BatchResult, QueryOutcome, ServingStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.themis import Themis
+
+
+class ServingSession:
+    """A caching, batching query-serving front-end for one Themis instance.
+
+    Parameters
+    ----------
+    themis:
+        The facade to serve from (fitted lazily on first query).
+    result_cache_size:
+        Capacity of the LRU result cache (plan-key -> answer).
+    plan_cache_size:
+        Capacity of the LRU SQL-text -> plan cache.
+    inference_point_capacity:
+        Capacity of the memo of BN exact-inference point answers.
+    """
+
+    def __init__(
+        self,
+        themis: "Themis",
+        result_cache_size: int = 256,
+        plan_cache_size: int = 512,
+        inference_point_capacity: int = 4096,
+    ):
+        self._themis = themis
+        self._result_cache = ResultCache(result_cache_size)
+        self._plan_cache = PlanCache(plan_cache_size)
+        self._inference_point_capacity = int(inference_point_capacity)
+        self._inference_cache: InferenceCache | None = None
+        self._executor: BatchExecutor | None = None
+        self._generation: int | None = None
+        self.statistics = ServingStatistics()
+
+    # ------------------------------------------------------------------
+    # Model-generation tracking
+    # ------------------------------------------------------------------
+    @property
+    def themis(self) -> "Themis":
+        """The facade this session serves."""
+        return self._themis
+
+    @property
+    def generation(self) -> int | None:
+        """The model generation the caches were built against."""
+        return self._generation
+
+    def _ensure_current(self) -> BatchExecutor:
+        """(Re)build the executor and invalidate caches on model changes."""
+        generation = self._themis.generation
+        if self._executor is not None and generation == self._generation:
+            return self._executor
+        model = self._themis.model
+        # Fitting inside .model bumps the generation; re-read it afterwards.
+        generation = self._themis.generation
+        if self._executor is not None:
+            self.statistics.invalidations += 1
+        self._result_cache.invalidate(generation)
+        self._plan_cache.invalidate()
+        if self._inference_cache is None:
+            self._inference_cache = InferenceCache(
+                model.bayes_net_evaluator,
+                generation=generation,
+                point_capacity=self._inference_point_capacity,
+            )
+        else:
+            self._inference_cache.invalidate(model.bayes_net_evaluator, generation)
+        planner = QueryPlanner(model.sample.schema, model)
+        self._executor = BatchExecutor(
+            model,
+            planner,
+            self._result_cache,
+            self._inference_cache,
+            self._plan_cache,
+        )
+        self._generation = generation
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def execute(self, query: Query | str) -> float | QueryResult:
+        """Serve one query (SQL text or AST); answers match ``Themis.query()``."""
+        return self.execute_with_outcome(query).result
+
+    def execute_with_outcome(self, query: Query | str) -> QueryOutcome:
+        """Serve one query and return the full :class:`QueryOutcome`."""
+        executor = self._ensure_current()
+        start = time.perf_counter()
+        plan = executor.plan(query)
+        result, from_cache = executor.execute_plan(plan)
+        outcome = QueryOutcome(
+            index=0,
+            plan=plan,
+            result=result,
+            seconds=time.perf_counter() - start,
+            from_result_cache=from_cache,
+        )
+        self.statistics.record_outcome(outcome)
+        return outcome
+
+    def execute_batch(self, queries: Sequence[Query | str]) -> BatchResult:
+        """Serve a batch of SQL strings and/or ASTs in submission order."""
+        executor = self._ensure_current()
+        batch = executor.execute_batch(queries)
+        self.statistics.record_batch(batch)
+        return batch
+
+    # ------------------------------------------------------------------
+    # Introspection and maintenance
+    # ------------------------------------------------------------------
+    @property
+    def result_cache(self) -> ResultCache:
+        """The tier-one result cache."""
+        return self._result_cache
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The SQL-text plan cache."""
+        return self._plan_cache
+
+    @property
+    def inference_cache(self) -> InferenceCache | None:
+        """The tier-two shared inference cache (``None`` before first use)."""
+        return self._inference_cache
+
+    def clear_caches(self) -> None:
+        """Drop every cache tier without touching the fitted model."""
+        self._result_cache.invalidate()
+        self._plan_cache.invalidate()
+        if self._inference_cache is not None and self._executor is not None:
+            self._inference_cache.invalidate(
+                self._executor.model.bayes_net_evaluator,
+                self._generation or 0,
+            )
+
+    def cache_statistics(self) -> dict[str, Any]:
+        """Hit/miss snapshots of every cache tier."""
+        stats = {
+            "result_cache": self._result_cache.statistics.as_dict(),
+            "plan_cache": self._plan_cache.statistics.as_dict(),
+        }
+        if self._inference_cache is not None:
+            stats["inference_cache"] = self._inference_cache.statistics.as_dict()
+        return stats
+
+    def describe(self) -> dict[str, Any]:
+        """Session statistics plus cache statistics, one printable dict."""
+        return {**self.statistics.as_dict(), "caches": self.cache_statistics()}

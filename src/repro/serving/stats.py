@@ -1,0 +1,131 @@
+"""Result containers and statistics for the serving subsystem.
+
+Every served query produces a :class:`QueryOutcome` (the answer plus where it
+came from and what it cost); a batch bundles them into a :class:`BatchResult`
+with amortized timing; a session accumulates :class:`ServingStatistics`
+across batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sql.engine import QueryResult
+from .planner import QueryPlan
+
+
+@dataclass
+class QueryOutcome:
+    """One served query: its plan, answer, and serving diagnostics.
+
+    Attributes
+    ----------
+    index:
+        Position of the query in the submitted batch.
+    plan:
+        The plan the query executed under.
+    result:
+        The answer, identical to what ``Themis.query()`` returns.
+    seconds:
+        Wall-clock spent serving this query (0 for result-cache hits beyond
+        the lookup itself).
+    from_result_cache:
+        Whether the answer came straight out of the result cache.
+    deduplicated:
+        Whether the answer was shared with an identical plan earlier in the
+        same batch (executed once, fanned out).
+    """
+
+    index: int
+    plan: QueryPlan
+    result: float | QueryResult
+    seconds: float = 0.0
+    from_result_cache: bool = False
+    deduplicated: bool = False
+
+    @property
+    def route(self) -> str:
+        """The evaluator route the plan took."""
+        return self.plan.route
+
+
+@dataclass
+class BatchResult:
+    """The outcome of one ``execute_batch()`` call, in submission order."""
+
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+    total_seconds: float = 0.0
+    #: Seconds spent materializing BN generated samples, paid once and shared
+    #: by every plan in the batch that needed them.
+    amortized_inference_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def results(self) -> list[float | QueryResult]:
+        """The per-query answers, in the order the queries were submitted."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries in the batch served from the result cache."""
+        return sum(1 for outcome in self.outcomes if outcome.from_result_cache)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Batch throughput."""
+        if self.total_seconds <= 0:
+            return float("inf") if self.outcomes else 0.0
+        return len(self.outcomes) / self.total_seconds
+
+    def statistics(self) -> dict[str, Any]:
+        """A printable summary of the batch."""
+        routes: dict[str, int] = {}
+        for outcome in self.outcomes:
+            routes[outcome.route] = routes.get(outcome.route, 0) + 1
+        return {
+            "n_queries": len(self.outcomes),
+            "total_seconds": self.total_seconds,
+            "queries_per_second": self.queries_per_second,
+            "result_cache_hits": self.cache_hits,
+            "deduplicated": sum(1 for o in self.outcomes if o.deduplicated),
+            "amortized_inference_seconds": self.amortized_inference_seconds,
+            "routes": routes,
+        }
+
+
+@dataclass
+class ServingStatistics:
+    """Session-lifetime counters, aggregated over every query and batch."""
+
+    queries_served: int = 0
+    batches_served: int = 0
+    total_seconds: float = 0.0
+    invalidations: int = 0
+    route_counts: dict[str, int] = field(default_factory=dict)
+
+    def record_outcome(self, outcome: QueryOutcome) -> None:
+        """Fold one served query into the counters."""
+        self.queries_served += 1
+        self.total_seconds += outcome.seconds
+        self.route_counts[outcome.route] = self.route_counts.get(outcome.route, 0) + 1
+
+    def record_batch(self, batch: BatchResult) -> None:
+        """Fold one served batch into the counters."""
+        self.batches_served += 1
+        for outcome in batch.outcomes:
+            self.record_outcome(outcome)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A plain-dict snapshot."""
+        return {
+            "queries_served": self.queries_served,
+            "batches_served": self.batches_served,
+            "total_seconds": self.total_seconds,
+            "invalidations": self.invalidations,
+            "route_counts": dict(self.route_counts),
+        }

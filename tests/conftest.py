@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.aggregates import AggregateQuery, AggregateSet
+from repro.core import Themis, ThemisConfig
 from repro.schema import Attribute, Domain, Relation, Schema
 
 
@@ -62,9 +63,8 @@ def paper_aggregates(paper_population) -> AggregateSet:
     )
 
 
-@pytest.fixture
-def correlated_population() -> Relation:
-    """A 3-attribute correlated population used by BN and reweighting tests."""
+def build_correlated_population() -> Relation:
+    """The deterministic 3-attribute correlated population (builder form)."""
     rng = np.random.default_rng(123)
     n = 4000
     a = rng.choice(3, size=n, p=[0.6, 0.3, 0.1])
@@ -82,23 +82,68 @@ def correlated_population() -> Relation:
     return Relation(schema, {"A": a, "B": b, "C": c})
 
 
+def build_biased_correlated_sample(population: Relation) -> Relation:
+    """The deterministic biased sample of the correlated population."""
+    rng = np.random.default_rng(7)
+    a = population.column("A")
+    eligible = np.where((a == 0) | (rng.random(population.n_rows) < 0.1))[0]
+    chosen = rng.choice(eligible, size=600, replace=False)
+    return population.take(np.sort(chosen))
+
+
+def build_correlated_aggregates(population: Relation) -> AggregateSet:
+    """The 1D and 2D aggregate set of the correlated population."""
+    return AggregateSet(
+        [
+            AggregateQuery.from_relation(population, ["A"]),
+            AggregateQuery.from_relation(population, ["A", "B"]),
+            AggregateQuery.from_relation(population, ["B", "C"]),
+        ]
+    )
+
+
+def build_fitted_themis() -> Themis:
+    """A small fitted Themis over the correlated population's biased sample."""
+    population = build_correlated_population()
+    themis = Themis(
+        ThemisConfig(
+            seed=1,
+            ipf_max_iterations=40,
+            n_generated_samples=3,
+            generated_sample_size=400,
+        )
+    )
+    themis.load_sample(build_biased_correlated_sample(population))
+    themis.add_aggregates(build_correlated_aggregates(population))
+    themis.fit()
+    return themis
+
+
+@pytest.fixture
+def correlated_population() -> Relation:
+    """A 3-attribute correlated population used by BN and reweighting tests."""
+    return build_correlated_population()
+
+
 @pytest.fixture
 def biased_correlated_sample(correlated_population) -> Relation:
     """A sample of the correlated population heavily biased towards A = 0."""
-    rng = np.random.default_rng(7)
-    a = correlated_population.column("A")
-    eligible = np.where((a == 0) | (rng.random(correlated_population.n_rows) < 0.1))[0]
-    chosen = rng.choice(eligible, size=600, replace=False)
-    return correlated_population.take(np.sort(chosen))
+    return build_biased_correlated_sample(correlated_population)
 
 
 @pytest.fixture
 def correlated_aggregates(correlated_population) -> AggregateSet:
     """1D and 2D aggregates over the correlated population."""
-    return AggregateSet(
-        [
-            AggregateQuery.from_relation(correlated_population, ["A"]),
-            AggregateQuery.from_relation(correlated_population, ["A", "B"]),
-            AggregateQuery.from_relation(correlated_population, ["B", "C"]),
-        ]
-    )
+    return build_correlated_aggregates(correlated_population)
+
+
+@pytest.fixture(scope="session")
+def serving_themis() -> Themis:
+    """A fitted facade shared (read-only) by the serving-layer tests."""
+    return build_fitted_themis()
+
+
+@pytest.fixture
+def fresh_serving_themis() -> Themis:
+    """A fitted facade serving tests may mutate (refit, new aggregates)."""
+    return build_fitted_themis()

@@ -23,6 +23,7 @@ class TestRegistry:
             "table7",
             "table8",
             "ablation",
+            "serving",
         } | {f"fig{i}" for i in range(3, 17)}
         assert expected <= names
 

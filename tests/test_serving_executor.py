@@ -1,0 +1,232 @@
+"""Tests for batched execution and serving sessions.
+
+The load-bearing guarantee: ``Themis.execute_batch()`` returns exactly what
+issuing the same queries one-by-one through ``Themis.query()`` returns, while
+the caches make repeats cheap and a refit invalidates everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import Comparison, GroupByQuery, PointQuery, Predicate, ScalarAggregateQuery
+from repro.serving import BatchResult, ServingSession
+from repro.sql.engine import QueryResult
+
+
+WORKLOAD = [
+    "SELECT COUNT(*) FROM sample WHERE A = 0",
+    "SELECT COUNT(*) FROM sample WHERE A = 0 AND B = 1",
+    "SELECT COUNT(*) FROM sample WHERE B = 1 AND A = 0",  # equivalent reorder
+    "SELECT A, COUNT(*) FROM sample GROUP BY A",
+    "SELECT B, COUNT(*) FROM sample WHERE C = 1 GROUP BY B",
+    "SELECT AVG(B) FROM sample WHERE A = 0",
+    "SELECT COUNT(*) FROM sample WHERE A = 2 AND B = 2 AND C = 0",
+]
+
+
+def assert_same_answer(left, right):
+    if isinstance(left, QueryResult):
+        assert isinstance(right, QueryResult)
+        assert left.as_dict() == right.as_dict()
+        assert left.group_by == right.group_by
+    else:
+        assert left == right
+
+
+class TestBatchMatchesSingleQuery:
+    def test_sql_batch_matches_query_loop(self, serving_themis):
+        batch = serving_themis.serve().execute_batch(WORKLOAD)
+        singles = [serving_themis.query(statement) for statement in WORKLOAD]
+        assert len(batch) == len(WORKLOAD)
+        for outcome, single in zip(batch, singles):
+            assert_same_answer(outcome.result, single)
+
+    def test_ast_batch_matches_query_loop(self, serving_themis):
+        queries = [
+            PointQuery({"A": 0}),
+            PointQuery({"A": 2, "B": 2, "C": 1}),
+            GroupByQuery(("A", "B")),
+            ScalarAggregateQuery(predicates=(Predicate("B", Comparison.GE, 1),)),
+        ]
+        batch = serving_themis.serve().execute_batch(queries)
+        for outcome, query in zip(batch, queries):
+            assert_same_answer(outcome.result, serving_themis.query(query))
+
+    def test_point_and_count_scalar_do_not_share_answers(self, serving_themis):
+        """Regression: a PointQuery and an AST COUNT scalar over the same
+        missing tuple take different BN paths (exact inference vs. generated
+        samples) and must each match their own single-query answer."""
+        from repro.query import AggregateFunction, AggregateSpec
+
+        sample = serving_themis.model.weighted_sample
+        missing = next(
+            (
+                {"A": a, "B": b, "C": c}
+                for a in (0, 1, 2)
+                for b in (0, 1, 2)
+                for c in (0, 1)
+                if not sample.contains({"A": a, "B": b, "C": c})
+            ),
+            None,
+        )
+        if missing is None:
+            pytest.skip("sample covers the full domain at this seed")
+        point = PointQuery(missing)
+        scalar = ScalarAggregateQuery(
+            aggregate=AggregateSpec(AggregateFunction.COUNT),
+            predicates=tuple(
+                Predicate(name, Comparison.EQ, value) for name, value in missing.items()
+            ),
+        )
+        batch = serving_themis.serve().execute_batch([point, scalar])
+        assert batch.outcomes[0].result == serving_themis.query(point)
+        assert batch.outcomes[1].result == serving_themis.query(scalar)
+        assert not batch.outcomes[1].deduplicated
+
+    def test_results_are_in_submission_order(self, serving_themis):
+        batch = serving_themis.serve().execute_batch(WORKLOAD)
+        assert [outcome.index for outcome in batch] == list(range(len(WORKLOAD)))
+        assert len(batch.results()) == len(WORKLOAD)
+
+    def test_facade_execute_batch_entry_point(self, fresh_serving_themis):
+        batch = fresh_serving_themis.execute_batch(WORKLOAD[:3])
+        assert isinstance(batch, BatchResult)
+        for outcome, statement in zip(batch, WORKLOAD[:3]):
+            assert_same_answer(outcome.result, fresh_serving_themis.query(statement))
+        # The facade keeps one shared session across calls.
+        again = fresh_serving_themis.execute_batch(WORKLOAD[:3])
+        assert all(o.from_result_cache or o.deduplicated for o in again)
+
+
+class TestBatchAmortization:
+    def test_equivalent_plans_deduplicate_within_batch(self, serving_themis):
+        batch = serving_themis.serve().execute_batch(WORKLOAD)
+        reordered = batch.outcomes[2]
+        assert reordered.deduplicated
+        assert reordered.result == batch.outcomes[1].result
+
+    def test_warm_batch_is_fully_cached(self, serving_themis):
+        session = serving_themis.serve()
+        session.execute_batch(WORKLOAD)
+        warm = session.execute_batch(WORKLOAD)
+        assert all(o.from_result_cache or o.deduplicated for o in warm)
+        assert warm.cache_hits >= len(WORKLOAD) - 1
+
+    def test_group_signatures_batch_same_columns_together(self, serving_themis):
+        session = serving_themis.serve()
+        batch = session.execute_batch(WORKLOAD)
+        signatures = [o.plan.group_signature for o in batch]
+        assert signatures[0] != signatures[3]
+        assert batch.statistics()["n_queries"] == len(WORKLOAD)
+
+    def test_bn_samples_warm_once_per_batch(self, fresh_serving_themis):
+        session = fresh_serving_themis.serve()
+        evaluator = fresh_serving_themis.model.bayes_net_evaluator
+        assert not evaluator.has_generated_samples
+        batch = session.execute_batch(["SELECT A, COUNT(*) FROM sample GROUP BY A"])
+        assert evaluator.has_generated_samples
+        assert batch.amortized_inference_seconds >= 0.0
+
+    def test_single_query_session_interface(self, serving_themis):
+        session = serving_themis.serve()
+        statement = "SELECT COUNT(*) FROM sample WHERE A = 0"
+        first = session.execute_with_outcome(statement)
+        second = session.execute_with_outcome(statement)
+        assert not first.from_result_cache
+        assert second.from_result_cache
+        assert first.result == second.result
+        assert session.execute(statement) == first.result
+
+
+class TestInvalidation:
+    def test_refit_invalidates_session_caches(self, fresh_serving_themis):
+        session = fresh_serving_themis.serve()
+        session.execute_batch(WORKLOAD[:3])
+        generation = session.generation
+        assert len(session.result_cache) > 0
+
+        fresh_serving_themis.refit()
+        batch = session.execute_batch(WORKLOAD[:3])
+        assert session.generation != generation
+        assert session.statistics.invalidations == 1
+        assert not batch.outcomes[0].from_result_cache
+
+    def test_new_aggregate_invalidates_too(self, fresh_serving_themis, correlated_population):
+        from repro.aggregates import AggregateQuery
+
+        session = fresh_serving_themis.serve()
+        session.execute_batch(WORKLOAD[:2])
+        generation = session.generation
+        fresh_serving_themis.add_aggregate(
+            AggregateQuery.from_relation(correlated_population, ["C"])
+        )
+        session.execute_batch(WORKLOAD[:2])
+        assert session.generation != generation
+
+    def test_refit_answers_stay_consistent(self, fresh_serving_themis):
+        session = fresh_serving_themis.serve()
+        before = session.execute_batch(WORKLOAD).results()
+        fresh_serving_themis.refit()
+        after = session.execute_batch(WORKLOAD).results()
+        # Same inputs and seed: the refitted model answers identically.
+        for left, right in zip(before, after):
+            assert_same_answer(left, right)
+
+    def test_clear_caches_preserves_model(self, serving_themis):
+        session = serving_themis.serve()
+        session.execute_batch(WORKLOAD[:2])
+        session.clear_caches()
+        batch = session.execute_batch(WORKLOAD[:2])
+        assert not batch.outcomes[0].from_result_cache
+        assert session.generation == serving_themis.generation
+
+
+class TestStatistics:
+    def test_session_statistics_accumulate(self, serving_themis):
+        session = serving_themis.serve()
+        session.execute_batch(WORKLOAD)
+        session.execute_batch(WORKLOAD)
+        stats = session.statistics
+        assert stats.queries_served == 2 * len(WORKLOAD)
+        assert stats.batches_served == 2
+        assert sum(stats.route_counts.values()) == 2 * len(WORKLOAD)
+
+    def test_describe_includes_cache_tiers(self, serving_themis):
+        session = serving_themis.serve()
+        session.execute_batch(WORKLOAD)
+        description = session.describe()
+        assert "result_cache" in description["caches"]
+        assert "plan_cache" in description["caches"]
+        assert "inference_cache" in description["caches"]
+        assert 0.0 <= description["caches"]["result_cache"]["hit_rate"] <= 1.0
+
+    def test_batch_statistics_shape(self, serving_themis):
+        batch = serving_themis.serve().execute_batch(WORKLOAD)
+        stats = batch.statistics()
+        assert stats["n_queries"] == len(WORKLOAD)
+        assert stats["queries_per_second"] > 0
+        assert set(stats["routes"]) <= {"sample", "bayes-net", "hybrid"}
+
+
+class TestServingSessionConstruction:
+    def test_session_fits_lazily(
+        self, biased_correlated_sample, correlated_aggregates
+    ):
+        from repro.core import Themis, ThemisConfig
+
+        themis = Themis(
+            ThemisConfig(seed=1, n_generated_samples=3, generated_sample_size=300)
+        )
+        themis.load_sample(biased_correlated_sample)
+        themis.add_aggregates(correlated_aggregates)
+        session = ServingSession(themis)
+        assert not themis.is_fitted
+        session.execute("SELECT COUNT(*) FROM sample WHERE A = 0")
+        assert themis.is_fitted
+
+    def test_cache_capacities_are_configurable(self, serving_themis):
+        session = serving_themis.serve(result_cache_size=2, plan_cache_size=2)
+        session.execute_batch(WORKLOAD)
+        assert len(session.result_cache) <= 2
+        assert len(session.plan_cache) <= 2
