@@ -1,0 +1,111 @@
+"""Batched BN inference: cold-batch speedup from shared elimination passes.
+
+A cold batch of out-of-sample point queries is the serving layer's worst
+case: every query needs exact Bayesian-network inference, classically one
+variable-elimination pass each.  The batched engine groups queries by their
+*evidence signature* (the set of attributes they fix) and pays one
+elimination pass per signature, answering each group with a single
+vectorized lookup into the shared eliminated factor — same answers, bit for
+bit, at a fraction of the cost.
+
+Run with:  python examples/batched_inference.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ExactInference, Themis, ThemisConfig
+from repro.aggregates import aggregates_from_population
+from repro.data import CORNER_STATES, biased_sample, generate_flights_population
+from repro.query import PointQuery
+
+
+def main() -> None:
+    population = generate_flights_population(n_rows=20_000, seed=7)
+    sample = biased_sample(
+        population,
+        {"origin_state": list(CORNER_STATES)},
+        fraction=0.1,
+        bias=0.9,
+        seed=1,
+    )
+    aggregates = aggregates_from_population(
+        population,
+        [("origin_state",), ("fl_date",), ("origin_state", "dest_state")],
+    )
+
+    themis = Themis(ThemisConfig(seed=0))
+    themis.load_sample(sample, name="flights")
+    themis.add_aggregates(aggregates)
+    model = themis.fit()
+
+    # A BN-heavy workload: origin/destination pairs that never made it into
+    # the biased sample, in three mixed evidence signatures.  Every one of
+    # these routes to exact inference.
+    weighted = model.weighted_sample
+    schema = weighted.schema
+    signatures = [
+        ("origin_state", "dest_state"),
+        ("fl_date", "origin_state"),
+        ("fl_date", "dest_state"),
+    ]
+    workload: list[dict] = []
+    for attributes in signatures:
+        domains = [schema[name].domain.values for name in attributes]
+        for first in domains[0]:
+            for second in domains[1]:
+                assignment = dict(zip(attributes, (first, second)))
+                if not weighted.contains(assignment):
+                    workload.append(assignment)
+    print(
+        f"workload: {len(workload)} out-of-sample point queries across "
+        f"{len(signatures)} evidence signatures"
+    )
+
+    network = model.bayes_net_result.network
+    population_size = model.population_size
+
+    # Per-query inference: one variable-elimination pass per query (what
+    # every out-of-sample point query cost before the batched engine).
+    start = time.perf_counter()
+    per_query = [
+        population_size * ExactInference(network).probability_or_zero(assignment)
+        for assignment in workload
+    ]
+    per_query_seconds = time.perf_counter() - start
+    print(
+        f"per-query inference:  {len(workload)} elimination passes in "
+        f"{per_query_seconds * 1000:7.1f} ms "
+        f"({len(workload) / per_query_seconds:7,.0f} q/s)"
+    )
+
+    # Cold batch through the serving stack: plans are built, caches are
+    # empty, and the executor dispatches all BN-routed point plans through
+    # one batched call — one elimination pass per signature.
+    session = themis.serve(result_cache_size=2 * len(workload))
+    cold = session.execute_batch([PointQuery(a) for a in workload])
+    print(
+        f"cold batched serving: {cold.bn_elimination_passes:3d} elimination "
+        f"passes in {cold.total_seconds * 1000:7.1f} ms "
+        f"({cold.queries_per_second:7,.0f} q/s)"
+    )
+    print(f"cold-batch speedup:   {per_query_seconds / cold.total_seconds:.1f}x")
+
+    # Batching shares cost, never changes answers.
+    assert cold.results() == per_query, "batched answers must be bit-identical"
+    print("bit-identity check:   batched answers == per-query answers")
+
+    # The second batch doesn't even eliminate: answers come from the result
+    # cache, factors from the per-signature cache.
+    warm = session.execute_batch([PointQuery(a) for a in workload])
+    print(
+        f"warm batched serving: {warm.bn_elimination_passes:3d} elimination "
+        f"passes in {warm.total_seconds * 1000:7.1f} ms "
+        f"({warm.queries_per_second:7,.0f} q/s, "
+        f"{warm.cache_hits} result-cache hits)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,11 +21,14 @@ commonly used pieces of the public API; subpackages hold the substrates:
 
 from .aggregates import AggregateQuery, AggregateSet, prune_aggregates
 from .bayesnet import (
+    BatchedInference,
     BayesianNetwork,
     ExactInference,
     ForwardSampler,
     LearningMode,
     ThemisBayesNetLearner,
+    group_by_signature,
+    signature_of,
 )
 from .core import (
     BayesNetEvaluator,
@@ -62,6 +65,7 @@ __all__ = [
     "Attribute",
     "BatchExecutor",
     "BatchResult",
+    "BatchedInference",
     "BayesNetEvaluator",
     "BayesianNetwork",
     "Database",
@@ -90,7 +94,9 @@ __all__ = [
     "ThemisModel",
     "UniformReweighter",
     "__version__",
+    "group_by_signature",
     "parse_sql",
     "percent_difference",
     "prune_aggregates",
+    "signature_of",
 ]

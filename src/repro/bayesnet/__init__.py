@@ -1,10 +1,13 @@
 """Bayesian-network substrate and Themis's aggregate-aware learning.
 
-From scratch: DAGs, CPTs, factors, exact inference by variable elimination,
-forward sampling, BIC scoring, the two-phase greedy hill climber of
-Sec. 4.2.2, and the constrained parameter learner of Sec. 4.2.3 / 5.2.
+From scratch: DAGs, CPTs, factors, exact inference by variable elimination
+(with a batched engine that shares elimination passes across point queries
+with the same evidence signature), forward sampling, BIC scoring, the
+two-phase greedy hill climber of Sec. 4.2.2, and the constrained parameter
+learner of Sec. 4.2.3 / 5.2.
 """
 
+from .batched import BatchedInference, Signature, group_by_signature, signature_of
 from .cpt import ConditionalProbabilityTable, cpt_for_schema
 from .dag import DirectedAcyclicGraph
 from .factor import Factor, multiply_all, validate_factor_against_schema
@@ -31,6 +34,7 @@ from .structure import GreedyHillClimbing, StructureLearningReport
 
 __all__ = [
     "AggregateCountSource",
+    "BatchedInference",
     "BayesNetLearningResult",
     "BayesianNetwork",
     "ConditionalProbabilityTable",
@@ -45,13 +49,16 @@ __all__ = [
     "ParameterLearningReport",
     "ParameterSource",
     "SampleCountSource",
+    "Signature",
     "StructureLearningReport",
     "StructureSource",
     "ThemisBayesNetLearner",
     "cpt_for_schema",
     "family_bic",
     "family_log_likelihood",
+    "group_by_signature",
     "multiply_all",
+    "signature_of",
     "structure_bic",
     "validate_factor_against_schema",
 ]

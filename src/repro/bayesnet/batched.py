@@ -1,0 +1,279 @@
+"""Batched exact inference: one elimination pass per evidence signature.
+
+Serving workloads ask many point queries against one fitted network, and most
+of them share an *evidence signature* — the set of variables the query fixes.
+Plain :class:`~repro.bayesnet.inference.ExactInference` pays a full variable
+elimination pass per query; :class:`BatchedInference` pays one pass per
+signature.  For each signature it eliminates every non-evidence variable once,
+keeps the resulting joint factor over the evidence variables, and answers all
+assignments with that signature by a single vectorized numpy gather into the
+factor's table.  Eliminated factors are cached across batches, keyed by
+``(generation, kept-variable set)``, so warm batches skip elimination
+entirely until the model is refitted.
+
+The per-query and batched paths share one implementation:
+``ExactInference.probability()`` delegates to this engine with batch size 1,
+so batched answers are bit-identical to single-query answers by construction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..exceptions import BayesNetError
+from .factor import Factor
+from .network import BayesianNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .inference import ExactInference
+
+#: The evidence signature of an assignment: its variable names, sorted.
+Signature = tuple[str, ...]
+
+
+def signature_of(assignment: Mapping[str, Any]) -> Signature:
+    """The evidence signature of an assignment (its variables, sorted).
+
+    Two assignments with the same signature are answered from the same
+    eliminated joint factor, so grouping a batch by signature is what lets
+    one elimination pass serve many queries.
+
+    >>> signature_of({"b": 1, "a": 0})
+    ('a', 'b')
+    """
+    return tuple(sorted(assignment))
+
+
+def group_by_signature(
+    assignments: Sequence[Mapping[str, Any]],
+) -> dict[Signature, list[int]]:
+    """Group batch positions by evidence signature, preserving batch order.
+
+    >>> group_by_signature([{"a": 0}, {"b": 1}, {"a": 2}])
+    {('a',): [0, 2], ('b',): [1]}
+    """
+    groups: dict[Signature, list[int]] = {}
+    for index, assignment in enumerate(assignments):
+        groups.setdefault(signature_of(assignment), []).append(index)
+    return groups
+
+
+class BatchedInference:
+    """Answer batches of point queries with shared elimination passes.
+
+    Parameters
+    ----------
+    network:
+        The Bayesian network to infer over.
+    inference:
+        The :class:`ExactInference` engine whose elimination routine this
+        engine shares.  Built from ``network`` when omitted; when built here,
+        the two engines are cross-linked so ``inference.probability()`` and
+        this engine use one factor cache.
+    factor_cache_capacity:
+        How many eliminated joint factors to keep (LRU).  Factors are small —
+        their tables range only over the evidence variables' domains — so the
+        default comfortably covers typical workload signature counts.
+    generation:
+        The model generation the cache is valid for; see :meth:`invalidate`.
+    """
+
+    def __init__(
+        self,
+        network: BayesianNetwork,
+        inference: "ExactInference | None" = None,
+        factor_cache_capacity: int = 128,
+        generation: int = 0,
+    ):
+        if factor_cache_capacity <= 0:
+            raise ValueError("factor_cache_capacity must be positive")
+        if inference is None:
+            from .inference import ExactInference
+
+            inference = ExactInference(network, batched=self)
+        self._network = network
+        self._inference = inference
+        self._capacity = int(factor_cache_capacity)
+        self._factors: OrderedDict[tuple, Factor] = OrderedDict()
+        self._generation = int(generation)
+        # Counters: how much elimination work was paid vs. amortized.
+        self.elimination_passes = 0
+        self.factor_cache_hits = 0
+        self.factor_cache_misses = 0
+        self.batches = 0
+        self.queries = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> BayesianNetwork:
+        """The network the engine infers over."""
+        return self._network
+
+    @property
+    def generation(self) -> int:
+        """The model generation the cached factors belong to."""
+        return self._generation
+
+    @property
+    def cached_factor_count(self) -> int:
+        """How many eliminated joint factors are currently cached."""
+        return len(self._factors)
+
+    @property
+    def factor_cache_capacity(self) -> int:
+        """Maximum number of eliminated factors kept (LRU beyond that)."""
+        return self._capacity
+
+    @factor_cache_capacity.setter
+    def factor_cache_capacity(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("factor_cache_capacity must be positive")
+        self._capacity = int(capacity)
+        while len(self._factors) > self._capacity:
+            self._factors.popitem(last=False)
+
+    def statistics(self) -> dict[str, int]:
+        """A plain-dict snapshot of the engine's amortization counters."""
+        return {
+            "batches": self.batches,
+            "queries": self.queries,
+            "elimination_passes": self.elimination_passes,
+            "factor_cache_hits": self.factor_cache_hits,
+            "factor_cache_misses": self.factor_cache_misses,
+            "cached_factors": self.cached_factor_count,
+        }
+
+    # ------------------------------------------------------------------
+    # The per-signature factor cache
+    # ------------------------------------------------------------------
+    def eliminated_factor(self, variables: Sequence[str]) -> Factor:
+        """The joint factor over ``variables``, eliminating everything else.
+
+        The factor is cached under ``(generation, frozenset(variables))``;
+        elimination order is deterministic given the variable *set*, so any
+        ordering of ``variables`` returns the identical cached factor.
+        """
+        key = (self._generation, frozenset(variables))
+        cached = self._factors.get(key)
+        if cached is not None:
+            self._factors.move_to_end(key)
+            self.factor_cache_hits += 1
+            return cached
+        self.factor_cache_misses += 1
+        self.elimination_passes += 1
+        factor = self._inference.eliminate(keep=tuple(variables))
+        self._factors[key] = factor
+        if len(self._factors) > self._capacity:
+            self._factors.popitem(last=False)
+        return factor
+
+    def invalidate(self, generation: int | None = None) -> None:
+        """Drop every cached factor (and optionally move to a new generation).
+
+        Called when the network the engine was built over is refitted: the
+        cache key includes the generation, so even a stale entry could never
+        be returned, but dropping the table frees the memory immediately.
+        """
+        self._factors.clear()
+        if generation is not None:
+            self._generation = int(generation)
+        else:
+            self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Batched queries
+    # ------------------------------------------------------------------
+    def probability_batch(
+        self, assignments: Sequence[Mapping[str, Any]]
+    ) -> np.ndarray:
+        """``Pr(X_J = a_J)`` for every assignment, sharing elimination work.
+
+        Assignments are grouped by :func:`signature_of`; each group pays (at
+        most) one variable elimination pass, and every assignment in the
+        group is answered by indexing the group's joint factor.  Results are
+        bit-identical to calling
+        :meth:`~repro.bayesnet.inference.ExactInference.probability` per
+        assignment.  Raises :class:`~repro.exceptions.BayesNetError` on
+        attributes unknown to the schema (like the single-query path);
+        in-domain-attribute values *outside the modelled active domain*
+        simply get probability 0.0.
+        """
+        self.batches += 1
+        self.queries += len(assignments)
+        results = np.zeros(len(assignments), dtype=float)
+        if not assignments:
+            return results
+        # Encode every assignment first (raising on unknown attributes, like
+        # the single-query path does).  Empty assignments have probability
+        # one; assignments fixing a value outside the modelled active domain
+        # have probability zero — neither needs an elimination pass.
+        groups: dict[Signature, list[int]] = {}
+        encoded: list[dict[str, int]] = []
+        for index, assignment in enumerate(assignments):
+            codes = self._encode(assignment)
+            encoded.append(codes)
+            if not codes:
+                results[index] = 1.0
+            elif all(code >= 0 for code in codes.values()):
+                groups.setdefault(signature_of(codes), []).append(index)
+        for signature, indices in groups.items():
+            factor = self.eliminated_factor(signature)
+            results[indices] = self._restrict_many(
+                factor, [encoded[index] for index in indices]
+            )
+        return results
+
+    def probability_or_zero_batch(
+        self, assignments: Sequence[Mapping[str, Any]]
+    ) -> np.ndarray:
+        """Like :meth:`probability_batch` but unknown attributes yield 0.0."""
+        in_schema: list[Mapping[str, Any]] = []
+        keep: list[int] = []
+        for index, assignment in enumerate(assignments):
+            if all(name in self._network.schema for name in assignment):
+                in_schema.append(assignment)
+                keep.append(index)
+        results = np.zeros(len(assignments), dtype=float)
+        if in_schema:
+            results[keep] = self.probability_batch(in_schema)
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _encode(self, assignment: Mapping[str, Any]) -> dict[str, int]:
+        """Encode values to domain codes (-1 marks out-of-domain values)."""
+        return self._inference._encode(assignment)
+
+    @staticmethod
+    def _restrict_many(
+        factor: Factor, encoded: Sequence[Mapping[str, int]]
+    ) -> np.ndarray:
+        """Evaluate one joint factor at many full assignments at once.
+
+        This is the vectorized counterpart of ``factor.restrict(e).value()``:
+        one fancy-indexing gather per factor axis instead of one Python-level
+        restriction per assignment.
+        """
+        if factor.is_scalar:
+            value = float(np.clip(factor.value(), 0.0, 1.0))
+            return np.full(len(encoded), value)
+        missing = [a for a in factor.attributes if a not in encoded[0]]
+        if missing:
+            raise BayesNetError(
+                f"eliminated factor kept attributes {missing} absent from the "
+                "evidence; this indicates an elimination bug"
+            )
+        indexer = tuple(
+            np.fromiter(
+                (e[attribute] for e in encoded), dtype=np.intp, count=len(encoded)
+            )
+            for attribute in factor.attributes
+        )
+        return np.clip(factor.table[indexer], 0.0, 1.0)

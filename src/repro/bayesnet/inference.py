@@ -4,12 +4,18 @@ Themis answers point queries over tuples missing from the sample by computing
 ``n * Pr(X_1 = x_1, ..., X_d = x_d)`` from the learned Bayesian network
 (Sec. 4.2.4).  The paper's prototype used gRain for exact inference; this
 module implements variable elimination from scratch over the CPT factors.
+
+Point-query answering delegates to :class:`~repro.bayesnet.batched.
+BatchedInference` with batch size 1, so the per-query and batched paths are
+one code path: both run the same elimination per evidence signature (cached
+across calls) and the same vectorized factor lookup, making batched answers
+bit-identical to single-query answers by construction.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -17,34 +23,65 @@ from ..exceptions import BayesNetError
 from .factor import Factor, multiply_all
 from .network import BayesianNetwork
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .batched import BatchedInference
+
 
 class ExactInference:
-    """Variable-elimination inference over a :class:`BayesianNetwork`."""
+    """Variable-elimination inference over a :class:`BayesianNetwork`.
 
-    def __init__(self, network: BayesianNetwork):
+    Parameters
+    ----------
+    network:
+        The network to infer over.
+    batched:
+        The :class:`~repro.bayesnet.batched.BatchedInference` engine point
+        queries delegate to.  Normally omitted — a cross-linked engine is
+        built lazily on first use — and only passed by ``BatchedInference``
+        itself so the pair shares one per-signature factor cache.
+    """
+
+    def __init__(
+        self, network: BayesianNetwork, batched: "BatchedInference | None" = None
+    ):
         self._network = network
+        self._batched = batched
+
+    @property
+    def network(self) -> BayesianNetwork:
+        """The network this engine infers over."""
+        return self._network
+
+    @property
+    def batched(self) -> "BatchedInference":
+        """The batched engine sharing this engine's elimination routine.
+
+        Built lazily; :meth:`probability` is served through it so repeated
+        queries with the same evidence signature reuse one eliminated factor.
+        """
+        if self._batched is None:
+            from .batched import BatchedInference
+
+            self._batched = BatchedInference(self._network, inference=self)
+        return self._batched
 
     # ------------------------------------------------------------------
     # Public queries
     # ------------------------------------------------------------------
     def probability(self, assignment: Mapping[str, Any]) -> float:
-        """Probability of a partial assignment ``Pr(X_J = a_J)``."""
-        if not assignment:
-            return 1.0
-        evidence = self._encode(assignment)
-        if any(code < 0 for code in evidence.values()):
-            # A queried value outside the modelled active domain has zero
-            # probability under the network.
-            return 0.0
-        factor = self._eliminate(keep=tuple(evidence.keys()))
-        restricted = factor.restrict(evidence)
-        if not restricted.is_scalar:
-            restricted = restricted.marginalize(restricted.attributes)
-        return float(np.clip(restricted.value(), 0.0, 1.0))
+        """Probability of a partial assignment ``Pr(X_J = a_J)``.
+
+        Values outside an attribute's modelled active domain yield 0.0;
+        attributes missing from the schema raise
+        :class:`~repro.exceptions.BayesNetError`.  This is the batch-size-1
+        case of :meth:`BatchedInference.probability_batch`, so it benefits
+        from (and fills) the shared per-signature factor cache.
+        """
+        return float(self.batched.probability_batch([assignment])[0])
 
     def marginal(self, node: str) -> np.ndarray:
         """Exact marginal distribution vector of one node."""
-        factor = self._eliminate(keep=(node,))
+        factor = self.eliminate(keep=(node,))
         table = factor.table if factor.attributes == (node,) else np.atleast_1d(
             factor.table
         )
@@ -57,7 +94,7 @@ class ExactInference:
     def joint_marginal(self, nodes: Sequence[str]) -> Factor:
         """Joint marginal factor over several nodes (normalized)."""
         nodes = tuple(nodes)
-        factor = self._eliminate(keep=nodes)
+        factor = self.eliminate(keep=nodes)
         # Reorder axes to match the requested node order.
         if factor.attributes != nodes and factor.attributes:
             order = [factor.attributes.index(node) for node in nodes]
@@ -69,7 +106,7 @@ class ExactInference:
     ) -> np.ndarray:
         """Conditional distribution ``Pr(target | evidence)`` as a vector."""
         encoded = self._encode(evidence)
-        factor = self._eliminate(keep=(target,) + tuple(encoded.keys()))
+        factor = self.eliminate(keep=(target,) + tuple(encoded.keys()))
         restricted = factor.restrict(encoded)
         if restricted.attributes != (target,):
             raise BayesNetError("conditional query could not isolate the target node")
@@ -84,6 +121,10 @@ class ExactInference:
     # Internals
     # ------------------------------------------------------------------
     def _encode(self, assignment: Mapping[str, Any]) -> dict[str, int]:
+        """Map values to domain codes; -1 marks out-of-active-domain values.
+
+        Unknown attributes raise :class:`~repro.exceptions.BayesNetError`.
+        """
         encoded: dict[str, int] = {}
         for name, value in assignment.items():
             if name not in self._network.schema:
@@ -97,8 +138,16 @@ class ExactInference:
                 encoded[name] = code
         return encoded
 
-    def _eliminate(self, keep: Sequence[str]) -> Factor:
-        """Sum out every node not in ``keep`` using a min-degree-style ordering."""
+    def eliminate(self, keep: Sequence[str]) -> Factor:
+        """Sum out every node not in ``keep`` using a min-degree-style ordering.
+
+        The result is the unnormalized joint factor over exactly the ``keep``
+        variables.  Both the greedy elimination order and the resulting
+        factor depend only on the *set* of kept variables, which is what lets
+        :class:`~repro.bayesnet.batched.BatchedInference` cache results per
+        kept-variable set.  This runs a fresh elimination pass every call;
+        use ``batched.eliminated_factor()`` for the cached variant.
+        """
         keep_set = set(keep)
         factors = [cpt.to_factor() for cpt in self._network.cpts().values()]
         # Only nodes that are relevant (ancestors of kept nodes) need to be
@@ -156,11 +205,11 @@ class ExactInference:
     # Handling values outside the modelled domain
     # ------------------------------------------------------------------
     def probability_or_zero(self, assignment: Mapping[str, Any]) -> float:
-        """Like :meth:`probability` but returns 0.0 for out-of-domain values."""
-        try:
-            encoded = self._encode(assignment)
-        except BayesNetError:
-            return 0.0
-        if any(code < 0 for code in encoded.values()):
-            return 0.0
-        return self.probability(assignment)
+        """Like :meth:`probability` but unknown attributes also yield 0.0.
+
+        (Out-of-active-domain *values* of known attributes already yield 0.0
+        from :meth:`probability`; this additionally absorbs attributes the
+        schema has never seen.)  Batch-size-1 case of
+        :meth:`BatchedInference.probability_or_zero_batch`.
+        """
+        return float(self.batched.probability_or_zero_batch([assignment])[0])

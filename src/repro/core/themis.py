@@ -265,6 +265,18 @@ class Themis:
         """Open-world point query: estimated population count of a tuple."""
         return self.model.hybrid_evaluator.point(assignment)
 
+    def point_batch(self, assignments: Sequence[Mapping[str, Any]]) -> list[float]:
+        """Answer many point queries at once, sharing BN inference work.
+
+        In-sample tuples come from the reweighted sample; all out-of-sample
+        tuples are answered through one batched exact-inference call that
+        pays a single variable-elimination pass per evidence signature
+        (the set of attributes an assignment fixes).  Answers are
+        bit-identical to calling :meth:`point` per assignment — batching
+        changes the cost, never the result.
+        """
+        return self.model.hybrid_evaluator.point_batch(list(assignments))
+
     def group_by(self, query: GroupByQuery) -> QueryResult:
         """Open-world GROUP BY query."""
         return self.model.hybrid_evaluator.group_by(query)
@@ -316,7 +328,10 @@ class Themis:
 
         The session (and its caches) persists across calls and survives until
         the model is refitted; answers are identical to issuing each query
-        through :meth:`query` one by one.
+        through :meth:`query` one by one.  Within a batch, BN-routed point
+        plans are answered by one batched inference dispatch (one variable
+        elimination pass per evidence signature) and BN generated samples are
+        materialized at most once.
         """
         if self._serving_session is None:
             self._serving_session = self.serve()

@@ -8,6 +8,7 @@ shapes next to the paper's claims.
 """
 
 from .ablation_simplification import run_simplification_ablation
+from .bn_batch_throughput import bn_point_workload, run_bn_batch
 from .config import PAPER_SCALE, SMALL_SCALE, TINY_SCALE, ExperimentScale
 from .fig3_fig4_overall import (
     median_improvement_heavy,
@@ -50,6 +51,7 @@ __all__ = [
     "PAPER_SCALE",
     "SMALL_SCALE",
     "TINY_SCALE",
+    "bn_point_workload",
     "build_aggregates",
     "child_bundle",
     "clear_dataset_cache",
@@ -65,6 +67,7 @@ __all__ = [
     "reference_hybrid_error_with_2d",
     "run_1d_sweep",
     "run_bias_sweep",
+    "run_bn_batch",
     "run_bn_modes",
     "run_nd_sweep",
     "run_overall_accuracy",

@@ -34,6 +34,7 @@ def _build_registry() -> None:
     if EXPERIMENTS:
         return
     from .ablation_simplification import run_simplification_ablation
+    from .bn_batch_throughput import run_bn_batch
     from .fig3_fig4_overall import run_overall_accuracy, run_table4_improvement
     from .fig5_bias_sweep import run_bias_sweep
     from .fig6_sql_queries import run_sql_queries
@@ -69,6 +70,7 @@ def _build_registry() -> None:
     _register("table8", lambda scale: run_solver_time(scale))
     _register("ablation", lambda scale: run_simplification_ablation(scale))
     _register("serving", lambda scale: run_serving_throughput(scale))
+    _register("bn_batch", lambda scale: run_bn_batch(scale))
 
 
 def available_experiments() -> list[str]:

@@ -6,9 +6,12 @@ into a reusable query service for high-throughput workloads:
 * :mod:`repro.serving.planner` — canonical, hashable plan keys and evaluator
   routing (reweighted sample / Bayesian network / hybrid);
 * :mod:`repro.serving.cache` — the LRU result and plan caches plus the shared
-  BN inference cache, all invalidated when the model is refitted;
+  BN inference cache (per-signature eliminated factors), all invalidated when
+  the model is refitted;
 * :mod:`repro.serving.executor` — batched execution that groups plans sharing
-  GROUP BY columns/BN factors and amortizes generated-sample inference;
+  GROUP BY columns/BN factors, dispatches BN-routed point plans through one
+  batched variable-elimination call, and amortizes generated-sample
+  inference;
 * :mod:`repro.serving.session` — the long-lived serving front-end returned by
   ``Themis.serve()``;
 * :mod:`repro.serving.stats` — per-query outcomes, batch results, and

@@ -4,10 +4,12 @@ Tier one is :class:`ResultCache`, an LRU map from canonical plan keys to final
 query answers, plus :class:`PlanCache`, an LRU map from raw SQL text to its
 :class:`~repro.serving.planner.QueryPlan` (parsing and bucketizing are cheap
 but not free at serving rates).  Tier two is :class:`InferenceCache`, shared
-by *all* queries of one session: it memoizes exact-inference point
-probabilities and node marginals and owns the warm-up of the Bayesian
-network's forward-sampled relations, so repeated BN work is paid once per
-fitted model rather than once per query.
+by *all* queries of one session: it fronts the Bayesian network's batched
+inference engine (per-signature eliminated factors, so a whole batch of
+point queries pays one variable-elimination pass per evidence-variable set),
+memoizes node marginals, and owns the warm-up of the network's
+forward-sampled relations — repeated BN work is paid once per fitted model
+rather than once per query.
 
 Every cache is tagged with the generation of the model it was built against;
 :class:`~repro.serving.session.ServingSession` drops all tiers whenever
@@ -17,12 +19,15 @@ Every cache is tagged with the generation of the model it was built against;
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Hashable, Mapping
+from collections.abc import Hashable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..core.evaluators import BayesNetEvaluator
 from ..schema import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..bayesnet import BatchedInference
 
 #: Sentinel distinguishing "missing" from a cached ``None``/0.0 value.
 _MISSING = object()
@@ -38,7 +43,7 @@ class CacheStatistics:
 
     @property
     def lookups(self) -> int:
-        """Total number of lookups."""
+        """Total number of lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -115,6 +120,17 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._cache)
 
+    def __contains__(self, key: Hashable) -> bool:
+        """Whether a plan key is cached, without touching hit/miss counters.
+
+        The batch executor uses this to decide which BN point plans still
+        need inference; the counted lookup happens later — in
+        ``execute_plan`` for cached plans, or explicitly in the batched
+        dispatch branch for the misses it answers — so hit/miss statistics
+        match per-plan execution exactly.
+        """
+        return key in self._cache
+
     def lookup(self, key: Hashable) -> Any:
         """The cached answer for a plan key, or ``None`` on a miss."""
         value = self._cache.get(key, _MISSING)
@@ -162,38 +178,76 @@ class PlanCache:
 class InferenceCache:
     """Tier-two cache: BN inference state shared across all queries.
 
-    The executor's hot path uses two pieces: memoized exact-inference point
-    answers (:meth:`point`) and the warm-up of the evaluator's ``K``
-    forward-sampled relations (:meth:`warm_samples`), so a whole batch
-    materializes them exactly once.  :meth:`marginal` memoizes per-node
-    marginals for serving-layer consumers outside the executor (diagnostics,
-    and the planned async/sharded front-ends in ROADMAP.md); nothing on the
-    batch path calls it today.
+    The executor's hot path uses two pieces: per-signature eliminated
+    factors for exact-inference point answers (:meth:`point` /
+    :meth:`point_batch`) and the warm-up of the evaluator's ``K``
+    forward-sampled relations (:meth:`warm_samples`), so a whole batch pays
+    each elimination pass and the sample materialization exactly once.
+
+    Point answers are *not* memoized per assignment (the tier-one result
+    cache already does that, keyed by canonical plan); what this tier holds
+    is the expensive intermediate — the joint factor over each queried
+    evidence-variable set, cached inside the evaluator's
+    :class:`~repro.bayesnet.BatchedInference` engine keyed by
+    ``(generation, kept-variable set)``.  A point query whose signature
+    factor is already cached counts as a hit; one that pays a fresh variable
+    elimination pass counts as a miss.
+
+    The factor cache deliberately lives on the *model's* engine, not on this
+    object: ``Themis.point()`` and every serving session over one fitted
+    model share a single cache, which is what makes the per-query and
+    batched paths one (bit-identical) code path.  Consequently sessions over
+    the same model also share capacity — the most recently constructed or
+    invalidated session's ``factor_capacity`` wins — and
+    :meth:`describe`'s engine counters are engine-lifetime totals, while
+    :attr:`statistics` only counts lookups made through *this* cache.
+
+    :meth:`marginal` memoizes per-node marginals for serving-layer consumers
+    outside the executor (diagnostics, and the planned async/sharded
+    front-ends in ROADMAP.md); nothing on the batch path calls it today.
     """
 
     evaluator: BayesNetEvaluator
     generation: int = 0
-    point_capacity: int = 4096
+    factor_capacity: int = 128
     statistics: CacheStatistics = field(default_factory=CacheStatistics)
-    _points: LRUCache = field(init=False, repr=False)
     _marginals: dict[str, Any] = field(init=False, repr=False)
     _samples_warm: bool = field(init=False, default=False, repr=False)
 
     def __post_init__(self):
-        self._points = LRUCache(self.point_capacity)
         self._marginals = {}
+        self._configure_engine()
+
+    def _configure_engine(self) -> "BatchedInference":
+        """Apply this cache's factor capacity to the evaluator's engine."""
+        engine = self.evaluator.inference.batched
+        engine.factor_cache_capacity = self.factor_capacity
+        return engine
+
+    @property
+    def engine(self) -> "BatchedInference":
+        """The shared batched-inference engine holding the factor cache."""
+        return self.evaluator.inference.batched
 
     def point(self, assignment: Mapping[str, Any]) -> float:
-        """Memoized ``n * Pr(X = x)`` from exact inference."""
-        key = tuple(sorted(assignment.items()))
-        value = self._points.get(key, _MISSING)
-        if value is not _MISSING:
-            self.statistics.hits += 1
-            return value
-        self.statistics.misses += 1
-        value = self.evaluator.point(assignment)
-        self._points.put(key, value)
-        return value
+        """``n * Pr(X = x)`` by exact inference over a cached joint factor."""
+        return self.point_batch([assignment])[0]
+
+    def point_batch(self, assignments: Sequence[Mapping[str, Any]]) -> list[float]:
+        """Batched point answers: one elimination pass per evidence signature.
+
+        Bit-identical to calling ``evaluator.point()`` per assignment — the
+        batched engine is the same code path with the per-assignment factor
+        restriction vectorized.  Factor-cache hits/misses observed during
+        the call are folded into :attr:`statistics`.
+        """
+        engine = self.engine
+        hits_before = engine.factor_cache_hits
+        misses_before = engine.factor_cache_misses
+        values = self.evaluator.point_batch(assignments)
+        self.statistics.hits += engine.factor_cache_hits - hits_before
+        self.statistics.misses += engine.factor_cache_misses - misses_before
+        return values
 
     def marginal(self, node: str):
         """Memoized exact marginal distribution of one BN node."""
@@ -220,9 +274,21 @@ class InferenceCache:
         return samples
 
     def invalidate(self, evaluator: BayesNetEvaluator, generation: int) -> None:
-        """Rebind to a freshly fitted model, dropping all memoized state."""
+        """Rebind to a freshly fitted model, dropping all memoized state.
+
+        The per-signature factor cache moves with the evaluator: the old
+        engine's factors are dropped, and the new evaluator's engine is
+        stamped with the new generation (its cache keys embed it, so factors
+        from a previous fit can never answer a query against the new one).
+        """
+        old_engine = self.engine
         self.evaluator = evaluator
         self.generation = generation
-        self._points.clear()
+        old_engine.invalidate(generation)
+        self._configure_engine().invalidate(generation)
         self._marginals.clear()
         self._samples_warm = False
+
+    def describe(self) -> dict[str, Any]:
+        """Hit/miss counters plus the engine's amortization counters."""
+        return {**self.statistics.as_dict(), **self.engine.statistics()}

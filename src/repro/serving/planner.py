@@ -171,6 +171,7 @@ class QueryPlanner:
         raise QueryError(f"unsupported query type {type(query).__name__}")
 
     def _point_key(self, assignment: dict[str, Any]) -> PlanKey:
+        """Canonical key of a point query: sorted (attribute, code) pairs."""
         items = tuple(
             sorted(
                 (name, self._bucketize(name, Comparison.EQ, value))
@@ -180,6 +181,7 @@ class QueryPlanner:
         return ("point", items)
 
     def _canonical_predicates(self, predicates: tuple[Predicate, ...]) -> tuple:
+        """Order-insensitive, bucketized form of a WHERE conjunct list."""
         canonical = []
         for predicate in predicates:
             value = self._bucketize(
@@ -256,6 +258,7 @@ class QueryPlanner:
 
     @staticmethod
     def _needs_generated_samples(query: Query, route: str) -> bool:
+        """Whether serving the plan touches the BN's forward-sampled relations."""
         if isinstance(query, (GroupByQuery, JoinGroupByQuery)):
             return True  # the hybrid merges in BN groups from generated samples
         if isinstance(query, ScalarAggregateQuery):
@@ -266,6 +269,7 @@ class QueryPlanner:
     # Validation
     # ------------------------------------------------------------------
     def _validate(self, query: Query) -> None:
+        """Reject queries referencing attributes the sample schema lacks."""
         names: tuple[str, ...]
         if isinstance(query, JoinGroupByQuery):
             names = (

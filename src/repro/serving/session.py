@@ -36,8 +36,12 @@ class ServingSession:
         Capacity of the LRU result cache (plan-key -> answer).
     plan_cache_size:
         Capacity of the LRU SQL-text -> plan cache.
-    inference_point_capacity:
-        Capacity of the memo of BN exact-inference point answers.
+    inference_factor_capacity:
+        Capacity of the per-signature eliminated-factor cache backing
+        batched BN point inference (one factor per queried evidence-variable
+        set, so a modest capacity covers most workloads).  The factor cache
+        lives on the fitted model's inference engine and is shared by every
+        session over that model; the most recent session's capacity wins.
     """
 
     def __init__(
@@ -45,12 +49,12 @@ class ServingSession:
         themis: "Themis",
         result_cache_size: int = 256,
         plan_cache_size: int = 512,
-        inference_point_capacity: int = 4096,
+        inference_factor_capacity: int = 128,
     ):
         self._themis = themis
         self._result_cache = ResultCache(result_cache_size)
         self._plan_cache = PlanCache(plan_cache_size)
-        self._inference_point_capacity = int(inference_point_capacity)
+        self._inference_factor_capacity = int(inference_factor_capacity)
         self._inference_cache: InferenceCache | None = None
         self._executor: BatchExecutor | None = None
         self._generation: int | None = None
@@ -85,7 +89,7 @@ class ServingSession:
             self._inference_cache = InferenceCache(
                 model.bayes_net_evaluator,
                 generation=generation,
-                point_capacity=self._inference_point_capacity,
+                factor_capacity=self._inference_factor_capacity,
             )
         else:
             self._inference_cache.invalidate(model.bayes_net_evaluator, generation)
@@ -140,7 +144,7 @@ class ServingSession:
 
     @property
     def plan_cache(self) -> PlanCache:
-        """The SQL-text plan cache."""
+        """The LRU cache mapping raw SQL text to its planned form."""
         return self._plan_cache
 
     @property
@@ -165,7 +169,7 @@ class ServingSession:
             "plan_cache": self._plan_cache.statistics.as_dict(),
         }
         if self._inference_cache is not None:
-            stats["inference_cache"] = self._inference_cache.statistics.as_dict()
+            stats["inference_cache"] = self._inference_cache.describe()
         return stats
 
     def describe(self) -> dict[str, Any]:

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..query.ast import PointQuery
 from ..sql.engine import QueryResult
-from .planner import QueryPlan
+from .planner import ROUTE_BAYES_NET, QueryPlan
 
 
 @dataclass
@@ -35,6 +36,9 @@ class QueryOutcome:
     deduplicated:
         Whether the answer was shared with an identical plan earlier in the
         same batch (executed once, fanned out).
+    bn_batched:
+        Whether the answer came out of the batch's single shared
+        variable-elimination dispatch (BN-routed point plans only).
     """
 
     index: int
@@ -43,11 +47,19 @@ class QueryOutcome:
     seconds: float = 0.0
     from_result_cache: bool = False
     deduplicated: bool = False
+    bn_batched: bool = False
 
     @property
     def route(self) -> str:
         """The evaluator route the plan took."""
         return self.plan.route
+
+    @property
+    def is_bn_point(self) -> bool:
+        """Whether this is a BN-routed point query (the batchable shape)."""
+        return self.plan.route == ROUTE_BAYES_NET and isinstance(
+            self.plan.query, PointQuery
+        )
 
 
 @dataclass
@@ -59,6 +71,13 @@ class BatchResult:
     #: Seconds spent materializing BN generated samples, paid once and shared
     #: by every plan in the batch that needed them.
     amortized_inference_seconds: float = 0.0
+    #: Seconds spent in the batch's single BN point-inference dispatch (one
+    #: variable-elimination pass per evidence signature, shared by every
+    #: BN-routed point plan in the batch).
+    bn_batch_seconds: float = 0.0
+    #: Variable-elimination passes the batched dispatch actually ran (a
+    #: warm per-signature factor cache makes this zero).
+    bn_elimination_passes: int = 0
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -76,8 +95,13 @@ class BatchResult:
         return sum(1 for outcome in self.outcomes if outcome.from_result_cache)
 
     @property
+    def bn_batched_points(self) -> int:
+        """Queries answered by the shared batched BN inference dispatch."""
+        return sum(1 for outcome in self.outcomes if outcome.bn_batched)
+
+    @property
     def queries_per_second(self) -> float:
-        """Batch throughput."""
+        """Batch throughput: queries served per second of batch wall-clock."""
         if self.total_seconds <= 0:
             return float("inf") if self.outcomes else 0.0
         return len(self.outcomes) / self.total_seconds
@@ -94,6 +118,9 @@ class BatchResult:
             "result_cache_hits": self.cache_hits,
             "deduplicated": sum(1 for o in self.outcomes if o.deduplicated),
             "amortized_inference_seconds": self.amortized_inference_seconds,
+            "bn_batched_points": self.bn_batched_points,
+            "bn_batch_seconds": self.bn_batch_seconds,
+            "bn_elimination_passes": self.bn_elimination_passes,
             "routes": routes,
         }
 
@@ -107,12 +134,21 @@ class ServingStatistics:
     total_seconds: float = 0.0
     invalidations: int = 0
     route_counts: dict[str, int] = field(default_factory=dict)
+    #: BN-routed point queries answered through the shared batched dispatch
+    #: vs. individually (single-query serving, or cache-refill stragglers).
+    bn_points_batched: int = 0
+    bn_points_single: int = 0
 
     def record_outcome(self, outcome: QueryOutcome) -> None:
         """Fold one served query into the counters."""
         self.queries_served += 1
         self.total_seconds += outcome.seconds
         self.route_counts[outcome.route] = self.route_counts.get(outcome.route, 0) + 1
+        if outcome.is_bn_point and not outcome.from_result_cache and not outcome.deduplicated:
+            if outcome.bn_batched:
+                self.bn_points_batched += 1
+            else:
+                self.bn_points_single += 1
 
     def record_batch(self, batch: BatchResult) -> None:
         """Fold one served batch into the counters."""
@@ -121,11 +157,13 @@ class ServingStatistics:
             self.record_outcome(outcome)
 
     def as_dict(self) -> dict[str, Any]:
-        """A plain-dict snapshot."""
+        """A plain-dict snapshot of every session-lifetime counter."""
         return {
             "queries_served": self.queries_served,
             "batches_served": self.batches_served,
             "total_seconds": self.total_seconds,
             "invalidations": self.invalidations,
             "route_counts": dict(self.route_counts),
+            "bn_points_batched": self.bn_points_batched,
+            "bn_points_single": self.bn_points_single,
         }

@@ -137,10 +137,33 @@ def correlated_aggregates(correlated_population) -> AggregateSet:
     return build_correlated_aggregates(correlated_population)
 
 
+def build_sparse_fitted_themis() -> Themis:
+    """A facade fitted on a very sparse sample, so many tuples route to the BN."""
+    population = build_correlated_population()
+    themis = Themis(
+        ThemisConfig(
+            seed=3,
+            ipf_max_iterations=20,
+            n_generated_samples=2,
+            generated_sample_size=200,
+        )
+    )
+    themis.load_sample(build_biased_correlated_sample(population).take(np.arange(30)))
+    themis.add_aggregates(build_correlated_aggregates(population))
+    themis.fit()
+    return themis
+
+
 @pytest.fixture(scope="session")
 def serving_themis() -> Themis:
     """A fitted facade shared (read-only) by the serving-layer tests."""
     return build_fitted_themis()
+
+
+@pytest.fixture(scope="session")
+def sparse_serving_themis() -> Themis:
+    """A fitted facade whose sample misses many tuples (read-only, BN-heavy)."""
+    return build_sparse_fitted_themis()
 
 
 @pytest.fixture

@@ -1,0 +1,255 @@
+"""Tests for batched variable-elimination inference.
+
+The load-bearing guarantee: batching shares work but never changes answers —
+``BatchedInference.probability_batch`` is bit-identical to per-query
+``ExactInference.probability``, across mixed evidence signatures,
+out-of-domain values, and cache generations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (
+    BatchedInference,
+    ExactInference,
+    group_by_signature,
+    signature_of,
+)
+from repro.exceptions import BayesNetError
+from repro.query import PointQuery
+
+MIXED_BATCH = [
+    {"A": 0},
+    {"B": 1, "A": 2},
+    {"A": 2, "B": 1},  # same signature (and same assignment) as above
+    {"C": 1},
+    {"A": 1, "B": 0, "C": 1},
+    {"C": 0, "A": 0},
+    {"B": 2},
+    {"A": 1, "C": 0},  # same signature as {"C": 0, "A": 0}
+]
+
+
+@pytest.fixture
+def network(serving_themis):
+    return serving_themis.model.bayes_net_evaluator.network
+
+
+def missing_assignments(themis) -> list[dict]:
+    """Mixed-signature assignments absent from the sample (hence BN-routed)."""
+    sample = themis.model.weighted_sample
+    candidates = [
+        {"A": a, "B": b} for a in (0, 1, 2) for b in (0, 1, 2)
+    ] + [
+        {"B": b, "C": c} for b in (0, 1, 2) for c in (0, 1)
+    ] + [
+        {"A": a, "B": b, "C": c}
+        for a in (0, 1, 2)
+        for b in (0, 1, 2)
+        for c in (0, 1)
+    ]
+    return [a for a in candidates if not sample.contains(a)]
+
+
+class TestSignatureHelpers:
+    def test_signature_is_sorted_variable_names(self):
+        assert signature_of({"b": 1, "a": 0}) == ("a", "b")
+        assert signature_of({}) == ()
+
+    def test_insertion_order_does_not_matter(self):
+        assert signature_of({"x": 1, "y": 2}) == signature_of({"y": 9, "x": 0})
+
+    def test_grouping_preserves_batch_order(self):
+        groups = group_by_signature([{"a": 0}, {"b": 1}, {"a": 2}, {"a": 1, "b": 0}])
+        assert groups == {("a",): [0, 2], ("b",): [1], ("a", "b"): [3]}
+
+
+class TestBitIdentity:
+    def test_mixed_signature_batch_matches_per_query(self, network):
+        engine = BatchedInference(network)
+        batched = engine.probability_batch(MIXED_BATCH)
+        # Fresh single-query engines: one independent elimination per query.
+        singles = [ExactInference(network).probability(a) for a in MIXED_BATCH]
+        assert batched.tolist() == singles  # exact float equality, bit for bit
+
+    def test_delegating_single_path_is_the_batched_path(self, network):
+        shared = ExactInference(network)
+        singles = [shared.probability(a) for a in MIXED_BATCH]
+        batched = BatchedInference(network).probability_batch(MIXED_BATCH)
+        assert batched.tolist() == singles
+
+    def test_evaluator_point_batch_matches_point(self, serving_themis):
+        evaluator = serving_themis.model.bayes_net_evaluator
+        batched = evaluator.point_batch(MIXED_BATCH)
+        assert batched == [evaluator.point(a) for a in MIXED_BATCH]
+
+    def test_hybrid_point_batch_routes_like_point(self, serving_themis):
+        hybrid = serving_themis.model.hybrid_evaluator
+        # Mix of in-sample tuples (sample route) and missing ones (BN route).
+        batch = MIXED_BATCH + [{"A": 0, "B": 0, "C": 0}]
+        assert hybrid.point_batch(batch) == [hybrid.point(a) for a in batch]
+
+    def test_themis_facade_point_batch(self, serving_themis):
+        answers = serving_themis.point_batch(MIXED_BATCH)
+        assert answers == [serving_themis.point(a) for a in MIXED_BATCH]
+
+
+class TestEdgeCases:
+    def test_empty_batch(self, network):
+        engine = BatchedInference(network)
+        assert engine.probability_batch([]).tolist() == []
+        assert engine.elimination_passes == 0
+
+    def test_singleton_batch(self, network):
+        engine = BatchedInference(network)
+        assert engine.probability_batch([{"A": 0}])[0] == ExactInference(
+            network
+        ).probability({"A": 0})
+
+    def test_empty_assignment_has_probability_one(self, network):
+        engine = BatchedInference(network)
+        assert engine.probability_batch([{}]).tolist() == [1.0]
+        assert engine.elimination_passes == 0
+
+    def test_out_of_domain_value_is_zero_inside_a_batch(self, network):
+        engine = BatchedInference(network)
+        batch = [{"A": 0}, {"A": 99}, {"B": 1, "A": "nope"}, {"B": 1}]
+        results = engine.probability_batch(batch)
+        assert results[1] == 0.0
+        assert results[2] == 0.0
+        assert results[0] == ExactInference(network).probability({"A": 0})
+        assert results[3] == ExactInference(network).probability({"B": 1})
+        # Out-of-domain assignments never pay an elimination pass.
+        assert engine.elimination_passes == 2
+
+    def test_unknown_attribute_raises_like_single_path(self, network):
+        engine = BatchedInference(network)
+        with pytest.raises(BayesNetError):
+            engine.probability_batch([{"A": 0}, {"Z": 1}])
+        assert engine.probability_or_zero_batch([{"Z": 1}, {"A": 0}])[0] == 0.0
+
+    def test_probabilities_are_clipped_to_unit_interval(self, network):
+        engine = BatchedInference(network)
+        values = engine.probability_batch(MIXED_BATCH)
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+
+
+class TestFactorCache:
+    def test_one_elimination_pass_per_signature(self, network):
+        engine = BatchedInference(network)
+        engine.probability_batch(MIXED_BATCH)
+        signatures = {signature_of(a) for a in MIXED_BATCH}
+        assert engine.elimination_passes == len(signatures)
+        assert engine.cached_factor_count == len(signatures)
+
+    def test_repeat_batch_runs_no_new_eliminations(self, network):
+        engine = BatchedInference(network)
+        engine.probability_batch(MIXED_BATCH)
+        passes = engine.elimination_passes
+        engine.probability_batch(MIXED_BATCH)
+        assert engine.elimination_passes == passes
+        assert engine.factor_cache_hits > 0
+
+    def test_capacity_is_lru_bounded(self, network):
+        engine = BatchedInference(network, factor_cache_capacity=2)
+        engine.probability_batch(MIXED_BATCH)
+        assert engine.cached_factor_count <= 2
+        engine.factor_cache_capacity = 1
+        assert engine.cached_factor_count <= 1
+        with pytest.raises(ValueError):
+            engine.factor_cache_capacity = 0
+
+    def test_invalidate_drops_factors_and_moves_generation(self, network):
+        engine = BatchedInference(network)
+        engine.probability_batch([{"A": 0}])
+        assert engine.cached_factor_count == 1
+        engine.invalidate(generation=7)
+        assert engine.cached_factor_count == 0
+        assert engine.generation == 7
+        engine.probability_batch([{"A": 0}])
+        assert engine.elimination_passes == 2  # the factor was re-eliminated
+
+
+class TestServingIntegration:
+    def test_batch_of_bn_points_is_dispatched_batched(self, sparse_serving_themis):
+        missing = missing_assignments(sparse_serving_themis)
+        assert len({signature_of(a) for a in missing}) >= 2  # mixed signatures
+        session = sparse_serving_themis.serve()
+        batch = session.execute_batch([PointQuery(a) for a in missing])
+        assert batch.bn_batched_points == len(missing)
+        assert batch.bn_elimination_passes <= len(
+            {signature_of(a) for a in missing}
+        )
+        assert batch.bn_batch_seconds >= 0.0
+        assert session.statistics.bn_points_batched == len(missing)
+        for outcome, assignment in zip(batch, missing):
+            assert outcome.bn_batched
+            assert outcome.result == sparse_serving_themis.point(assignment)
+
+    def test_single_query_serving_counts_as_single(self, sparse_serving_themis):
+        missing = missing_assignments(sparse_serving_themis)[0]
+        session = sparse_serving_themis.serve()
+        outcome = session.execute_with_outcome(PointQuery(missing))
+        assert outcome.is_bn_point
+        assert not outcome.bn_batched
+        assert session.statistics.bn_points_single == 1
+
+    def test_batched_dispatch_counts_result_cache_misses(self, sparse_serving_themis):
+        """The batched dispatch must not distort result-cache statistics."""
+        missing = missing_assignments(sparse_serving_themis)
+        session = sparse_serving_themis.serve()
+        session.execute_batch([PointQuery(a) for a in missing])
+        stats = session.result_cache.statistics
+        assert stats.misses == len(missing)  # one counted miss per cold plan
+        assert stats.hits == 0
+        session.execute_batch([PointQuery(a) for a in missing])
+        assert session.result_cache.statistics.hits == len(missing)
+
+    def test_out_of_domain_point_in_a_batch_is_zero(self, sparse_serving_themis):
+        in_domain = missing_assignments(sparse_serving_themis)[0]
+        out_of_domain = {"A": 99, "B": 0}
+        session = sparse_serving_themis.serve()
+        batch = session.execute_batch(
+            [PointQuery(in_domain), PointQuery(out_of_domain)]
+        )
+        assert batch.outcomes[1].result == 0.0
+        assert batch.outcomes[0].result == sparse_serving_themis.point(in_domain)
+
+    def test_refit_invalidates_per_signature_factors(self, fresh_serving_themis):
+        session = fresh_serving_themis.serve()
+        missing = missing_assignments(fresh_serving_themis)
+        assert missing, "expected at least one out-of-sample assignment"
+        queries = [PointQuery(a) for a in missing]
+        before = session.execute_batch(queries)
+        engine = session.inference_cache.engine
+        assert engine.cached_factor_count > 0
+        old_generation = engine.generation
+
+        fresh_serving_themis.refit()
+        after = session.execute_batch(queries)
+        engine = session.inference_cache.engine
+        assert engine.generation != old_generation
+        # Same inputs and seed: the refitted model answers identically, and
+        # the batch had to pay fresh elimination passes (no stale factors).
+        assert after.bn_elimination_passes > 0
+        assert before.results() == after.results()
+
+    def test_inference_cache_describe_exposes_engine_counters(self, serving_themis):
+        session = serving_themis.serve()
+        session.execute_batch(["SELECT COUNT(*) FROM sample WHERE A = 0"])
+        description = session.describe()
+        inference = description["caches"]["inference_cache"]
+        assert {"elimination_passes", "factor_cache_hits", "cached_factors"} <= set(
+            inference
+        )
+
+
+class TestExports:
+    def test_public_api_exports_batched_names(self):
+        import repro
+
+        for name in ("BatchedInference", "signature_of", "group_by_signature"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)

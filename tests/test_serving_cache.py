@@ -103,19 +103,41 @@ class TestPlanCache:
 class TestInferenceCache:
     @pytest.fixture
     def inference_cache(self, serving_themis):
-        return InferenceCache(serving_themis.model.bayes_net_evaluator)
+        cache = InferenceCache(serving_themis.model.bayes_net_evaluator)
+        # The factor cache lives on the model's shared inference engine and
+        # other tests may have warmed it; start cold so hit/miss counts are
+        # deterministic.
+        cache.engine.invalidate(cache.generation)
+        return cache
 
     def test_point_matches_evaluator(self, serving_themis, inference_cache):
         evaluator = serving_themis.model.bayes_net_evaluator
         assignment = {"A": 1, "B": 2}
         assert inference_cache.point(assignment) == evaluator.point(assignment)
 
-    def test_point_is_memoized(self, inference_cache):
+    def test_point_signature_factor_is_memoized(self, inference_cache):
         first = inference_cache.point({"A": 1})
         second = inference_cache.point({"A": 1})
         assert first == second
         assert inference_cache.statistics.hits == 1
         assert inference_cache.statistics.misses == 1
+        # A *different* assignment with the same evidence signature reuses
+        # the eliminated factor too: per-signature caching, not per-answer.
+        inference_cache.point({"A": 2})
+        assert inference_cache.statistics.hits == 2
+        assert inference_cache.statistics.misses == 1
+
+    def test_batch_pays_one_elimination_per_signature(self, inference_cache):
+        batch = [{"A": 0}, {"A": 1}, {"A": 2, "B": 0}, {"B": 0, "A": 1}]
+        answers = inference_cache.point_batch(batch)
+        assert answers == [inference_cache.evaluator.point(a) for a in batch]
+        # One factor lookup per signature group ({A} and {A,B}), both cold.
+        assert inference_cache.statistics.misses == 2
+        assert inference_cache.statistics.hits == 0
+        # The same batch again touches both factors without re-eliminating.
+        inference_cache.point_batch(batch)
+        assert inference_cache.statistics.hits == 2
+        assert inference_cache.engine.elimination_passes >= 2
 
     def test_marginal_is_memoized_and_normalized(self, inference_cache):
         marginal = inference_cache.marginal("A")
