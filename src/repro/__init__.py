@@ -32,6 +32,7 @@ from .bayesnet import (
 )
 from .core import (
     BayesNetEvaluator,
+    ExplainedResult,
     HybridEvaluator,
     ReweightedSampleEvaluator,
     Themis,
@@ -40,6 +41,7 @@ from .core import (
 )
 from .exceptions import ThemisError
 from .metrics import percent_difference
+from .plan import ColumnarExecutor, LogicalPlan, MaskCache, PlanCompiler
 from .query import GroupByQuery, PointQuery, Predicate, ScalarAggregateQuery
 from .reweighting import (
     HorvitzThompsonReweighter,
@@ -68,9 +70,11 @@ __all__ = [
     "BatchedInference",
     "BayesNetEvaluator",
     "BayesianNetwork",
+    "ColumnarExecutor",
     "Database",
     "Domain",
     "ExactInference",
+    "ExplainedResult",
     "ForwardSampler",
     "GroupByQuery",
     "HorvitzThompsonReweighter",
@@ -78,6 +82,9 @@ __all__ = [
     "IPFReweighter",
     "LearningMode",
     "LinearRegressionReweighter",
+    "LogicalPlan",
+    "MaskCache",
+    "PlanCompiler",
     "PointQuery",
     "Predicate",
     "QueryPlan",

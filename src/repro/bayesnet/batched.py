@@ -99,11 +99,13 @@ class BatchedInference:
         self._inference = inference
         self._capacity = int(factor_cache_capacity)
         self._factors: OrderedDict[tuple, Factor] = OrderedDict()
+        self._derived: OrderedDict[tuple, Factor] = OrderedDict()
         self._generation = int(generation)
         # Counters: how much elimination work was paid vs. amortized.
         self.elimination_passes = 0
         self.factor_cache_hits = 0
         self.factor_cache_misses = 0
+        self.derived_factors = 0
         self.batches = 0
         self.queries = 0
 
@@ -146,6 +148,7 @@ class BatchedInference:
             "elimination_passes": self.elimination_passes,
             "factor_cache_hits": self.factor_cache_hits,
             "factor_cache_misses": self.factor_cache_misses,
+            "derived_factors": self.derived_factors,
             "cached_factors": self.cached_factor_count,
         }
 
@@ -181,10 +184,57 @@ class BatchedInference:
         be returned, but dropping the table frees the memory immediately.
         """
         self._factors.clear()
+        self._derived.clear()
         if generation is not None:
             self._generation = int(generation)
         else:
             self._generation += 1
+
+    def joint_factor(self, variables: Sequence[str], allow_derived: bool = False) -> Factor:
+        """The joint factor over ``variables``, optionally derived by prefix reuse.
+
+        With ``allow_derived=False`` this is exactly :meth:`eliminated_factor`
+        (the bit-exact path point queries rely on).  With
+        ``allow_derived=True`` — the aggregate-lowering path — a cached
+        factor over a *superset* of ``variables`` (an already-eliminated
+        shared prefix) is marginalized down instead of paying a fresh
+        elimination pass.  Derived factors are mathematically equal but not
+        bit-identical to freshly eliminated ones, so they live in their own
+        cache and are never returned to the exact point-query path.
+        """
+        wanted = frozenset(variables)
+        exact_key = (self._generation, wanted)
+        cached = self._factors.get(exact_key)
+        if cached is not None:
+            self._factors.move_to_end(exact_key)
+            self.factor_cache_hits += 1
+            return cached
+        if not allow_derived:
+            return self.eliminated_factor(tuple(variables))
+        derived = self._derived.get(exact_key)
+        if derived is not None:
+            self._derived.move_to_end(exact_key)
+            self.factor_cache_hits += 1
+            return derived
+        # Look for the smallest cached superset (exact factors first) whose
+        # eliminated prefix covers every wanted variable.
+        best: Factor | None = None
+        for store in (self._factors, self._derived):
+            for (generation, kept), factor in store.items():
+                if generation != self._generation or not wanted <= kept:
+                    continue
+                if best is None or len(factor.attributes) < len(best.attributes):
+                    best = factor
+        if best is None:
+            return self.eliminated_factor(tuple(variables))
+        self.derived_factors += 1
+        derived = best.marginalize(
+            [name for name in best.attributes if name not in wanted]
+        )
+        self._derived[exact_key] = derived
+        if len(self._derived) > self._capacity:
+            self._derived.popitem(last=False)
+        return derived
 
     # ------------------------------------------------------------------
     # Batched queries
@@ -228,6 +278,162 @@ class BatchedInference:
                 factor, [encoded[index] for index in indices]
             )
         return results
+
+    def conditional_batch(
+        self, queries: Sequence[tuple[str, Mapping[str, Any]]]
+    ) -> list[np.ndarray]:
+        """``Pr(target | evidence)`` vectors, sharing eliminated factors.
+
+        Queries are grouped by their kept-variable set (target plus evidence
+        variables); each group reuses one cached eliminated factor, so a
+        batch of conditionals over the same variables pays (at most) one
+        variable-elimination pass.  Results are bit-identical to
+        :meth:`~repro.bayesnet.inference.ExactInference.conditional` computed
+        per query — the per-query path delegates here with batch size 1.
+        """
+        self.batches += 1
+        self.queries += len(queries)
+        results: list[np.ndarray | None] = [None] * len(queries)
+        groups: dict[Signature, list[int]] = {}
+        encoded: list[tuple[str, dict[str, int]]] = []
+        for index, (target, evidence) in enumerate(queries):
+            codes = self._encode(evidence)
+            encoded.append((target, codes))
+            kept = tuple(sorted({target, *codes}))
+            groups.setdefault(kept, []).append(index)
+        for kept, indices in groups.items():
+            factor = self.eliminated_factor(kept)
+            for index in indices:
+                target, codes = encoded[index]
+                restricted = factor.restrict(codes)
+                if restricted.attributes != (target,):
+                    raise BayesNetError(
+                        "conditional query could not isolate the target node"
+                    )
+                table = restricted.table
+                total = table.sum()
+                if total <= 0:
+                    size = self._network.schema[target].size
+                    results[index] = np.full(size, 1.0 / size)
+                else:
+                    results[index] = table / total
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]  # every slot asserted filled
+
+    def restricted_aggregate_batch(
+        self,
+        requests: Sequence[
+            tuple[tuple[str, ...], tuple, str, str | None]
+        ],
+    ) -> list[list[tuple[tuple[int, ...], float, float]]]:
+        """Lower Filter-restricted scalar/GROUP BY aggregate plans to factors.
+
+        Each request is ``(group_keys, restrictions, function, attribute)``
+        where ``restrictions`` is a sorted tuple of
+        ``(attribute, allowed-code flags)`` pairs (the compiled conjunction's
+        per-axis masks) and ``function`` is ``"count"``/``"sum"``/``"avg"``
+        over ``attribute``.  Requests sharing a variable set reuse one
+        eliminated factor, and factors over *subsets* of already-eliminated
+        variable sets are derived by marginalizing the shared prefix
+        (:meth:`joint_factor` with ``allow_derived=True``) instead of paying
+        a fresh elimination pass — the "beyond point plans" batching the
+        serving layer's exact BN lowering runs on.
+
+        Returns, per request, rows of ``(group_codes, value, mass)`` where
+        ``mass`` is the restricted probability mass of the group and
+        ``value`` is the probability-weighted aggregate (a probability for
+        COUNT, an expectation numerator for SUM, their ratio for AVG) —
+        callers scale by the population size.
+        """
+        self.batches += 1
+        self.queries += len(requests)
+        results: list[list[tuple[tuple[int, ...], float, float]]] = []
+        for group_keys, restrictions, function, attribute in requests:
+            variables = set(group_keys) | {name for name, _ in restrictions}
+            if function != "count" and attribute is not None:
+                variables.add(attribute)
+            for name in variables:
+                if name not in self._network.schema:
+                    raise BayesNetError(f"unknown attribute {name!r} in query")
+            factor = self.joint_factor(tuple(sorted(variables)), allow_derived=True)
+            results.append(
+                self._aggregate_rows(factor, group_keys, restrictions, function, attribute)
+            )
+        return results
+
+    def _aggregate_rows(
+        self,
+        factor: Factor,
+        group_keys: tuple[str, ...],
+        restrictions: tuple,
+        function: str,
+        attribute: str | None,
+    ) -> list[tuple[tuple[int, ...], float, float]]:
+        """Apply axis restrictions and reduce one factor to aggregate rows."""
+        if factor.is_scalar:
+            mass = float(factor.value())
+            return [((), mass if function == "count" else 0.0, mass)]
+        table = factor.table
+        shape_of = dict(zip(factor.attributes, table.shape))
+        for name, flags in restrictions:
+            axis = factor.attributes.index(name)
+            mask = np.asarray(flags, dtype=float)
+            broadcast = [1] * table.ndim
+            broadcast[axis] = shape_of[name]
+            table = table * mask.reshape(broadcast)
+        mass_table = table
+        if function in ("sum", "avg"):
+            assert attribute is not None
+            domain = self._network.schema[attribute].domain
+            try:
+                values = np.asarray(domain.values, dtype=float)
+            except (TypeError, ValueError):
+                raise BayesNetError(
+                    f"attribute {attribute!r} is not numeric; cannot SUM/AVG over it"
+                ) from None
+            axis = factor.attributes.index(attribute)
+            broadcast = [1] * table.ndim
+            broadcast[axis] = values.shape[0]
+            weighted_table = table * values.reshape(broadcast)
+        else:
+            weighted_table = table
+
+        reduce_axes = tuple(
+            axis
+            for axis, name in enumerate(factor.attributes)
+            if name not in group_keys
+        )
+        mass = mass_table.sum(axis=reduce_axes) if reduce_axes else mass_table
+        weighted = (
+            weighted_table.sum(axis=reduce_axes) if reduce_axes else weighted_table
+        )
+        if not group_keys:
+            total_mass = float(np.asarray(mass))
+            total_weighted = float(np.asarray(weighted))
+            if function == "count":
+                return [((), total_mass, total_mass)]
+            if function == "sum":
+                return [((), total_weighted, total_mass)]
+            value = total_weighted / total_mass if total_mass > 0 else 0.0
+            return [((), value, total_mass)]
+
+        # Reorder the surviving axes into the requested group-key order.
+        kept = tuple(name for name in factor.attributes if name in group_keys)
+        order = [kept.index(name) for name in group_keys]
+        mass = np.transpose(np.asarray(mass), order)
+        weighted = np.transpose(np.asarray(weighted), order)
+        rows: list[tuple[tuple[int, ...], float, float]] = []
+        for codes in np.ndindex(mass.shape):
+            group_mass = float(mass[codes])
+            group_weighted = float(weighted[codes])
+            if function == "count":
+                value = group_mass
+            elif function == "sum":
+                value = group_weighted
+            else:
+                value = group_weighted / group_mass if group_mass > 0 else 0.0
+            rows.append((tuple(int(code) for code in codes), value, group_mass))
+        return rows
 
     def probability_or_zero_batch(
         self, assignments: Sequence[Mapping[str, Any]]

@@ -80,8 +80,12 @@ class ExactInference:
         return float(self.batched.probability_batch([assignment])[0])
 
     def marginal(self, node: str) -> np.ndarray:
-        """Exact marginal distribution vector of one node."""
-        factor = self.eliminate(keep=(node,))
+        """Exact marginal distribution vector of one node.
+
+        Served from the batched engine's per-signature factor cache, so
+        repeated marginals of one node eliminate once per model generation.
+        """
+        factor = self.batched.eliminated_factor((node,))
         table = factor.table if factor.attributes == (node,) else np.atleast_1d(
             factor.table
         )
@@ -92,9 +96,9 @@ class ExactInference:
         return table / total
 
     def joint_marginal(self, nodes: Sequence[str]) -> Factor:
-        """Joint marginal factor over several nodes (normalized)."""
+        """Joint marginal factor over several nodes (normalized, cached)."""
         nodes = tuple(nodes)
-        factor = self.eliminate(keep=nodes)
+        factor = self.batched.eliminated_factor(nodes)
         # Reorder axes to match the requested node order.
         if factor.attributes != nodes and factor.attributes:
             order = [factor.attributes.index(node) for node in nodes]
@@ -104,18 +108,14 @@ class ExactInference:
     def conditional(
         self, target: str, evidence: Mapping[str, Any]
     ) -> np.ndarray:
-        """Conditional distribution ``Pr(target | evidence)`` as a vector."""
-        encoded = self._encode(evidence)
-        factor = self.eliminate(keep=(target,) + tuple(encoded.keys()))
-        restricted = factor.restrict(encoded)
-        if restricted.attributes != (target,):
-            raise BayesNetError("conditional query could not isolate the target node")
-        table = restricted.table
-        total = table.sum()
-        if total <= 0:
-            size = self._network.schema[target].size
-            return np.full(size, 1.0 / size)
-        return table / total
+        """Conditional distribution ``Pr(target | evidence)`` as a vector.
+
+        Batch-size-1 case of :meth:`BatchedInference.conditional_batch`, so
+        conditionals sharing a (target, evidence-variable) signature reuse
+        one cached eliminated factor instead of paying a fresh variable
+        elimination pass each — the answers are bit-identical either way.
+        """
+        return self.batched.conditional_batch([(target, dict(evidence))])[0]
 
     # ------------------------------------------------------------------
     # Internals

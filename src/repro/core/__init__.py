@@ -7,10 +7,11 @@ from .evaluators import (
     ReweightedSampleEvaluator,
 )
 from .model import ThemisModel
-from .themis import Themis, ThemisConfig
+from .themis import ExplainedResult, Themis, ThemisConfig
 
 __all__ = [
     "BayesNetEvaluator",
+    "ExplainedResult",
     "HybridEvaluator",
     "OpenWorldEvaluator",
     "ReweightedSampleEvaluator",

@@ -10,6 +10,11 @@ Three evaluators share one interface:
 * :class:`HybridEvaluator` is Themis's combination: the reweighted sample
   when the queried tuple/group exists in the sample, the Bayesian network
   otherwise, and the union of both for GROUP BY queries.
+
+All sample-side execution flows through the logical-plan IR
+(:mod:`repro.plan`): queries compile once and run as vectorized columnar
+kernels, and the one remaining type dispatch lives in
+:func:`repro.plan.query_shape`.
 """
 
 from __future__ import annotations
@@ -21,10 +26,17 @@ import numpy as np
 
 from ..bayesnet import BayesianNetwork, ExactInference, ForwardSampler
 from ..exceptions import QueryError
+from ..plan import (
+    SHAPE_GROUP_BY,
+    SHAPE_POINT,
+    SHAPE_SCALAR,
+    LogicalPlan,
+    PlanCompiler,
+    query_shape,
+)
 from ..query.ast import (
     GroupByQuery,
     JoinGroupByQuery,
-    PointQuery,
     Query,
     ScalarAggregateQuery,
 )
@@ -55,16 +67,23 @@ class OpenWorldEvaluator:
         raise NotImplementedError
 
     def execute(self, query: Query) -> float | QueryResult:
-        """Dispatch on the query type."""
-        if isinstance(query, PointQuery):
+        """Dispatch on the query shape (one shared shape function, not
+        per-evaluator isinstance chains).
+
+        Raises
+        ------
+        QueryError
+            For unsupported query objects; the message names the offending
+            query itself (type and repr), not just its type.
+        """
+        shape = query_shape(query)
+        if shape == SHAPE_POINT:
             return self.point(query.as_dict())
-        if isinstance(query, GroupByQuery):
+        if shape == SHAPE_GROUP_BY:
             return self.group_by(query)
-        if isinstance(query, ScalarAggregateQuery):
+        if shape == SHAPE_SCALAR:
             return self.scalar(query)
-        if isinstance(query, JoinGroupByQuery):
-            return self.join_group_by(query)
-        raise QueryError(f"unsupported query type {type(query).__name__}")
+        return self.join_group_by(query)
 
 
 class ReweightedSampleEvaluator(OpenWorldEvaluator):
@@ -78,6 +97,16 @@ class ReweightedSampleEvaluator(OpenWorldEvaluator):
     def sample(self) -> Relation:
         """The weighted sample queries run against."""
         return self._engine.relation
+
+    @property
+    def engine(self) -> WeightedQueryEngine:
+        """The columnar weighted engine (shared with the hybrid evaluator)."""
+        return self._engine
+
+    @property
+    def mask_cache(self):
+        """The engine's predicate-mask cache (used by plan routing)."""
+        return self._engine.mask_cache
 
     def point(self, assignment: Mapping[str, Any]) -> float:
         return self._engine.point(assignment)
@@ -125,6 +154,8 @@ class BayesNetEvaluator(OpenWorldEvaluator):
         self._sample_size = int(generated_sample_size)
         self._rng = np.random.default_rng(seed)
         self._generated: list[Relation] | None = None
+        self._generated_engines: list[WeightedQueryEngine] | None = None
+        self._lowering_compiler = None
         self.name = name
 
     @property
@@ -179,27 +210,149 @@ class BayesNetEvaluator(OpenWorldEvaluator):
             )
         return self._generated
 
+    def _sample_engines(self) -> list[WeightedQueryEngine]:
+        """Persistent engines over the ``K`` generated samples.
+
+        Keeping the engines (not just the relations) alive across queries
+        preserves their predicate-mask caches, so repeated filtered queries
+        against the generated samples pay each mask once.
+        """
+        if self._generated_engines is None:
+            self._generated_engines = [
+                WeightedQueryEngine(sample) for sample in self._generated_samples()
+            ]
+        return self._generated_engines
+
     def group_by(self, query: GroupByQuery) -> QueryResult:
         """Average the per-group answers of ``K`` generated samples.
 
         Only groups appearing in **all** ``K`` answers are returned, which is
         the paper's guard against phantom groups.
         """
-        samples = self._generated_samples()
-        per_sample = [WeightedQueryEngine(sample).group_by(query) for sample in samples]
+        per_sample = [engine.group_by(query) for engine in self._sample_engines()]
         return _intersect_and_average(query.group_by, per_sample)
 
     def scalar(self, query: ScalarAggregateQuery) -> float:
-        samples = self._generated_samples()
-        answers = [WeightedQueryEngine(sample).scalar(query) for sample in samples]
+        answers = [engine.scalar(query) for engine in self._sample_engines()]
         return float(np.mean(answers)) if answers else 0.0
 
     def join_group_by(self, query: JoinGroupByQuery) -> QueryResult:
-        samples = self._generated_samples()
-        per_sample = [
-            WeightedQueryEngine(sample).join_group_by(query) for sample in samples
-        ]
+        per_sample = [engine.join_group_by(query) for engine in self._sample_engines()]
         return _intersect_and_average((query.left_group, query.right_group), per_sample)
+
+    # ------------------------------------------------------------------
+    # Exact lowering of Filter-restricted aggregates (plan-IR extension)
+    # ------------------------------------------------------------------
+    def scalar_exact(self, query: ScalarAggregateQuery) -> float:
+        """Exact network answer of a filtered scalar aggregate.
+
+        Lowers the compiled plan to the batched inference engine: one cached
+        eliminated factor over the referenced attributes, predicate
+        restrictions applied as axis masks.  This is the ``"exact"`` BN
+        lowering of aggregate plans — a deterministic alternative to the
+        default forward-sampled answer (it is *not* bit-identical to
+        :meth:`scalar`, which follows the paper's Sec. 4.2.4 sampling).
+        """
+        results = self.scalar_exact_batch([query])
+        return results[0]
+
+    def _compiler(self):
+        """The (cached) plan compiler lowering aggregate queries to factors."""
+        if self._lowering_compiler is None:
+            self._lowering_compiler = PlanCompiler(self._network.schema)
+        return self._lowering_compiler
+
+    def scalar_exact_batch(
+        self, queries: Sequence["ScalarAggregateQuery | LogicalPlan"]
+    ) -> list[float]:
+        """Batched :meth:`scalar_exact`, sharing eliminated factors.
+
+        Accepts raw ASTs or already-compiled :class:`~repro.plan.LogicalPlan`
+        objects — the serving executor passes its compiled plans straight
+        through, so an exactly-lowered query is never canonicalized twice.
+        """
+        requests = []
+        for plan in self._compiled(queries):
+            aggregate = plan.aggregate
+            requests.append(
+                (
+                    (),
+                    _axis_restrictions(plan.predicates, self._network.schema),
+                    aggregate.function,
+                    aggregate.attribute,
+                )
+            )
+        tables = self._inference.batched.restricted_aggregate_batch(requests)
+        return [self._scale_scalar(request, table) for request, table in zip(requests, tables)]
+
+    def _compiled(self, queries: Sequence) -> list[LogicalPlan]:
+        """Compile any raw ASTs in ``queries`` (compiled plans pass through)."""
+        compiler = None
+        plans: list[LogicalPlan] = []
+        for query in queries:
+            if isinstance(query, LogicalPlan):
+                plans.append(query)
+            else:
+                if compiler is None:
+                    compiler = self._compiler()
+                plans.append(compiler.compile(query))
+        return plans
+
+    def group_by_exact(self, query: GroupByQuery) -> QueryResult:
+        """Exact network answer of a (filtered) GROUP BY aggregate.
+
+        One cached eliminated factor over group-by plus predicate (plus
+        measure, for SUM/AVG) attributes; predicate restrictions are axis
+        masks and the per-group aggregate falls out of marginalizing the
+        restricted factor.  Unlike :meth:`group_by` no phantom-group
+        intersection is needed — the factor enumerates the modelled domain
+        exactly — and groups with zero probability are dropped.
+        """
+        return self.group_by_exact_batch([query])[0]
+
+    def group_by_exact_batch(
+        self, queries: Sequence["GroupByQuery | LogicalPlan"]
+    ) -> list[QueryResult]:
+        """Batched :meth:`group_by_exact`, sharing eliminated factors."""
+        requests = []
+        plans = self._compiled(queries)
+        for plan in plans:
+            aggregate = plan.aggregate
+            requests.append(
+                (
+                    plan.group_keys,
+                    _axis_restrictions(plan.predicates, self._network.schema),
+                    aggregate.function,
+                    aggregate.attribute,
+                )
+            )
+        tables = self._inference.batched.restricted_aggregate_batch(requests)
+        results = []
+        for plan, request, table in zip(plans, requests, tables):
+            keys = plan.group_keys
+            domains = [self._network.schema[name].domain for name in keys]
+            values: dict[tuple[Any, ...], float] = {}
+            function = request[2]
+            for codes, value, mass in table:
+                if mass <= 0:
+                    continue
+                group = tuple(
+                    domain.decode(code) for domain, code in zip(domains, codes)
+                )
+                if function in ("count", "sum"):
+                    values[group] = float(self._population_size * value)
+                else:  # avg: already a ratio, no population scaling
+                    values[group] = float(value)
+            results.append(QueryResult(keys, values))
+        return results
+
+    def _scale_scalar(self, request, table) -> float:
+        """Scale one scalar aggregate's factor mass into population units."""
+        ((), _restrictions, function, _attribute) = request
+        (_codes, value, _mass), = table
+        if function in ("count", "sum"):
+            return float(self._population_size * value)
+        return float(value)
 
 
 class HybridEvaluator(OpenWorldEvaluator):
@@ -208,6 +361,19 @@ class HybridEvaluator(OpenWorldEvaluator):
     Point queries use the reweighted sample whenever the queried tuple exists
     in the sample and fall back to BN inference otherwise; GROUP BY answers
     are the reweighted-sample groups unioned with any extra BN groups.
+
+    Parameters
+    ----------
+    weighted_sample:
+        The reweighted sample component.
+    bayes_net_evaluator:
+        The probabilistic component.
+    sample_evaluator:
+        Optionally, an existing :class:`ReweightedSampleEvaluator` over
+        ``weighted_sample`` to share — sharing the evaluator shares its
+        columnar engine and predicate-mask cache with every other consumer
+        of the fitted model (one mask per predicate per model, not per
+        evaluator).
     """
 
     def __init__(
@@ -215,8 +381,11 @@ class HybridEvaluator(OpenWorldEvaluator):
         weighted_sample: Relation,
         bayes_net_evaluator: BayesNetEvaluator,
         name: str = "hybrid",
+        sample_evaluator: ReweightedSampleEvaluator | None = None,
     ):
-        self._sample_evaluator = ReweightedSampleEvaluator(weighted_sample)
+        if sample_evaluator is None:
+            sample_evaluator = ReweightedSampleEvaluator(weighted_sample)
+        self._sample_evaluator = sample_evaluator
         self._bn_evaluator = bayes_net_evaluator
         self.name = name
 
@@ -229,6 +398,11 @@ class HybridEvaluator(OpenWorldEvaluator):
     def network(self) -> BayesianNetwork:
         """The Bayesian network component."""
         return self._bn_evaluator.network
+
+    @property
+    def sample_evaluator(self) -> ReweightedSampleEvaluator:
+        """The reweighted-sample component (shared engine and mask cache)."""
+        return self._sample_evaluator
 
     def point(self, assignment: Mapping[str, Any]) -> float:
         if self._sample_evaluator.sample.contains(assignment):
@@ -268,15 +442,15 @@ class HybridEvaluator(OpenWorldEvaluator):
         return QueryResult(query.group_by, merged)
 
     def scalar(self, query: ScalarAggregateQuery) -> float:
-        # Use the sample when any tuple satisfies the filters, otherwise the BN.
-        predicates = query.predicates
-        sample = self._sample_evaluator.sample
-        if not predicates:
+        # Use the sample when any tuple satisfies the filters, otherwise the
+        # BN.  The compiled predicates' masks come from the shared cache, so
+        # this routing check is free when the query later executes.
+        if not query.predicates:
             return self._sample_evaluator.scalar(query)
-        mask = np.ones(sample.n_rows, dtype=bool)
-        for predicate in predicates:
-            mask &= predicate.mask(sample)
-        if mask.any():
+        engine = self._sample_evaluator.engine
+        plan = engine.executor.compiler.compile(query)
+        mask = engine.mask_cache.conjunction_mask(plan.predicates)
+        if mask is None or mask.any():
             return self._sample_evaluator.scalar(query)
         return self._bn_evaluator.scalar(query)
 
@@ -288,6 +462,27 @@ class HybridEvaluator(OpenWorldEvaluator):
             if group not in merged:
                 merged[group] = value
         return QueryResult((query.left_group, query.right_group), merged)
+
+
+def _axis_restrictions(predicates, schema) -> tuple:
+    """Per-attribute allowed-code masks of a compiled conjunction.
+
+    Conjuncts over the same attribute intersect.  Returned as a sorted
+    tuple of ``(attribute, code-mask-bytes)`` pairs so it is hashable and
+    order-insensitive (part of the batched engine's request grouping).
+    """
+    restrictions: dict[str, np.ndarray] = {}
+    for predicate in predicates:
+        size = schema[predicate.attribute].size
+        mask = predicate.code_mask(size)
+        if predicate.attribute in restrictions:
+            restrictions[predicate.attribute] = restrictions[predicate.attribute] & mask
+        else:
+            restrictions[predicate.attribute] = mask
+    return tuple(
+        (name, tuple(bool(flag) for flag in restrictions[name]))
+        for name in sorted(restrictions)
+    )
 
 
 def _intersect_and_average(

@@ -16,7 +16,8 @@ from typing import TYPE_CHECKING, Any
 
 from ..aggregates import AggregateQuery, AggregateSet, prune_aggregates
 from ..bayesnet import LearningMode, ThemisBayesNetLearner
-from ..exceptions import QueryError, ThemisError
+from ..exceptions import ThemisError
+from ..plan import LogicalPlan
 from ..query.ast import GroupByQuery, JoinGroupByQuery, Query, ScalarAggregateQuery
 from ..reweighting import (
     IPFReweighter,
@@ -26,12 +27,12 @@ from ..reweighting import (
 )
 from ..schema import Relation
 from ..sql.engine import QueryResult
-from ..sql.parser import parse_sql
 from .evaluators import BayesNetEvaluator, HybridEvaluator, ReweightedSampleEvaluator
 from .model import ThemisModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..serving import BatchResult, ServingSession
+    from ..serving.planner import QueryPlan
 
 
 @dataclass
@@ -71,6 +72,25 @@ class ThemisConfig:
     extra: dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class ExplainedResult:
+    """A query answer bundled with the compiled plan that produced it.
+
+    Returned by ``Themis.query(..., explain=True)``: ``result`` is exactly
+    what ``query()`` would have returned on its own, ``plan`` is the
+    compiled :class:`~repro.plan.LogicalPlan` (operator tree plus canonical
+    key), and ``route`` names the evaluator that served it.
+    """
+
+    result: "float | QueryResult"
+    plan: LogicalPlan
+    route: str
+
+    def explain(self) -> str:
+        """The plan's printable operator-tree rendering."""
+        return self.plan.explain()
+
+
 class Themis:
     """The open-world DBMS: ingest a sample and aggregates, then ask queries.
 
@@ -99,6 +119,8 @@ class Themis:
         self._model: ThemisModel | None = None
         self._generation = 0
         self._serving_session: "ServingSession | None" = None
+        self._planner = None
+        self._planner_generation: int | None = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -208,7 +230,12 @@ class Themis:
         sample_evaluator = ReweightedSampleEvaluator(
             weighted_sample, name=reweighting_result.method
         )
-        hybrid = HybridEvaluator(weighted_sample, bn_evaluator)
+        # The hybrid shares the sample evaluator (hence its columnar engine
+        # and predicate-mask cache): one mask per predicate per fitted model,
+        # no matter which evaluator a plan routes to.
+        hybrid = HybridEvaluator(
+            weighted_sample, bn_evaluator, sample_evaluator=sample_evaluator
+        )
 
         self._model = ThemisModel(
             sample=sample,
@@ -259,6 +286,53 @@ class Themis:
         raise ThemisError(f"unknown reweighter {self.config.reweighter!r}")
 
     # ------------------------------------------------------------------
+    # Planning (the facade's entry points compile-then-run)
+    # ------------------------------------------------------------------
+    def _current_planner(self):
+        """The query planner bound to the current fitted model.
+
+        Rebuilt whenever the model generation moves, so routes always
+        reflect the live fitted sample; the planner's compiler memoizes
+        compiled plans, which is what makes ``query()`` compile once.
+        """
+        from ..serving.planner import QueryPlanner
+
+        model = self.model  # fitting lazily bumps the generation; read after
+        if self._planner is None or self._planner_generation != self._generation:
+            self._planner = QueryPlanner(
+                model.sample.schema,
+                model,
+                compiler=model.sample_evaluator.engine.executor.compiler,
+            )
+            self._planner_generation = self._generation
+        return self._planner
+
+    def plan(self, statement: str | Query) -> "QueryPlan":
+        """Compile (and route) one SQL string or AST query without running it."""
+        return self._current_planner().plan(statement)
+
+    def _run_plan(self, plan: "QueryPlan") -> float | QueryResult:
+        """Execute a routed plan on the evaluator its ``Route`` node chose.
+
+        The routing rules are derived from :class:`HybridEvaluator` (see
+        :func:`repro.plan.resolve_route`), so answers are identical to
+        running every query through the hybrid — the route only skips work
+        the hybrid would have discarded.
+        """
+        from ..serving.planner import ROUTE_BAYES_NET, ROUTE_SAMPLE
+
+        model = self.model
+        query = plan.query
+        if plan.route == ROUTE_SAMPLE:
+            if plan.logical is not None:
+                # Execute the already-compiled plan directly — no recompile.
+                return model.sample_evaluator.engine.execute(plan.logical)
+            return model.sample_evaluator.execute(query)
+        if plan.route == ROUTE_BAYES_NET:
+            return model.bayes_net_evaluator.execute(query)
+        return model.hybrid_evaluator.execute(query)
+
+    # ------------------------------------------------------------------
     # Query answering
     # ------------------------------------------------------------------
     def point(self, assignment: Mapping[str, Any]) -> float:
@@ -290,25 +364,34 @@ class Themis:
         return self.model.hybrid_evaluator.join_group_by(query)
 
     def execute(self, query: Query) -> float | QueryResult:
-        """Open-world evaluation of any supported AST query."""
-        return self.model.hybrid_evaluator.execute(query)
+        """Open-world evaluation of any supported AST query.
+
+        Compile-then-run: the query is compiled once into a logical plan
+        (canonical predicates, operator tree, evaluator route) and executed
+        by the routed evaluator's columnar kernels.  Answers are identical
+        to evaluating through the hybrid directly.
+        """
+        return self._run_plan(self.plan(query))
 
     def sql(self, statement: str) -> float | QueryResult:
         """Parse and answer a SQL statement with open-world semantics."""
-        parsed = parse_sql(statement)
-        for name in self._referenced_attributes(parsed.query):
-            if name not in self.sample.schema:
-                raise QueryError(
-                    f"query references unknown attribute {name!r}; sample attributes "
-                    f"are {list(self.sample.attribute_names)}"
-                )
-        return self.execute(parsed.query)
+        return self._run_plan(self.plan(statement))
 
-    def query(self, statement: str | Query) -> float | QueryResult:
-        """Answer a SQL string or an AST query (the uniform entry point)."""
-        if isinstance(statement, str):
-            return self.sql(statement)
-        return self.execute(statement)
+    def query(
+        self, statement: str | Query, explain: bool = False
+    ) -> float | QueryResult | "ExplainedResult":
+        """Answer a SQL string or an AST query (the uniform entry point).
+
+        With ``explain=True`` the answer comes back wrapped in an
+        :class:`ExplainedResult` carrying the compiled
+        :class:`~repro.plan.LogicalPlan` (operator tree, canonical key, and
+        resolved route) next to the result.
+        """
+        plan = self.plan(statement)
+        result = self._run_plan(plan)
+        if not explain:
+            return result
+        return ExplainedResult(result=result, plan=plan.logical, route=plan.route)
 
     # ------------------------------------------------------------------
     # Serving
@@ -336,9 +419,3 @@ class Themis:
         if self._serving_session is None:
             self._serving_session = self.serve()
         return self._serving_session.execute_batch(queries)
-
-    @staticmethod
-    def _referenced_attributes(query: Query) -> tuple[str, ...]:
-        if hasattr(query, "attributes"):
-            return tuple(query.attributes)
-        return ()

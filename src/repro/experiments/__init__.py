@@ -37,6 +37,7 @@ from .harness import (
     point_query_errors,
     point_query_workload,
 )
+from .plan_ir_throughput import plan_ir_relation, plan_ir_workload, run_plan_ir
 from .reporting import ExperimentResult, format_table
 from .serving_throughput import run_serving_throughput, serving_workload
 from .table1_motivating import run_table1
@@ -62,6 +63,8 @@ __all__ = [
     "imdb_bundle",
     "median_improvement_heavy",
     "one_dimensional_order",
+    "plan_ir_relation",
+    "plan_ir_workload",
     "point_query_errors",
     "point_query_workload",
     "reference_hybrid_error_with_2d",
@@ -71,6 +74,7 @@ __all__ = [
     "run_bn_modes",
     "run_nd_sweep",
     "run_overall_accuracy",
+    "run_plan_ir",
     "run_pruning",
     "run_query_execution_time",
     "run_reuse_comparison",

@@ -1,0 +1,304 @@
+"""Plan-IR throughput — per-tuple evaluation vs. columnar kernels, cold vs. warm.
+
+Not a paper artefact: this experiment measures the unified logical-plan IR
+and its vectorized columnar kernels against the naive per-tuple evaluation a
+row-at-a-time engine would pay.  The workload is a multi-predicate scalar and
+GROUP BY mix (equality, ordered, and wide IN conjuncts) over one weighted
+relation, served three ways:
+
+* ``per-tuple`` — decoded records are scanned in Python and every predicate
+  is evaluated per row (``Predicate.matches``), the pre-refactor worst case;
+* ``ir-cold`` — each query compiles to a logical plan and runs on a fresh
+  :class:`~repro.plan.ColumnarExecutor`: every predicate mask is computed
+  once, combined with bitwise ops, and reduced with masked weighted
+  kernels;
+* ``ir-warm`` — the same batch again on the same executor: every mask (and
+  conjunction mask, and group-code table) comes out of the cache keyed by
+  ``(generation, predicate)``, leaving only the final reductions.
+
+Expected shape: cold columnar execution is **at least 2x** faster than
+per-tuple evaluation (in practice orders of magnitude), and a warm mask
+cache is **at least 2x** faster than cold.  Cold and warm answers are
+bit-identical by construction; the per-tuple reference agrees to float
+tolerance (its Python-order summation is the only difference).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+from ..query.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    Predicate,
+    Query,
+    ScalarAggregateQuery,
+)
+from ..schema import Attribute, Domain, Relation, Schema
+from ..sql.engine import QueryResult, WeightedQueryEngine
+from .config import ExperimentScale, SMALL_SCALE
+from .reporting import ExperimentResult
+
+
+def plan_ir_relation(scale: ExperimentScale = SMALL_SCALE) -> Relation:
+    """A weighted relation sized by the scale, with wide discrete domains."""
+    rng = np.random.default_rng(scale.seed + 13)
+    n_rows = max(20_000, scale.flights_rows)
+    sizes = {"a": 40, "b": 30, "c": 24, "d": 16, "e": 8}
+    schema = Schema(
+        [Attribute(name, Domain(list(range(size)))) for name, size in sizes.items()]
+    )
+    columns = {
+        name: rng.integers(0, size, size=n_rows, dtype=np.int64)
+        for name, size in sizes.items()
+    }
+    weights = rng.uniform(0.2, 9.0, size=n_rows)
+    return Relation(schema, columns, weights)
+
+
+def plan_ir_workload(
+    relation: Relation, n_queries: int, seed: int = 0
+) -> list[Query]:
+    """Multi-predicate scalar and GROUP BY queries (the mask-cache stress mix).
+
+    Every query carries four conjuncts — two wide IN lists, one ordered
+    comparison, one equality — so cold execution pays real mask work and a
+    warm cache has something to amortize.
+    """
+    rng = np.random.default_rng(seed)
+    schema = relation.schema
+    names = list(relation.attribute_names)
+    queries: list[Query] = []
+    for index in range(n_queries):
+        picked = [names[int(i)] for i in rng.choice(len(names), size=4, replace=False)]
+        predicates = (
+            Predicate(
+                picked[0],
+                Comparison.IN,
+                tuple(
+                    int(v)
+                    for v in rng.choice(
+                        len(schema[picked[0]].domain), size=6, replace=False
+                    )
+                ),
+            ),
+            Predicate(
+                picked[1],
+                Comparison.IN,
+                tuple(
+                    int(v)
+                    for v in rng.choice(
+                        len(schema[picked[1]].domain), size=5, replace=False
+                    )
+                ),
+            ),
+            Predicate(
+                picked[2],
+                Comparison.LE,
+                int(rng.integers(1, len(schema[picked[2]].domain))),
+            ),
+            Predicate(
+                picked[3],
+                Comparison.GE,
+                int(rng.integers(0, len(schema[picked[3]].domain) - 1)),
+            ),
+        )
+        kind = index % 4
+        if kind == 0:
+            queries.append(ScalarAggregateQuery(predicates=predicates))
+        elif kind == 1:
+            measure = names[int(rng.integers(len(names)))]
+            queries.append(
+                ScalarAggregateQuery(
+                    aggregate=AggregateSpec(AggregateFunction.AVG, measure),
+                    predicates=predicates,
+                )
+            )
+        else:
+            group_by = tuple(
+                names[int(i)] for i in sorted(rng.choice(len(names), size=kind - 1, replace=False))
+            )
+            queries.append(
+                GroupByQuery(group_by=group_by, predicates=predicates)
+            )
+    return queries
+
+
+# ----------------------------------------------------------------------
+# The per-tuple reference engine (what a row-at-a-time system pays)
+# ----------------------------------------------------------------------
+def _per_tuple_answer(
+    records: list[dict[str, Any]], weights: np.ndarray, query: Query
+) -> float | QueryResult:
+    if isinstance(query, ScalarAggregateQuery):
+        function = query.aggregate.function
+        total_weight = 0.0
+        total_value = 0.0
+        for record, weight in zip(records, weights):
+            if not all(p.matches(record) for p in query.predicates):
+                continue
+            total_weight += weight
+            if function is not AggregateFunction.COUNT:
+                total_value += weight * float(record[query.aggregate.attribute])
+        if function is AggregateFunction.COUNT:
+            return total_weight
+        if function is AggregateFunction.SUM:
+            return total_value
+        return total_value / total_weight if total_weight > 0 else 0.0
+    assert isinstance(query, GroupByQuery)
+    function = query.aggregate.function
+    weight_totals: dict[tuple, float] = {}
+    value_totals: dict[tuple, float] = {}
+    for record, weight in zip(records, weights):
+        if not all(p.matches(record) for p in query.predicates):
+            continue
+        group = tuple(record[name] for name in query.group_by)
+        weight_totals[group] = weight_totals.get(group, 0.0) + weight
+        if function is not AggregateFunction.COUNT:
+            value_totals[group] = value_totals.get(group, 0.0) + weight * float(
+                record[query.aggregate.attribute]
+            )
+    values: dict[tuple, float] = {}
+    for group, weight_total in weight_totals.items():
+        if weight_total <= 0:
+            continue
+        if function is AggregateFunction.COUNT:
+            values[group] = weight_total
+        elif function is AggregateFunction.SUM:
+            values[group] = value_totals.get(group, 0.0)
+        else:
+            values[group] = value_totals.get(group, 0.0) / weight_total
+    return QueryResult(query.group_by, values)
+
+
+def run_plan_ir(
+    scale: ExperimentScale = SMALL_SCALE, n_queries: int | None = None
+) -> ExperimentResult:
+    """Measure per-tuple vs. cold-IR vs. warm-IR throughput on one workload."""
+    relation = plan_ir_relation(scale)
+    queries = plan_ir_workload(relation, n_queries or 12, seed=scale.seed + 29)
+
+    result = ExperimentResult(
+        experiment_id="plan-ir",
+        title="Plan IR: per-tuple vs columnar kernels, cold vs warm mask cache",
+        paper_claim=(
+            "Beyond the paper: compiling queries to one logical-plan IR and "
+            "executing them as vectorized columnar kernels (cached predicate "
+            "masks + scatter-add group-bys) serves multi-predicate "
+            "scalar/GROUP BY batches at least 2x faster than per-tuple "
+            "evaluation cold, and at least 2x faster again once the mask "
+            "cache is warm — without changing a single answer."
+        ),
+        parameters={
+            "n_rows": relation.n_rows,
+            "n_queries": len(queries),
+            "predicates_per_query": 4,
+        },
+    )
+
+    # Per-tuple baseline (records decoded outside the timed region, which is
+    # generous to the baseline).
+    records = relation.to_records()
+    weights = relation.weights
+    start = time.perf_counter()
+    per_tuple = [_per_tuple_answer(records, weights, query) for query in queries]
+    per_tuple_seconds = time.perf_counter() - start
+    result.add_row(
+        phase="per-tuple",
+        seconds=per_tuple_seconds,
+        queries_per_second=len(queries) / per_tuple_seconds,
+        mask_cache_misses=0,
+        speedup_vs_per_tuple=1.0,
+    )
+
+    # Cold IR: fresh engine each repetition, every mask computed once; the
+    # phase time is the best of three runs so one scheduler hiccup on a
+    # shared CI runner cannot fake a slowdown (same below for warm).
+    cold_seconds = float("inf")
+    cold = None
+    engine = None
+    cold_misses = 0
+    for _ in range(3):
+        # A fresh Relation wrapper (same column arrays) gives each cold rep
+        # empty group-code/mask caches — cold really means cold.
+        fresh = Relation(
+            relation.schema,
+            {name: relation.column(name) for name in relation.attribute_names},
+            relation.weights,
+        )
+        engine = WeightedQueryEngine(fresh)
+        start = time.perf_counter()
+        answers = [engine.execute(query) for query in queries]
+        elapsed = time.perf_counter() - start
+        cold_misses = engine.mask_cache.misses
+        if cold is not None and answers != cold:
+            raise ExperimentError("cold columnar answers are not deterministic")
+        cold = answers
+        cold_seconds = min(cold_seconds, elapsed)
+    assert engine is not None and cold is not None
+    result.add_row(
+        phase="ir-cold",
+        seconds=cold_seconds,
+        queries_per_second=len(queries) / cold_seconds,
+        mask_cache_misses=cold_misses,
+        speedup_vs_per_tuple=per_tuple_seconds / cold_seconds
+        if cold_seconds > 0
+        else float("inf"),
+    )
+
+    # Warm IR: same engine, every mask (and conjunction, and group table)
+    # served from the cache.
+    warm_seconds = float("inf")
+    warm = cold
+    for _ in range(3):
+        start = time.perf_counter()
+        warm = [engine.execute(query) for query in queries]
+        elapsed = time.perf_counter() - start
+        warm_seconds = min(warm_seconds, elapsed)
+    result.add_row(
+        phase="ir-warm",
+        seconds=warm_seconds,
+        queries_per_second=len(queries) / warm_seconds,
+        mask_cache_misses=engine.mask_cache.misses - cold_misses,
+        speedup_vs_per_tuple=per_tuple_seconds / warm_seconds
+        if warm_seconds > 0
+        else float("inf"),
+    )
+
+    _check_answers(per_tuple, cold, warm)
+    return result
+
+
+def _check_answers(per_tuple, cold, warm) -> None:
+    """Cold and warm must be bit-identical; per-tuple agrees to tolerance."""
+    for cold_answer, warm_answer, reference in zip(cold, warm, per_tuple):
+        if cold_answer != warm_answer:
+            raise ExperimentError(
+                f"warm mask cache changed an answer: {warm_answer!r} != {cold_answer!r}"
+            )
+        if isinstance(cold_answer, QueryResult):
+            if cold_answer.groups() != reference.groups():
+                raise ExperimentError("columnar group-by diverged from per-tuple groups")
+            for group in cold_answer.groups():
+                if not np.isclose(
+                    cold_answer.value(group), reference.value(group), rtol=1e-9
+                ):
+                    raise ExperimentError(
+                        "columnar group-by diverged from per-tuple values"
+                    )
+        elif not np.isclose(cold_answer, reference, rtol=1e-9):
+            raise ExperimentError("columnar scalar diverged from per-tuple answer")
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    print(run_plan_ir().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,80 @@
+"""Unified logical-plan IR: one compiled representation for every query path.
+
+``repro.plan`` sits between the query AST layer and the engines: the
+compiler canonicalizes an AST (or SQL text) into a :class:`LogicalPlan` —
+a ``Scan -> Filter -> [Group ->] Aggregate`` operator tree under a ``Route``
+node — exactly once, and every executor consumes that plan:
+
+* the columnar :class:`ColumnarExecutor` (behind ``WeightedQueryEngine``)
+  runs sample-side plans with cached predicate masks and scatter-add
+  group-bys;
+* the serving :class:`~repro.serving.planner.QueryPlanner` derives its
+  result-cache keys and evaluator routes from the compiled plan;
+* network-routed aggregate plans can lower to batched conditional inference
+  (:mod:`repro.bayesnet.batched`) instead of per-query work.
+"""
+
+from .compiler import PlanCompiler, resolve_route
+from .executor import ColumnarExecutor
+from .ir import (
+    BN_LOWER_EXACT,
+    BN_LOWER_SAMPLED,
+    OUT_OF_DOMAIN,
+    ROUTE_BAYES_NET,
+    ROUTE_HYBRID,
+    ROUTE_SAMPLE,
+    SHAPE_GROUP_BY,
+    SHAPE_JOIN_GROUP_BY,
+    SHAPE_POINT,
+    SHAPE_SCALAR,
+    Aggregate,
+    CanonicalPredicate,
+    Filter,
+    Group,
+    Join,
+    LogicalPlan,
+    PlanKey,
+    Route,
+    Scan,
+    query_shape,
+)
+from .kernels import (
+    MaskCache,
+    group_reduce,
+    grouped_weight_totals,
+    masked_weights,
+    numeric_column,
+    scalar_reduce,
+)
+
+__all__ = [
+    "Aggregate",
+    "BN_LOWER_EXACT",
+    "BN_LOWER_SAMPLED",
+    "CanonicalPredicate",
+    "ColumnarExecutor",
+    "Filter",
+    "Group",
+    "Join",
+    "LogicalPlan",
+    "MaskCache",
+    "OUT_OF_DOMAIN",
+    "PlanCompiler",
+    "PlanKey",
+    "ROUTE_BAYES_NET",
+    "ROUTE_HYBRID",
+    "ROUTE_SAMPLE",
+    "Route",
+    "SHAPE_GROUP_BY",
+    "SHAPE_JOIN_GROUP_BY",
+    "SHAPE_POINT",
+    "SHAPE_SCALAR",
+    "Scan",
+    "group_reduce",
+    "grouped_weight_totals",
+    "masked_weights",
+    "numeric_column",
+    "query_shape",
+    "resolve_route",
+    "scalar_reduce",
+]

@@ -1,0 +1,290 @@
+"""Compile query ASTs (or SQL text) into :class:`~repro.plan.ir.LogicalPlan`.
+
+This is the **one** canonicalization in the system: predicates are
+bucketized into domain codes here, the plan key is derived from the compiled
+operator tree here, and both the weighted engine and the serving planner
+consume the result.  Before this module existed the SQL engine, the
+evaluators, and the serving planner each re-derived canonical forms; now a
+query is compiled once and every layer shares the plan.
+
+Routing (the ``Route`` node's evaluator choice) is a separate, model-bound
+step — :func:`resolve_route` — because the same compiled plan is reused
+across refits while the routing decision depends on the fitted sample.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from ..exceptions import QueryError
+from ..query.ast import (
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    JoinGroupByQuery,
+    PointQuery,
+    Predicate,
+    Query,
+    ScalarAggregateQuery,
+)
+from ..schema import Schema
+from ..sql.parser import parse_sql
+from .ir import (
+    OUT_OF_DOMAIN,
+    ROUTE_BAYES_NET,
+    ROUTE_HYBRID,
+    ROUTE_SAMPLE,
+    SHAPE_GROUP_BY,
+    SHAPE_JOIN_GROUP_BY,
+    SHAPE_POINT,
+    SHAPE_SCALAR,
+    Aggregate,
+    CanonicalPredicate,
+    Filter,
+    Group,
+    Join,
+    LogicalPlan,
+    PlanKey,
+    Route,
+    Scan,
+    query_shape,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.model import ThemisModel
+
+
+class PlanCompiler:
+    """Compile queries against one schema into logical plans.
+
+    Parameters
+    ----------
+    schema:
+        The sample schema; used to validate attribute names and bucketize
+        literals into domain codes.
+    cache_size:
+        Compiled plans are memoized per hashable query object (ASTs are
+        frozen dataclasses), so re-executing the same query — the serving
+        hot path, or the BN evaluator running one query over ``K`` generated
+        samples — compiles once.
+    """
+
+    def __init__(self, schema: Schema, cache_size: int = 256):
+        self._schema = schema
+        self._cache: OrderedDict[Query, LogicalPlan] = OrderedDict()
+        self._cache_size = int(cache_size)
+
+    @property
+    def schema(self) -> Schema:
+        """The schema plans are compiled against."""
+        return self._schema
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def compile(self, query: Query | str) -> LogicalPlan:
+        """Compile an AST query or a SQL string into a logical plan."""
+        if isinstance(query, str):
+            return self.compile_sql(query)
+        try:
+            cached = self._cache.get(query)
+        except TypeError:  # unhashable literal (e.g. a list inside IN)
+            return self._compile_ast(query)
+        if cached is not None:
+            self._cache.move_to_end(query)
+            return cached
+        plan = self._compile_ast(query)
+        self._cache[query] = plan
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return plan
+
+    def compile_sql(self, statement: str) -> LogicalPlan:
+        """Parse one SQL statement and compile the resulting AST."""
+        plan = self.compile(parse_sql(statement).query)
+        return LogicalPlan(
+            query=plan.query,
+            root=plan.root,
+            shape=plan.shape,
+            key=plan.key,
+            sql=statement,
+        )
+
+    def canonical_key(self, query: Query) -> PlanKey:
+        """The canonical hashable key of a query (compiling if needed)."""
+        return self.compile(query).key
+
+    def canonical_predicate(self, predicate: Predicate) -> CanonicalPredicate:
+        """Bucketize one AST predicate into its canonical compiled form."""
+        return self._canonical(predicate)
+
+    # ------------------------------------------------------------------
+    # Shape-specific compilation
+    # ------------------------------------------------------------------
+    def _compile_ast(self, query: Query) -> LogicalPlan:
+        shape = query_shape(query)
+        if shape == SHAPE_POINT:
+            return self._compile_point(query)
+        if shape == SHAPE_SCALAR:
+            return self._compile_scalar(query)
+        if shape == SHAPE_GROUP_BY:
+            return self._compile_group_by(query)
+        return self._compile_join(query)
+
+    def _compile_point(self, query: PointQuery) -> LogicalPlan:
+        predicates = tuple(
+            self._canonical(Predicate(name, Comparison.EQ, value))
+            for name, value in query.assignment
+        )
+        root = Route(Aggregate(Filter(Scan(), predicates), "count", None))
+        key = ("point", tuple(sorted((p.attribute, p.bucket) for p in predicates)))
+        return LogicalPlan(query=query, root=root, shape=SHAPE_POINT, key=key)
+
+    def _compile_scalar(self, query: ScalarAggregateQuery) -> LogicalPlan:
+        # NB: a COUNT-of-equalities scalar keeps its own key even though the
+        # shape is semantically close to a point query: on the BN route a
+        # point query is answered by exact inference while a scalar is
+        # answered from the generated samples, so their answers (and hence
+        # their cache entries) can legitimately differ.  The SQL parser
+        # already emits PointQuery for that shape, so SQL text still
+        # canonicalizes fully.
+        filter_node = self._compile_filter(query.predicates)
+        aggregate = self._compile_aggregate(query.aggregate, filter_node)
+        key = (
+            "scalar",
+            (aggregate.function, aggregate.attribute),
+            filter_node.predicate_keys,
+        )
+        return LogicalPlan(
+            query=query, root=Route(aggregate), shape=SHAPE_SCALAR, key=key
+        )
+
+    def _compile_group_by(self, query: GroupByQuery) -> LogicalPlan:
+        self._require_attributes(query.group_by)
+        filter_node = self._compile_filter(query.predicates)
+        group = Group(filter_node, tuple(query.group_by))
+        aggregate = self._compile_aggregate(query.aggregate, group)
+        key = (
+            "group-by",
+            group.keys,
+            (aggregate.function, aggregate.attribute),
+            filter_node.predicate_keys,
+        )
+        return LogicalPlan(
+            query=query, root=Route(aggregate), shape=SHAPE_GROUP_BY, key=key
+        )
+
+    def _compile_join(self, query: JoinGroupByQuery) -> LogicalPlan:
+        self._require_attributes(
+            (query.left_join, query.right_join, query.left_group, query.right_group)
+        )
+        left = Group(
+            self._compile_filter(query.left_predicates),
+            (query.left_join, query.left_group),
+        )
+        right = Group(
+            self._compile_filter(query.right_predicates),
+            (query.right_join, query.right_group),
+        )
+        join = Join(left, right, on=(query.left_join, query.right_join))
+        aggregate = self._compile_aggregate(query.aggregate, join)
+        key = (
+            "join-group-by",
+            join.on,
+            (query.left_group, query.right_group),
+            (aggregate.function, aggregate.attribute),
+            left.child.predicate_keys,
+            right.child.predicate_keys,
+        )
+        return LogicalPlan(
+            query=query, root=Route(aggregate), shape=SHAPE_JOIN_GROUP_BY, key=key
+        )
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+    def _compile_filter(self, predicates: tuple[Predicate, ...]) -> Filter:
+        return Filter(Scan(), tuple(self._canonical(p) for p in predicates))
+
+    def _compile_aggregate(self, spec: AggregateSpec, child) -> Aggregate:
+        if spec.attribute is not None:
+            self._require_attributes((spec.attribute,))
+        return Aggregate(child, spec.function.value, spec.attribute)
+
+    def _canonical(self, predicate: Predicate) -> CanonicalPredicate:
+        """Bucketize one predicate's literal into its canonical domain form."""
+        name = predicate.attribute
+        self._require_attributes((name,))
+        domain = self._schema[name].domain
+        comparison = predicate.comparison
+        if comparison is Comparison.IN:
+            values = (
+                predicate.value
+                if isinstance(predicate.value, (list, tuple, set))
+                else [predicate.value]
+            )
+            codes = sorted(
+                {
+                    code
+                    for code in (domain.code_of(value) for value in values)
+                    if code is not None
+                }
+            )
+            return CanonicalPredicate(
+                name, comparison, tuple(codes), literal=tuple(values)
+            )
+        if comparison in (Comparison.EQ, Comparison.NE):
+            code = domain.code_of(predicate.value)
+            bucket = OUT_OF_DOMAIN if code is None else code
+            return CanonicalPredicate(name, comparison, bucket, literal=predicate.value)
+        # Ordered comparisons: the threshold is the position of the largest
+        # domain value not exceeding the literal (the exact semantics of
+        # Predicate.mask, shared via its helper).
+        threshold = predicate._ordered_threshold(domain)
+        bucket = OUT_OF_DOMAIN if threshold is None else threshold
+        return CanonicalPredicate(name, comparison, bucket, literal=predicate.value)
+
+    def _require_attributes(self, names: tuple[str, ...]) -> None:
+        for name in names:
+            if name not in self._schema:
+                raise QueryError(
+                    f"query references unknown attribute {name!r}; sample "
+                    f"attributes are {list(self._schema.names)}"
+                )
+
+
+def resolve_route(
+    plan: LogicalPlan,
+    model: "ThemisModel | None",
+    mask_cache=None,
+) -> LogicalPlan:
+    """Stamp the plan's ``Route`` node against one fitted model.
+
+    The rules mirror :class:`~repro.core.evaluators.HybridEvaluator` exactly,
+    so a routed plan provably returns the hybrid's answer on the cheaper
+    evaluator: point plans route to the reweighted sample when the tuple
+    exists in it and to BN inference otherwise; filtered scalars likewise
+    (using the compiled predicates' cached masks); GROUP BY shapes always
+    need the hybrid's sample-union-BN merge.  Without a model every plan
+    routes to ``"hybrid"``.
+    """
+    if plan.is_routed:
+        return plan
+    if model is None:
+        return plan.with_route(ROUTE_HYBRID)
+    if plan.shape == SHAPE_POINT:
+        cache = mask_cache or model.sample_evaluator.mask_cache
+        mask = cache.conjunction_mask(plan.predicates)
+        if mask is None or bool(mask.any()):
+            return plan.with_route(ROUTE_SAMPLE)
+        return plan.with_route(ROUTE_BAYES_NET)
+    if plan.shape == SHAPE_SCALAR:
+        if not plan.predicates:
+            return plan.with_route(ROUTE_SAMPLE)
+        cache = mask_cache or model.sample_evaluator.mask_cache
+        mask = cache.conjunction_mask(plan.predicates)
+        if mask is None or bool(mask.any()):
+            return plan.with_route(ROUTE_SAMPLE)
+        return plan.with_route(ROUTE_BAYES_NET)
+    return plan.with_route(ROUTE_HYBRID)

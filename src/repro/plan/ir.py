@@ -1,0 +1,376 @@
+"""The logical-plan intermediate representation shared by every query path.
+
+Themis grew three independent execution paths — ``Themis.execute()``, the
+weighted SQL engine, and the serving planner — each re-dispatching on query
+AST types and re-deriving canonical forms.  This module is the single
+representation they all consume now: a small operator tree
+
+``Scan -> Filter -> [Group ->] Aggregate`` (plus ``Join`` for the self-join
+shape), wrapped in a ``Route`` node that records which evaluator serves the
+plan (reweighted sample, Bayesian network, or the hybrid of both).
+
+A plan is compiled **once** (see :mod:`repro.plan.compiler`): predicates are
+canonicalized into hashable :class:`CanonicalPredicate` triples with literals
+bucketized into domain codes, and the plan's :attr:`LogicalPlan.key` — the
+serving result-cache key — is derived directly from the operator tree, so the
+planner and the engine can never disagree about what a query means.
+Execution is vectorized columnar kernels over the compiled predicates (see
+:mod:`repro.plan.kernels`); the original AST rides along untouched for
+callers that still want it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Union
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..query.ast import (
+    Comparison,
+    GroupByQuery,
+    JoinGroupByQuery,
+    PointQuery,
+    Query,
+    ScalarAggregateQuery,
+)
+from ..schema import Relation
+
+#: Sentinel used in plan keys and canonical predicates for literals outside
+#: the modelled active domain (kept identical to the serving planner's
+#: historical sentinel so result-cache keys are stable across versions).
+OUT_OF_DOMAIN = "<oov>"
+
+#: Evaluator routes a plan can take (shared with ``repro.serving.planner``).
+ROUTE_SAMPLE = "sample"
+ROUTE_BAYES_NET = "bayes-net"
+ROUTE_HYBRID = "hybrid"
+
+#: How a network-routed aggregate plan is lowered: averaged over the BN's
+#: forward-sampled relations (the paper's Sec. 4.2.4 treatment, the default)
+#: or exactly, by batched conditional inference over eliminated factors.
+BN_LOWER_SAMPLED = "sampled"
+BN_LOWER_EXACT = "exact"
+
+#: Query shapes a plan can carry (``LogicalPlan.shape``).
+SHAPE_POINT = "point"
+SHAPE_SCALAR = "scalar"
+SHAPE_GROUP_BY = "group-by"
+SHAPE_JOIN_GROUP_BY = "join-group-by"
+
+
+@dataclass(frozen=True)
+class CanonicalPredicate:
+    """One WHERE conjunct with its literal bucketized into domain codes.
+
+    ``bucket`` is the predicate's value in canonical form: the domain code
+    (or :data:`OUT_OF_DOMAIN`) for ``=``/``!=``, a sorted tuple of codes for
+    ``IN``, and the ordered-domain threshold position (or
+    :data:`OUT_OF_DOMAIN`) for ``<``/``<=``/``>``/``>=`` — exactly the value
+    :meth:`repro.query.ast.Predicate.mask` evaluates against, so two literals
+    falling in the same bucket compile to the same predicate, the same mask,
+    and the same plan key.  ``literal`` keeps the value as the user wrote it,
+    for display only — it takes no part in keys, masks, or caching.
+    """
+
+    attribute: str
+    comparison: Comparison
+    bucket: Any
+    literal: Any = None
+
+    @property
+    def key(self) -> tuple[str, str, Any]:
+        """The hashable triple used in plan keys and the mask cache."""
+        return (self.attribute, self.comparison.value, self.bucket)
+
+    @property
+    def display_value(self) -> Any:
+        """The value to show a human: the submitted literal when recorded."""
+        return self.bucket if self.literal is None else self.literal
+
+    def mask(self, relation: Relation) -> np.ndarray:
+        """Boolean tuple mask over ``relation`` — the predicate's kernel.
+
+        Bit-identical to :meth:`repro.query.ast.Predicate.mask` on the
+        original predicate: the bucketized form pre-computes exactly the
+        codes/thresholds that method derives before comparing columns.
+        """
+        return self._compare(relation.column(self.attribute))
+
+    def code_mask(self, domain_size: int) -> np.ndarray:
+        """Boolean mask over a *domain's codes* (not tuples) the predicate admits.
+
+        Used by the Bayesian-network lowering: applying this mask along a
+        factor axis restricts the factor to the predicate-satisfying values.
+        Shares :meth:`_compare` with :meth:`mask`, so the two views of one
+        predicate can never disagree about which values it admits.
+        """
+        return self._compare(np.arange(domain_size, dtype=np.int64))
+
+    def _compare(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate the bucketized comparison against an array of codes.
+
+        Out-of-domain buckets follow ``Predicate.mask``'s conventions:
+        nothing matches for ``=``/``IN``/``<``/``<=``, everything matches
+        for ``!=``/``>``/``>=``.
+        """
+        comparison = self.comparison
+        bucket = self.bucket
+        if comparison is Comparison.IN:
+            if not bucket:
+                return np.zeros(values.shape[0], dtype=bool)
+            return np.isin(values, list(bucket))
+        if bucket == OUT_OF_DOMAIN:
+            if comparison in (Comparison.NE, Comparison.GT, Comparison.GE):
+                return np.ones(values.shape[0], dtype=bool)
+            if comparison in (Comparison.EQ, Comparison.LT, Comparison.LE):
+                return np.zeros(values.shape[0], dtype=bool)
+            raise QueryError(f"unsupported comparison {comparison}")
+        if comparison is Comparison.EQ:
+            return values == bucket
+        if comparison is Comparison.NE:
+            return values != bucket
+        if comparison is Comparison.LT:
+            return values < bucket
+        if comparison is Comparison.LE:
+            return values <= bucket
+        if comparison is Comparison.GT:
+            return values > bucket
+        if comparison is Comparison.GE:
+            return values >= bucket
+        raise QueryError(f"unsupported comparison {comparison}")
+
+
+# ----------------------------------------------------------------------
+# Operator nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scan:
+    """Leaf: read one relation (the weighted sample or a generated sample)."""
+
+    source: str = "sample"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Conjunction of canonical predicates over the child's tuples."""
+
+    child: Scan
+    predicates: tuple[CanonicalPredicate, ...] = ()
+
+    @property
+    def predicate_keys(self) -> tuple[tuple[str, str, Any], ...]:
+        """Order-insensitive canonical form (sorted triples) for plan keys."""
+        return tuple(sorted((p.key for p in self.predicates), key=repr))
+
+
+@dataclass(frozen=True)
+class Group:
+    """Group the child's tuples by encoded key columns."""
+
+    child: Filter
+    keys: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Join:
+    """Self-join of two grouped sides on an equi-join pair (Table 5's Q6)."""
+
+    left: Group
+    right: Group
+    on: tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Weighted aggregate (COUNT/SUM/AVG) over the child's tuples or groups."""
+
+    child: Union[Filter, Group, Join]
+    function: str
+    attribute: str | None = None
+
+
+@dataclass(frozen=True)
+class Route:
+    """Root node: which evaluator serves the plan, and how.
+
+    ``choice`` is ``None`` straight out of the compiler (routing needs a
+    fitted model) and one of :data:`ROUTE_SAMPLE` / :data:`ROUTE_BAYES_NET` /
+    :data:`ROUTE_HYBRID` after :func:`repro.plan.compiler.resolve_route`.
+    ``bn_lowering`` selects how a network-routed aggregate is answered —
+    :data:`BN_LOWER_SAMPLED` (generated samples, the default and the paper's
+    semantics) or :data:`BN_LOWER_EXACT` (batched conditional inference).
+    """
+
+    child: Aggregate
+    choice: str | None = None
+    bn_lowering: str = BN_LOWER_SAMPLED
+
+
+PlanNode = Union[Scan, Filter, Group, Join, Aggregate, Route]
+
+#: A hashable canonical form of one query; the serving result-cache key.
+PlanKey = tuple
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """One compiled query: the operator tree, its canonical key, and the AST.
+
+    Attributes
+    ----------
+    query:
+        The query exactly as submitted; legacy consumers still receive it.
+    root:
+        The :class:`Route`-rooted operator tree.
+    shape:
+        One of ``"point"``, ``"scalar"``, ``"group-by"``,
+        ``"join-group-by"`` — the dispatch tag every layer shares.
+    key:
+        The canonical hashable plan key, derived from the tree (identical
+        for semantically equivalent queries).
+    sql:
+        The SQL text the plan was compiled from, when it came in as text.
+    """
+
+    query: Query
+    root: Route
+    shape: str
+    key: PlanKey
+    sql: str | None = None
+
+    # ------------------------------------------------------------------
+    # Tree accessors (every consumer reads the tree through these)
+    # ------------------------------------------------------------------
+    @property
+    def aggregate(self) -> Aggregate:
+        """The plan's aggregate node."""
+        return self.root.child
+
+    @property
+    def filter(self) -> Filter:
+        """The (possibly empty) filter of a non-join plan."""
+        node = self.aggregate.child
+        if isinstance(node, Group):
+            node = node.child
+        if not isinstance(node, Filter):
+            raise QueryError(f"{self.shape} plans have per-side filters")
+        return node
+
+    @property
+    def predicates(self) -> tuple[CanonicalPredicate, ...]:
+        """The compiled filter predicates of a non-join plan."""
+        return self.filter.predicates
+
+    @property
+    def group_keys(self) -> tuple[str, ...]:
+        """Grouping attributes (empty for point/scalar plans)."""
+        node = self.aggregate.child
+        if isinstance(node, Group):
+            return node.keys
+        if isinstance(node, Join):
+            return (node.left.keys[1], node.right.keys[1])
+        return ()
+
+    @property
+    def join(self) -> Join:
+        """The join node of a join-group-by plan."""
+        node = self.aggregate.child
+        if not isinstance(node, Join):
+            raise QueryError(f"{self.shape} plans have no join node")
+        return node
+
+    @property
+    def route(self) -> str | None:
+        """The resolved evaluator route (``None`` before routing)."""
+        return self.root.choice
+
+    @property
+    def is_routed(self) -> bool:
+        """Whether :func:`resolve_route` has stamped an evaluator choice."""
+        return self.root.choice is not None
+
+    def with_route(self, choice: str, bn_lowering: str | None = None) -> "LogicalPlan":
+        """A copy of this plan with the route (and lowering) resolved."""
+        root = replace(
+            self.root,
+            choice=choice,
+            bn_lowering=bn_lowering if bn_lowering is not None else self.root.bn_lowering,
+        )
+        return replace(self, root=root)
+
+    # ------------------------------------------------------------------
+    # Derived properties shared by the serving layer
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Every attribute the plan touches, first appearance order."""
+        seen: dict[str, None] = {}
+        if self.shape == SHAPE_JOIN_GROUP_BY:
+            join = self.join
+            for side in (join.left, join.right):
+                for name in side.keys:
+                    seen.setdefault(name, None)
+                for predicate in side.child.predicates:
+                    seen.setdefault(predicate.attribute, None)
+        else:
+            for name in self.group_keys:
+                seen.setdefault(name, None)
+            if self.aggregate.attribute:
+                seen.setdefault(self.aggregate.attribute, None)
+            for predicate in self.predicates:
+                seen.setdefault(predicate.attribute, None)
+        return tuple(seen)
+
+    def explain(self) -> str:
+        """A compact, printable rendering of the operator tree."""
+        lines = [f"{self.shape} plan (route={self.root.choice or 'unresolved'})"]
+        indent = "  "
+
+        def describe_filter(node: Filter, depth: int) -> None:
+            if node.predicates:
+                preds = " AND ".join(
+                    f"{p.attribute} {p.comparison.value} {p.display_value!r}"
+                    for p in node.predicates
+                )
+                lines.append(f"{indent * depth}Filter[{preds}]")
+            lines.append(f"{indent * (depth + bool(node.predicates))}Scan[{node.child.source}]")
+
+        aggregate = self.aggregate
+        target = aggregate.attribute or "*"
+        lines.append(f"{indent}Aggregate[{aggregate.function}({target})]")
+        child = aggregate.child
+        if isinstance(child, Join):
+            lines.append(f"{indent * 2}Join[{child.on[0]} = {child.on[1]}]")
+            for label, side in (("left", child.left), ("right", child.right)):
+                lines.append(f"{indent * 3}{label}: Group[{', '.join(side.keys)}]")
+                describe_filter(side.child, 4)
+        elif isinstance(child, Group):
+            lines.append(f"{indent * 2}Group[{', '.join(child.keys)}]")
+            describe_filter(child.child, 3)
+        else:
+            describe_filter(child, 2)
+        return "\n".join(lines)
+
+
+def query_shape(query: Query) -> str:
+    """The dispatch tag of an AST query — the one isinstance chain left.
+
+    Every layer that used to re-implement ``isinstance(query, PointQuery)``
+    chains now asks this function (or reads ``LogicalPlan.shape``).
+
+    Raises :class:`~repro.exceptions.QueryError` naming the offending object
+    (type *and* repr) for unsupported inputs.
+    """
+    if isinstance(query, PointQuery):
+        return SHAPE_POINT
+    if isinstance(query, ScalarAggregateQuery):
+        return SHAPE_SCALAR
+    if isinstance(query, GroupByQuery):
+        return SHAPE_GROUP_BY
+    if isinstance(query, JoinGroupByQuery):
+        return SHAPE_JOIN_GROUP_BY
+    raise QueryError(
+        f"unsupported query type {type(query).__name__}: {query!r}"
+    )

@@ -1,0 +1,256 @@
+"""Vectorized columnar kernels and the predicate-mask cache.
+
+Execution of a compiled :class:`~repro.plan.ir.LogicalPlan` over a relation
+is a handful of numpy primitives:
+
+* **predicate evaluation** — one boolean mask per canonical predicate,
+  cached by ``(generation, predicate)`` in :class:`MaskCache` and combined
+  with bitwise AND (conjunction masks are cached too, so a warm filter costs
+  zero mask work);
+* **group-by** — ``np.unique`` over the encoded key columns (memoized per
+  relation) plus ``np.bincount`` scatter-adds of the weights;
+* **scalar aggregates** — masked weighted reductions (``weights[mask].sum()``
+  and friends), never materializing a filtered relation.
+
+Every kernel is bit-identical to the historical filter-then-reduce engine:
+boolean indexing selects exactly the rows ``Relation.filter_mask`` kept, in
+the same order, so each float reduction performs the same operations on the
+same operands.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..schema import Relation
+from .ir import CanonicalPredicate
+
+
+class MaskCache:
+    """Cached boolean predicate masks for one relation (LRU-capped).
+
+    Entries are keyed by ``(generation, predicate)`` — the canonical
+    predicate triple, plus the model generation so serving layers can carry
+    one cache across refits without ever serving a stale mask (relations are
+    immutable, so within a generation a mask can never go stale).  Both
+    single-predicate masks and whole-conjunction masks are cached; the
+    conjunction key is order-insensitive, so reordered WHERE clauses hit.
+    Like the serving result/plan/factor caches, capacity is bounded: each
+    mask costs ``n_rows`` bytes, and a diverse predicate stream must not
+    grow a long-lived session without limit.
+    """
+
+    def __init__(self, relation: Relation, generation: int = 0, capacity: int = 512):
+        if capacity <= 0:
+            raise ValueError("mask cache capacity must be positive")
+        self._relation = relation
+        self._generation = int(generation)
+        self._capacity = int(capacity)
+        self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def relation(self) -> Relation:
+        """The relation masks are evaluated over."""
+        return self._relation
+
+    @property
+    def generation(self) -> int:
+        """The model generation baked into every cache key."""
+        return self._generation
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached masks (LRU eviction beyond that)."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _lookup(self, key: tuple) -> np.ndarray | None:
+        mask = self._store.get(key)
+        if mask is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+        return mask
+
+    def _insert(self, key: tuple, mask: np.ndarray) -> np.ndarray:
+        self.misses += 1
+        self._store[key] = mask
+        if len(self._store) > self._capacity:
+            self._store.popitem(last=False)
+        return mask
+
+    def predicate_mask(self, predicate: CanonicalPredicate) -> np.ndarray:
+        """The cached boolean mask of one canonical predicate."""
+        key = (self._generation, predicate.key)
+        mask = self._lookup(key)
+        if mask is not None:
+            return mask
+        return self._insert(key, predicate.mask(self._relation))
+
+    def conjunction_mask(
+        self, predicates: tuple[CanonicalPredicate, ...]
+    ) -> np.ndarray | None:
+        """The cached AND of several predicate masks (``None`` when empty).
+
+        ``None`` (rather than an all-true mask) lets callers skip boolean
+        indexing entirely on unfiltered plans.
+        """
+        if not predicates:
+            return None
+        if len(predicates) == 1:
+            return self.predicate_mask(predicates[0])
+        key = (self._generation, tuple(sorted((p.key for p in predicates), key=repr)))
+        mask = self._lookup(key)
+        if mask is not None:
+            return mask
+        combined = self.predicate_mask(predicates[0]).copy()
+        for predicate in predicates[1:]:
+            combined &= self.predicate_mask(predicate)
+        return self._insert(key, combined)
+
+    def invalidate(self, generation: int | None = None) -> None:
+        """Drop every mask (and optionally move to a new generation)."""
+        self._store.clear()
+        if generation is not None:
+            self._generation = int(generation)
+        else:
+            self._generation += 1
+
+    def statistics(self) -> dict[str, int | float]:
+        """Hit/miss counters plus the number of cached masks."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "cached_masks": len(self._store),
+        }
+
+
+# ----------------------------------------------------------------------
+# Reduction kernels (shared by the executor and the evaluators)
+# ----------------------------------------------------------------------
+def masked_weights(relation: Relation, mask: np.ndarray | None) -> np.ndarray:
+    """The relation's weights restricted to ``mask`` (all weights when None)."""
+    weights = relation.weights
+    return weights if mask is None else weights[mask]
+
+
+def numeric_column(relation: Relation, attribute: str) -> np.ndarray:
+    """Decoded numeric values of a column, as a float array.
+
+    Equivalent to ``np.asarray(relation.decoded_column(attribute), float)``
+    but computed as one gather through the float-converted domain, so it is
+    cheap enough to evaluate over the full relation and mask afterwards.
+    """
+    domain = relation.schema[attribute].domain
+    try:
+        lookup = np.asarray(domain.values, dtype=float)
+    except (TypeError, ValueError):
+        raise QueryError(
+            f"attribute {attribute!r} is not numeric; cannot SUM/AVG over it"
+        ) from None
+    return lookup[relation.column(attribute)]
+
+
+def scalar_reduce(
+    relation: Relation,
+    mask: np.ndarray | None,
+    function: str,
+    measure: np.ndarray | None,
+) -> float:
+    """Masked weighted COUNT/SUM/AVG over a relation — the scalar kernel."""
+    weights = masked_weights(relation, mask)
+    if function == "count":
+        return float(weights.sum())
+    assert measure is not None
+    values = measure if mask is None else measure[mask]
+    if function == "sum":
+        return float(np.sum(weights * values))
+    if function == "avg":
+        total = weights.sum()
+        return float(np.sum(weights * values) / total) if total > 0 else 0.0
+    raise QueryError(f"unsupported aggregate function {function}")
+
+
+def group_reduce(
+    relation: Relation,
+    keys: tuple[str, ...],
+    mask: np.ndarray | None,
+    function: str,
+    measure: np.ndarray | None,
+) -> dict[tuple[Any, ...], float]:
+    """Masked weighted GROUP BY aggregate — the scatter-add kernel.
+
+    Group ids come from the relation's memoized ``group_codes`` (one
+    ``np.unique`` per (relation, key set), shared by every plan grouping
+    over the same columns); per-group totals are ``np.bincount``
+    scatter-adds over the masked rows.  Groups with no positive weight are
+    dropped, matching the historical filtered-relation engine bit for bit.
+    """
+    group_index, unique_rows = relation.group_codes(keys)
+    n_groups = unique_rows.shape[0]
+    weights = relation.weights
+    if mask is not None:
+        group_index = group_index[mask]
+        weights = weights[mask]
+    weight_totals = np.bincount(group_index, weights=weights, minlength=n_groups)
+
+    if function == "count":
+        values = weight_totals
+    else:
+        assert measure is not None
+        selected = measure if mask is None else measure[mask]
+        weighted_sums = np.bincount(
+            group_index, weights=weights * selected, minlength=n_groups
+        )
+        if function == "sum":
+            values = weighted_sums
+        elif function == "avg":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                values = np.where(weight_totals > 0, weighted_sums / weight_totals, 0.0)
+        else:
+            raise QueryError(f"unsupported aggregate function {function}")
+
+    domains = [relation.schema[name].domain for name in keys]
+    results: dict[tuple[Any, ...], float] = {}
+    for row, value, weight_total in zip(unique_rows, values, weight_totals):
+        if weight_total <= 0:
+            continue
+        key = tuple(domain.decode(code) for domain, code in zip(domains, row))
+        results[key] = float(value)
+    return results
+
+
+def grouped_weight_totals(
+    relation: Relation, keys: tuple[str, ...], mask: np.ndarray | None
+) -> dict[tuple[Any, ...], float]:
+    """Masked weighted value counts over ``keys`` — the join-side kernel.
+
+    Unlike :func:`group_reduce` this keeps zero-weight groups whose tuples
+    matched the mask (``Relation.value_counts`` semantics), because the join
+    merge enumerates *present* groups, not positive-weight ones.
+    """
+    group_index, unique_rows = relation.group_codes(keys)
+    n_groups = unique_rows.shape[0]
+    weights = relation.weights
+    if mask is not None:
+        group_index = group_index[mask]
+        weights = weights[mask]
+    totals = np.bincount(group_index, weights=weights, minlength=n_groups)
+    presence = np.bincount(group_index, minlength=n_groups)
+    domains = [relation.schema[name].domain for name in keys]
+    counts: dict[tuple[Any, ...], float] = {}
+    for row, total, present in zip(unique_rows, totals, presence):
+        if not present:
+            continue
+        key = tuple(domain.decode(code) for domain, code in zip(domains, row))
+        counts[key] = float(total)
+    return counts

@@ -11,7 +11,13 @@ from .ast import (
     Query,
     ScalarAggregateQuery,
 )
-from .workload import HitterKind, PointQueryWorkload, WorkloadQuery
+from .workload import (
+    HitterKind,
+    MixedQueryWorkload,
+    MixedWorkloadQuery,
+    PointQueryWorkload,
+    WorkloadQuery,
+)
 
 __all__ = [
     "AggregateFunction",
@@ -20,6 +26,8 @@ __all__ = [
     "GroupByQuery",
     "HitterKind",
     "JoinGroupByQuery",
+    "MixedQueryWorkload",
+    "MixedWorkloadQuery",
     "PointQuery",
     "PointQueryWorkload",
     "Predicate",

@@ -1,10 +1,15 @@
-"""Point-query workload generation (Sec. 6.3).
+"""Query workload generation (Sec. 6.3, plus mixed-shape serving workloads).
 
 The evaluation runs 100 point queries per attribute set, with the query
 selection values drawn from the population's *light hitters* (smallest
 counts), *heavy hitters* (largest counts), or *random values* (any existing
-value).  This module generates those workloads from a ground-truth
-population relation.
+value).  :class:`PointQueryWorkload` generates those workloads from a
+ground-truth population relation.
+
+:class:`MixedQueryWorkload` additionally generates every SQL-expressible
+query shape — point, filtered scalar, and (filtered) GROUP BY — as paired
+``(sql, query)`` entries, which is what the plan-IR round-trip tests and the
+columnar-kernel benchmarks run over.
 """
 
 from __future__ import annotations
@@ -18,7 +23,16 @@ import numpy as np
 
 from ..exceptions import QueryError
 from ..schema import Relation
-from .ast import PointQuery
+from .ast import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    PointQuery,
+    Predicate,
+    Query,
+    ScalarAggregateQuery,
+)
 
 
 class HitterKind(str, Enum):
@@ -116,3 +130,230 @@ class PointQueryWorkload:
             picked = self._rng.choice(len(names), size=size, replace=False)
             chosen.append(tuple(names[index] for index in sorted(picked)))
         return chosen
+
+
+@dataclass(frozen=True)
+class MixedWorkloadQuery:
+    """One mixed-workload entry: a SQL statement and its hand-built AST.
+
+    ``sql`` parses to a query whose compiled plan key equals the key of the
+    hand-built ``query`` — the invariant the plan-IR round-trip tests assert
+    for every shape this generator emits.
+    """
+
+    sql: str
+    query: Query
+    shape: str
+
+
+def _sql_literal(value: Any) -> str:
+    """Format one domain value as a SQL literal the parser reads back."""
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
+class MixedQueryWorkload:
+    """Generate paired (SQL, AST) workloads over every SQL-expressible shape.
+
+    Point queries, filtered scalar aggregates (COUNT/SUM/AVG with equality,
+    ordered, and IN predicates), and filtered GROUP BY aggregates are all
+    drawn from a relation's actual attribute domains, so every literal is
+    in-domain and every statement parses back to an AST whose compiled plan
+    key matches the hand-built query's key.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        table: str = "R",
+        seed: int | np.random.Generator | None = None,
+    ):
+        self._relation = relation
+        self._table = table
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def _numeric_attributes(self) -> tuple[str, ...]:
+        names = []
+        for attribute in self._relation.schema:
+            try:
+                np.asarray(attribute.domain.values, dtype=float)
+            except (TypeError, ValueError):
+                continue
+            names.append(attribute.name)
+        return tuple(names)
+
+    def _random_value(self, name: str) -> Any:
+        domain = self._relation.schema[name].domain
+        return domain.values[int(self._rng.integers(len(domain)))]
+
+    def _random_predicates(
+        self, names: Sequence[str], kind_offset: int = 0
+    ) -> list[Predicate]:
+        """One predicate per attribute, cycling equality/ordered/IN shapes.
+
+        ``kind_offset`` rotates the cycle so short conjunctions (one or two
+        predicates) still reach every shape across a workload — without it,
+        the IN branch would only appear from the third conjunct on.
+        """
+        predicates = []
+        for index, name in enumerate(names):
+            domain = self._relation.schema[name].domain
+            kind = (index + kind_offset) % 3
+            if kind == 0:
+                predicates.append(Predicate(name, Comparison.EQ, self._random_value(name)))
+            elif kind == 1:
+                comparison = (Comparison.LE, Comparison.GE, Comparison.LT, Comparison.GT)[
+                    int(self._rng.integers(4))
+                ]
+                predicates.append(Predicate(name, comparison, self._random_value(name)))
+            else:
+                count = int(self._rng.integers(1, min(4, len(domain)) + 1))
+                picked = self._rng.choice(len(domain), size=count, replace=False)
+                values = tuple(domain.values[int(i)] for i in sorted(picked))
+                predicates.append(Predicate(name, Comparison.IN, values))
+        return predicates
+
+    @staticmethod
+    def _predicate_sql(predicate: Predicate) -> str:
+        if predicate.comparison is Comparison.IN:
+            values = ", ".join(_sql_literal(value) for value in predicate.value)
+            return f"{predicate.attribute} in ({values})"
+        return (
+            f"{predicate.attribute} {predicate.comparison.value} "
+            f"{_sql_literal(predicate.value)}"
+        )
+
+    # ------------------------------------------------------------------
+    # Shape generators
+    # ------------------------------------------------------------------
+    def point_queries(self, n_queries: int, dimension: int = 2) -> list[MixedWorkloadQuery]:
+        """``SELECT COUNT(*) ... WHERE`` equality conjunctions (point shape)."""
+        names = self._relation.attribute_names
+        dimension = min(dimension, len(names))
+        entries = []
+        for _ in range(n_queries):
+            picked = self._rng.choice(len(names), size=dimension, replace=False)
+            assignment = {names[int(i)]: self._random_value(names[int(i)]) for i in picked}
+            where = " AND ".join(
+                f"{name} = {_sql_literal(value)}"
+                for name, value in sorted(assignment.items())
+            )
+            entries.append(
+                MixedWorkloadQuery(
+                    sql=f"SELECT COUNT(*) FROM {self._table} WHERE {where}",
+                    query=PointQuery(assignment),
+                    shape="point",
+                )
+            )
+        return entries
+
+    def scalar_queries(
+        self, n_queries: int, n_predicates: int = 2
+    ) -> list[MixedWorkloadQuery]:
+        """Filtered scalar aggregates (COUNT/SUM/AVG, no GROUP BY)."""
+        names = self._relation.attribute_names
+        numeric = self._numeric_attributes()
+        n_predicates = min(n_predicates, len(names))
+        entries = []
+        functions = [AggregateFunction.COUNT]
+        if numeric:
+            functions += [AggregateFunction.SUM, AggregateFunction.AVG]
+        for index in range(n_queries):
+            function = functions[index % len(functions)]
+            picked = self._rng.choice(len(names), size=n_predicates, replace=False)
+            predicates = self._random_predicates(
+                [names[int(i)] for i in picked], kind_offset=index
+            )
+            if function is AggregateFunction.COUNT:
+                # Keep at least one non-equality conjunct, otherwise the SQL
+                # parser (correctly) reads the statement back as a point query.
+                if all(p.comparison is Comparison.EQ for p in predicates):
+                    first = predicates[0]
+                    predicates[0] = Predicate(first.attribute, Comparison.LE, first.value)
+                spec = AggregateSpec(AggregateFunction.COUNT)
+                select = "COUNT(*)"
+            else:
+                measure = numeric[int(self._rng.integers(len(numeric)))]
+                spec = AggregateSpec(function, measure)
+                select = f"{function.value.upper()}({measure})"
+            where = " AND ".join(self._predicate_sql(p) for p in predicates)
+            entries.append(
+                MixedWorkloadQuery(
+                    sql=f"SELECT {select} FROM {self._table} WHERE {where}",
+                    query=ScalarAggregateQuery(
+                        aggregate=spec, predicates=tuple(predicates)
+                    ),
+                    shape="scalar",
+                )
+            )
+        return entries
+
+    def group_by_queries(
+        self, n_queries: int, n_predicates: int = 1
+    ) -> list[MixedWorkloadQuery]:
+        """(Filtered) GROUP BY aggregates over one or two grouping columns."""
+        names = self._relation.attribute_names
+        numeric = self._numeric_attributes()
+        entries = []
+        functions = [AggregateFunction.COUNT]
+        if numeric:
+            functions += [AggregateFunction.SUM, AggregateFunction.AVG]
+        for index in range(n_queries):
+            function = functions[index % len(functions)]
+            n_group = 1 + index % min(2, len(names))
+            picked = self._rng.choice(len(names), size=n_group, replace=False)
+            group_by = tuple(names[int(i)] for i in sorted(picked))
+            remaining = [name for name in names if name not in group_by]
+            predicates: list[Predicate] = []
+            if remaining and n_predicates:
+                chosen = self._rng.choice(
+                    len(remaining), size=min(n_predicates, len(remaining)), replace=False
+                )
+                predicates = self._random_predicates(
+                    [remaining[int(i)] for i in chosen], kind_offset=index
+                )
+            if function is AggregateFunction.COUNT:
+                spec = AggregateSpec(AggregateFunction.COUNT)
+                select = "COUNT(*)"
+            else:
+                measure = numeric[int(self._rng.integers(len(numeric)))]
+                spec = AggregateSpec(function, measure)
+                select = f"{function.value.upper()}({measure})"
+            where = (
+                " WHERE " + " AND ".join(self._predicate_sql(p) for p in predicates)
+                if predicates
+                else ""
+            )
+            columns = ", ".join(group_by)
+            entries.append(
+                MixedWorkloadQuery(
+                    sql=(
+                        f"SELECT {columns}, {select} FROM {self._table}{where} "
+                        f"GROUP BY {columns}"
+                    ),
+                    query=GroupByQuery(
+                        group_by=group_by, aggregate=spec, predicates=tuple(predicates)
+                    ),
+                    shape="group-by",
+                )
+            )
+        return entries
+
+    def generate(
+        self,
+        n_point: int = 4,
+        n_scalar: int = 4,
+        n_group_by: int = 4,
+    ) -> list[MixedWorkloadQuery]:
+        """A workload covering every SQL-expressible query shape."""
+        return (
+            self.point_queries(n_point)
+            + self.scalar_queries(n_scalar)
+            + self.group_by_queries(n_group_by)
+        )

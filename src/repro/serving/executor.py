@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from dataclasses import replace
 
 from ..core.model import ThemisModel
+from ..plan import BN_LOWER_EXACT, SHAPE_SCALAR
 from ..query.ast import PointQuery, Query
 from ..sql.engine import QueryResult
 from .cache import InferenceCache, PlanCache, ResultCache
@@ -33,7 +35,18 @@ from .stats import BatchResult, QueryOutcome
 
 
 class BatchExecutor:
-    """Execute planned queries against one fitted model with shared caches."""
+    """Execute planned queries against one fitted model with shared caches.
+
+    Parameters
+    ----------
+    exact_bn_aggregates:
+        When true, network-routed *aggregate* plans (filtered scalars) are
+        lowered to batched conditional inference over shared eliminated
+        factors (:meth:`BayesNetEvaluator.scalar_exact_batch`) instead of
+        the default forward-sampled answering.  Exact lowering is
+        deterministic and batch-friendly but intentionally **not**
+        bit-identical to the sampled path, so it is opt-in per session.
+    """
 
     def __init__(
         self,
@@ -42,12 +55,14 @@ class BatchExecutor:
         result_cache: ResultCache,
         inference_cache: InferenceCache,
         plan_cache: PlanCache | None = None,
+        exact_bn_aggregates: bool = False,
     ):
         self._model = model
         self._planner = planner
         self._result_cache = result_cache
         self._inference_cache = inference_cache
         self._plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._exact_bn_aggregates = bool(exact_bn_aggregates)
 
     @property
     def model(self) -> ThemisModel:
@@ -63,10 +78,28 @@ class BatchExecutor:
             cached = self._plan_cache.get(query)
             if cached is not None:
                 return cached
-            plan = self._planner.plan_sql(query)
+            plan = self._stamp_lowering(self._planner.plan_sql(query))
             self._plan_cache.put(query, plan)
             return plan
-        return self._planner.plan(query)
+        return self._stamp_lowering(self._planner.plan(query))
+
+    def _stamp_lowering(self, plan: QueryPlan) -> QueryPlan:
+        """Record this executor's BN lowering choice on the plan's Route node.
+
+        Exact mode applies to network-routed scalar aggregate plans; every
+        execution decision below branches on ``plan.bn_lowering``, so the
+        plan always reports how it will actually be served.
+        """
+        if (
+            self._exact_bn_aggregates
+            and plan.route == ROUTE_BAYES_NET
+            and plan.logical is not None
+            and plan.shape == SHAPE_SCALAR
+        ):
+            return replace(
+                plan, logical=plan.logical.with_route(plan.route, BN_LOWER_EXACT)
+            )
+        return plan
 
     # ------------------------------------------------------------------
     # Single-plan execution
@@ -80,14 +113,27 @@ class BatchExecutor:
         self._result_cache.store(plan.key, result)
         return result, False
 
+    def _plan_needs_samples(self, plan: QueryPlan) -> bool:
+        """Whether serving this plan will touch the BN's generated samples."""
+        if plan.bn_lowering == BN_LOWER_EXACT:
+            return False
+        return plan.needs_generated_samples
+
     def _evaluate(self, plan: QueryPlan) -> float | QueryResult:
         """Run a plan on its routed evaluator (hybrid-identical by design)."""
         query = plan.query
         if plan.route == ROUTE_SAMPLE:
+            if plan.logical is not None:
+                # Execute the already-compiled plan directly — no recompile.
+                return self._model.sample_evaluator.engine.execute(plan.logical)
             return self._model.sample_evaluator.execute(query)
         if plan.route == ROUTE_BAYES_NET:
             if isinstance(query, PointQuery):
                 return self._inference_cache.point(query.as_dict())
+            if plan.bn_lowering == BN_LOWER_EXACT:
+                return self._model.bayes_net_evaluator.scalar_exact(
+                    plan.logical if plan.logical is not None else query
+                )
             self._inference_cache.warm_samples()
             return self._model.bayes_net_evaluator.execute(query)
         if plan.needs_generated_samples:
@@ -118,8 +164,10 @@ class BatchExecutor:
             grouped.setdefault(plan.group_signature, []).append(index)
 
         # Amortized warm-up: materialize BN samples once for the whole batch.
+        # (Exactly-lowered BN scalars never touch the generated samples, so
+        # they do not trigger the warm-up in exact mode.)
         amortized_seconds = 0.0
-        if any(plan.needs_generated_samples for plan in plans):
+        if any(self._plan_needs_samples(plan) for plan in plans):
             warm_start = time.perf_counter()
             self._inference_cache.warm_samples()
             amortized_seconds = time.perf_counter() - warm_start
@@ -128,29 +176,44 @@ class BatchExecutor:
         # the result cache cannot answer goes through one point_batch() call
         # sharing elimination passes across equal evidence signatures.
         pending: dict[tuple, Query] = {}
+        pending_scalars: dict[tuple, object] = {}  # Query or compiled LogicalPlan
         for plan in plans:
-            if (
-                plan.route == ROUTE_BAYES_NET
-                and isinstance(plan.query, PointQuery)
-                and plan.key not in pending
-                and plan.key not in self._result_cache
-            ):
-                pending[plan.key] = plan.query
+            if plan.route != ROUTE_BAYES_NET or plan.key in self._result_cache:
+                continue
+            if isinstance(plan.query, PointQuery):
+                pending.setdefault(plan.key, plan.query)
+            elif plan.bn_lowering == BN_LOWER_EXACT:
+                # Hand the compiled plan down so the lowering never
+                # re-canonicalizes what the planner already compiled.
+                pending_scalars.setdefault(
+                    plan.key,
+                    plan.logical if plan.logical is not None else plan.query,
+                )
         precomputed: dict[tuple, float] = {}
         bn_batch_seconds = 0.0
         bn_passes = 0
-        if pending:
+        if pending or pending_scalars:
             dispatch_start = time.perf_counter()
             engine = self._inference_cache.engine
             passes_before = engine.elimination_passes
-            answers = self._inference_cache.point_batch(
-                [query.as_dict() for query in pending.values()]
-            )
+            if pending:
+                answers = self._inference_cache.point_batch(
+                    [query.as_dict() for query in pending.values()]
+                )
+                precomputed.update(zip(pending.keys(), answers))
+            if pending_scalars:
+                # One lowering call for every exactly-lowered scalar plan:
+                # factors over shared variable sets eliminate once, subsets
+                # derive from already-eliminated prefixes.
+                scalar_answers = self._model.bayes_net_evaluator.scalar_exact_batch(
+                    list(pending_scalars.values())
+                )
+                precomputed.update(zip(pending_scalars.keys(), scalar_answers))
             bn_passes = engine.elimination_passes - passes_before
             bn_batch_seconds = time.perf_counter() - dispatch_start
-            precomputed = dict(zip(pending.keys(), answers))
         # Attribute the shared dispatch evenly across the plans it answered.
-        batched_share = bn_batch_seconds / len(pending) if pending else 0.0
+        n_batched = len(pending) + len(pending_scalars)
+        batched_share = bn_batch_seconds / n_batched if n_batched else 0.0
 
         outcomes: list[QueryOutcome | None] = [None] * len(plans)
         served: dict[tuple, QueryOutcome] = {}

@@ -1,10 +1,13 @@
 """Query planning: canonical plan keys and evaluator routing.
 
 The serving layer answers many queries against one fitted model, so before
-anything is executed each query is *planned*: the AST is normalized into a
-canonical, hashable :class:`PlanKey` (predicates ordered, constants bucketized
-into domain codes) and routed to the cheapest evaluator that provably returns
-the same answer the :class:`~repro.core.evaluators.HybridEvaluator` would.
+anything is executed each query is *planned*.  Since the logical-plan IR
+landed this module is a thin binding layer: the actual canonicalization —
+predicates bucketized into domain codes, the hashable plan key derived from
+the compiled operator tree — happens exactly once, in
+:class:`repro.plan.PlanCompiler`, and routing stamps the compiled plan's
+``Route`` node against the fitted model (:func:`repro.plan.resolve_route`)
+using the model's shared predicate-mask cache.
 
 Two syntactically different but semantically equivalent queries — e.g. the
 same WHERE clause with its conjuncts reordered, or an ordered predicate whose
@@ -17,48 +20,51 @@ answer of the query it wraps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
-import numpy as np
-
-from ..exceptions import QueryError
-from ..query.ast import (
-    Comparison,
-    GroupByQuery,
-    JoinGroupByQuery,
-    PointQuery,
-    Predicate,
-    Query,
-    ScalarAggregateQuery,
+from ..plan import (
+    BN_LOWER_SAMPLED,
+    LogicalPlan,
+    PlanCompiler,
+    PlanKey,
+    resolve_route,
 )
+from ..plan.ir import (
+    ROUTE_BAYES_NET,
+    ROUTE_HYBRID,
+    ROUTE_SAMPLE,
+    SHAPE_GROUP_BY,
+    SHAPE_JOIN_GROUP_BY,
+    SHAPE_POINT,
+    SHAPE_SCALAR,
+)
+from ..query.ast import Query
 from ..schema import Schema
-from ..sql.parser import parse_sql
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.model import ThemisModel
 
-#: A hashable canonical form of one query; the result-cache key.
-PlanKey = tuple
-
-#: Evaluator routes a plan can take.
-ROUTE_SAMPLE = "sample"
-ROUTE_BAYES_NET = "bayes-net"
-ROUTE_HYBRID = "hybrid"
-
-#: Sentinel used in plan keys for literals outside the modelled domain.
-_OUT_OF_DOMAIN = "<oov>"
+__all__ = [
+    "PlanKey",
+    "QueryPlan",
+    "QueryPlanner",
+    "ROUTE_BAYES_NET",
+    "ROUTE_HYBRID",
+    "ROUTE_SAMPLE",
+]
 
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """One planned query: the original AST plus its canonical key and route.
+    """One planned query: the compiled logical plan bound to a route.
 
     Attributes
     ----------
     query:
         The query exactly as submitted; execution always uses this object.
     key:
-        The canonical hashable plan key (identical for equivalent queries).
+        The canonical hashable plan key (identical for equivalent queries),
+        derived from the compiled operator tree.
     route:
         Which evaluator serves the plan (``"sample"``, ``"bayes-net"``, or
         ``"hybrid"``).
@@ -68,6 +74,8 @@ class QueryPlan:
         them back-to-back and amortizes generated-sample inference.
     needs_generated_samples:
         Whether serving the plan touches the BN's forward-sampled relations.
+    logical:
+        The compiled (and routed) :class:`~repro.plan.LogicalPlan`.
     sql:
         The SQL text the plan was parsed from, when it came in as text.
     """
@@ -77,24 +85,54 @@ class QueryPlan:
     route: str
     group_signature: tuple
     needs_generated_samples: bool
+    logical: LogicalPlan | None = None
     sql: str | None = None
+
+    @property
+    def shape(self) -> str:
+        """The plan's query shape tag (``"point"``, ``"scalar"``, ...)."""
+        assert self.logical is not None
+        return self.logical.shape
+
+    @property
+    def bn_lowering(self) -> str:
+        """How a network-routed aggregate plan is lowered."""
+        if self.logical is None:
+            return BN_LOWER_SAMPLED
+        return self.logical.root.bn_lowering
 
 
 class QueryPlanner:
-    """Normalize queries into :class:`QueryPlan` objects for one fitted model.
+    """Bind compiled logical plans to one fitted model.
 
     Parameters
     ----------
     schema:
-        The sample schema; used to validate attributes and bucketize literals.
+        The sample schema; used to validate attributes and bucketize
+        literals (inside the shared :class:`~repro.plan.PlanCompiler`).
     model:
-        The fitted model routing decisions are made against.  Without a model
-        every plan routes to ``"hybrid"``.
+        The fitted model routing decisions are made against.  Without a
+        model every plan routes to ``"hybrid"``.
+    compiler:
+        An existing compiler to share.  Binding the planner to the model's
+        engine compiler means a query compiles exactly once system-wide:
+        the planner's key/route derivation and the engine's execution read
+        the same memoized :class:`~repro.plan.LogicalPlan`.
     """
 
-    def __init__(self, schema: Schema, model: "ThemisModel | None" = None):
-        self._schema = schema
+    def __init__(
+        self,
+        schema: Schema,
+        model: "ThemisModel | None" = None,
+        compiler: PlanCompiler | None = None,
+    ):
+        self._compiler = compiler if compiler is not None else PlanCompiler(schema)
         self._model = model
+
+    @property
+    def compiler(self) -> PlanCompiler:
+        """The plan compiler (one canonicalization for every layer)."""
+        return self._compiler
 
     # ------------------------------------------------------------------
     # Planning
@@ -103,28 +141,28 @@ class QueryPlanner:
         """Plan a query AST or a SQL string."""
         if isinstance(query, str):
             return self.plan_sql(query)
-        self._validate(query)
-        key = self.canonical_key(query)
-        route = self._route(query)
-        return QueryPlan(
-            query=query,
-            key=key,
-            route=route,
-            group_signature=self._group_signature(query),
-            needs_generated_samples=self._needs_generated_samples(query, route),
-        )
+        return self._bind(self._compiler.compile(query))
 
     def plan_sql(self, statement: str) -> QueryPlan:
         """Parse a SQL statement and plan the resulting AST."""
-        parsed = parse_sql(statement)
-        plan = self.plan(parsed.query)
+        return self._bind(self._compiler.compile_sql(statement))
+
+    def plan_logical(self, logical: LogicalPlan) -> QueryPlan:
+        """Bind an already-compiled logical plan to the model's routes."""
+        return self._bind(logical)
+
+    def _bind(self, logical: LogicalPlan) -> QueryPlan:
+        routed = resolve_route(logical, self._model)
+        route = routed.route
+        assert route is not None
         return QueryPlan(
-            query=plan.query,
-            key=plan.key,
-            route=plan.route,
-            group_signature=plan.group_signature,
-            needs_generated_samples=plan.needs_generated_samples,
-            sql=statement,
+            query=routed.query,
+            key=routed.key,
+            route=route,
+            group_signature=self._group_signature(routed),
+            needs_generated_samples=self._needs_generated_samples(routed, route),
+            logical=routed,
+            sql=routed.sql,
         )
 
     # ------------------------------------------------------------------
@@ -134,158 +172,33 @@ class QueryPlanner:
         """The canonical hashable key of a query.
 
         Equivalent queries (reordered conjuncts, literals bucketizing to the
-        same domain code, COUNT-of-equalities scalars vs. point queries) map
-        to the same key; queries differing in any constant's bucket do not.
+        same domain code) map to the same key; queries differing in any
+        constant's bucket do not.  Derived directly from the compiled plan —
+        there is no second canonicalization to drift from the first.
         """
-        if isinstance(query, PointQuery):
-            return self._point_key(query.as_dict())
-        if isinstance(query, ScalarAggregateQuery):
-            # NB: a COUNT-of-equalities scalar is *not* folded into the point
-            # key even though the two are semantically close: on the BN route
-            # a point query is answered by exact inference while a scalar is
-            # answered from the generated samples, so their answers (and hence
-            # their cache entries) can legitimately differ.  The SQL parser
-            # already emits PointQuery for that shape, so SQL text still
-            # canonicalizes fully.
-            return (
-                "scalar",
-                (query.aggregate.function.value, query.aggregate.attribute),
-                self._canonical_predicates(query.predicates),
-            )
-        if isinstance(query, GroupByQuery):
-            return (
-                "group-by",
-                tuple(query.group_by),
-                (query.aggregate.function.value, query.aggregate.attribute),
-                self._canonical_predicates(query.predicates),
-            )
-        if isinstance(query, JoinGroupByQuery):
-            return (
-                "join-group-by",
-                (query.left_join, query.right_join),
-                (query.left_group, query.right_group),
-                (query.aggregate.function.value, query.aggregate.attribute),
-                self._canonical_predicates(query.left_predicates),
-                self._canonical_predicates(query.right_predicates),
-            )
-        raise QueryError(f"unsupported query type {type(query).__name__}")
-
-    def _point_key(self, assignment: dict[str, Any]) -> PlanKey:
-        """Canonical key of a point query: sorted (attribute, code) pairs."""
-        items = tuple(
-            sorted(
-                (name, self._bucketize(name, Comparison.EQ, value))
-                for name, value in assignment.items()
-            )
-        )
-        return ("point", items)
-
-    def _canonical_predicates(self, predicates: tuple[Predicate, ...]) -> tuple:
-        """Order-insensitive, bucketized form of a WHERE conjunct list."""
-        canonical = []
-        for predicate in predicates:
-            value = self._bucketize(
-                predicate.attribute, predicate.comparison, predicate.value
-            )
-            canonical.append((predicate.attribute, predicate.comparison.value, value))
-        return tuple(sorted(canonical, key=repr))
-
-    def _bucketize(self, attribute: str, comparison: Comparison, value: Any) -> Any:
-        """Map a literal to its canonical domain bucket.
-
-        Equality-style literals become their domain code; ordered literals
-        become the position of the largest domain value not exceeding them
-        (exactly the threshold :meth:`Predicate.mask` evaluates against), so
-        two literals inside the same bucket yield identical plans.
-        """
-        if attribute not in self._schema:
-            return _OUT_OF_DOMAIN
-        domain = self._schema[attribute].domain
-        if comparison is Comparison.IN:
-            values = value if isinstance(value, (list, tuple, set)) else [value]
-            codes = sorted(
-                {code for code in (domain.code_of(item) for item in values) if code is not None}
-            )
-            return tuple(codes)
-        if comparison in (Comparison.EQ, Comparison.NE):
-            code = domain.code_of(value)
-            return _OUT_OF_DOMAIN if code is None else code
-        # Ordered comparisons: reuse the predicate's own threshold semantics.
-        threshold = Predicate(attribute, comparison, value)._ordered_threshold(domain)
-        return _OUT_OF_DOMAIN if threshold is None else threshold
+        return self._compiler.canonical_key(query)
 
     # ------------------------------------------------------------------
-    # Routing
+    # Derived plan properties
     # ------------------------------------------------------------------
-    def _route(self, query: Query) -> str:
-        """Pick the cheapest evaluator that matches the hybrid's answer.
-
-        The rules mirror :class:`HybridEvaluator` exactly: point queries go to
-        the reweighted sample when the tuple exists in it and to BN inference
-        otherwise; filtered scalars likewise; GROUP BY shapes always need the
-        hybrid's sample-union-BN merge.
-        """
-        model = self._model
-        if model is None:
-            return ROUTE_HYBRID
-        if isinstance(query, PointQuery):
-            assignment = query.as_dict()
-            if model.weighted_sample.contains(assignment):
-                return ROUTE_SAMPLE
-            return ROUTE_BAYES_NET
-        if isinstance(query, ScalarAggregateQuery):
-            if not query.predicates:
-                return ROUTE_SAMPLE
-            sample = model.weighted_sample
-            mask = np.ones(sample.n_rows, dtype=bool)
-            for predicate in query.predicates:
-                mask &= predicate.mask(sample)
-            return ROUTE_SAMPLE if mask.any() else ROUTE_BAYES_NET
-        return ROUTE_HYBRID
-
     @staticmethod
-    def _group_signature(query: Query) -> tuple:
+    def _group_signature(logical: LogicalPlan) -> tuple:
         """Columns a plan groups/filters over; equal signatures batch together."""
-        if isinstance(query, GroupByQuery):
-            return ("group-by", tuple(query.group_by))
-        if isinstance(query, JoinGroupByQuery):
-            return ("join-group-by", (query.left_group, query.right_group))
-        if isinstance(query, PointQuery):
-            return ("point", query.attributes)
-        if isinstance(query, ScalarAggregateQuery):
-            return ("scalar", query.attributes)
+        if logical.shape == SHAPE_GROUP_BY:
+            return ("group-by", logical.group_keys)
+        if logical.shape == SHAPE_JOIN_GROUP_BY:
+            return ("join-group-by", logical.group_keys)
+        if logical.shape == SHAPE_POINT:
+            return ("point", logical.attributes)
+        if logical.shape == SHAPE_SCALAR:
+            return ("scalar", logical.attributes)
         return ("other",)
 
     @staticmethod
-    def _needs_generated_samples(query: Query, route: str) -> bool:
+    def _needs_generated_samples(logical: LogicalPlan, route: str) -> bool:
         """Whether serving the plan touches the BN's forward-sampled relations."""
-        if isinstance(query, (GroupByQuery, JoinGroupByQuery)):
+        if logical.shape in (SHAPE_GROUP_BY, SHAPE_JOIN_GROUP_BY):
             return True  # the hybrid merges in BN groups from generated samples
-        if isinstance(query, ScalarAggregateQuery):
+        if logical.shape == SHAPE_SCALAR:
             return route == ROUTE_BAYES_NET
         return False
-
-    # ------------------------------------------------------------------
-    # Validation
-    # ------------------------------------------------------------------
-    def _validate(self, query: Query) -> None:
-        """Reject queries referencing attributes the sample schema lacks."""
-        names: tuple[str, ...]
-        if isinstance(query, JoinGroupByQuery):
-            names = (
-                query.left_join,
-                query.right_join,
-                query.left_group,
-                query.right_group,
-            ) + tuple(
-                predicate.attribute
-                for predicate in query.left_predicates + query.right_predicates
-            )
-        else:
-            names = tuple(getattr(query, "attributes", ()))
-        for name in names:
-            if name not in self._schema:
-                raise QueryError(
-                    f"query references unknown attribute {name!r}; sample "
-                    f"attributes are {list(self._schema.names)}"
-                )

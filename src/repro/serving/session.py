@@ -42,6 +42,12 @@ class ServingSession:
         set, so a modest capacity covers most workloads).  The factor cache
         lives on the fitted model's inference engine and is shared by every
         session over that model; the most recent session's capacity wins.
+    exact_bn_aggregates:
+        Opt-in: lower network-routed scalar aggregate plans to batched
+        exact conditional inference over shared eliminated factors instead
+        of the default forward-sampled answering.  Deterministic and
+        batch-friendly, but deliberately *not* bit-identical to the sampled
+        path (so the default stays the paper's semantics).
     """
 
     def __init__(
@@ -50,11 +56,13 @@ class ServingSession:
         result_cache_size: int = 256,
         plan_cache_size: int = 512,
         inference_factor_capacity: int = 128,
+        exact_bn_aggregates: bool = False,
     ):
         self._themis = themis
         self._result_cache = ResultCache(result_cache_size)
         self._plan_cache = PlanCache(plan_cache_size)
         self._inference_factor_capacity = int(inference_factor_capacity)
+        self._exact_bn_aggregates = bool(exact_bn_aggregates)
         self._inference_cache: InferenceCache | None = None
         self._executor: BatchExecutor | None = None
         self._generation: int | None = None
@@ -93,13 +101,21 @@ class ServingSession:
             )
         else:
             self._inference_cache.invalidate(model.bayes_net_evaluator, generation)
-        planner = QueryPlanner(model.sample.schema, model)
+        # Share the fitted engine's compiler so each query compiles once
+        # system-wide (planner keys/routes and engine execution read the
+        # same memoized plan).
+        planner = QueryPlanner(
+            model.sample.schema,
+            model,
+            compiler=model.sample_evaluator.engine.executor.compiler,
+        )
         self._executor = BatchExecutor(
             model,
             planner,
             self._result_cache,
             self._inference_cache,
             self._plan_cache,
+            exact_bn_aggregates=self._exact_bn_aggregates,
         )
         self._generation = generation
         return self._executor

@@ -5,6 +5,14 @@ paper's prototype: point queries, filtered GROUP BY aggregates, and the
 self-join query of Table 5 are evaluated directly over the (reweighted)
 in-memory relations.  ``COUNT(*)`` is evaluated as ``SUM(weight)`` exactly as
 Sec. 4.1 describes.
+
+Since the logical-plan IR landed, :class:`WeightedQueryEngine` is a thin
+facade over :class:`repro.plan.ColumnarExecutor`: queries are compiled once
+into :class:`~repro.plan.LogicalPlan` trees and executed by vectorized
+columnar kernels — cached boolean predicate masks combined with bitwise ops,
+``np.unique``/scatter-add group-bys, and masked weighted reductions — instead
+of materializing a filtered relation per query.  Answers are bit-identical
+to the historical filter-then-reduce implementation.
 """
 
 from __future__ import annotations
@@ -12,15 +20,9 @@ from __future__ import annotations
 from collections.abc import Mapping
 from typing import Any
 
-import numpy as np
-
-from ..exceptions import QueryError
 from ..query.ast import (
-    AggregateFunction,
     GroupByQuery,
     JoinGroupByQuery,
-    PointQuery,
-    Predicate,
     Query,
     ScalarAggregateQuery,
 )
@@ -28,7 +30,12 @@ from ..schema import Relation
 
 
 class QueryResult:
-    """A GROUP BY query result: mapping from group tuples to aggregate values."""
+    """A GROUP BY query result: mapping from group tuples to aggregate values.
+
+    Two results are equal iff they group over the same attributes and map
+    the same groups to the same (bit-identical) values — which is what the
+    bit-identity tests between execution paths assert directly.
+    """
 
     def __init__(self, group_by: tuple[str, ...], values: dict[tuple[Any, ...], float]):
         self.group_by = tuple(group_by)
@@ -42,6 +49,14 @@ class QueryResult:
 
     def __contains__(self, group: tuple[Any, ...]) -> bool:
         return tuple(group) in self._values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return self.group_by == other.group_by and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((self.group_by, frozenset(self._values.items())))
 
     def value(self, group: tuple[Any, ...], default: float = 0.0) -> float:
         """Aggregate value for one group."""
@@ -60,163 +75,69 @@ class QueryResult:
 
 
 class WeightedQueryEngine:
-    """Evaluate queries against a weighted relation."""
+    """Evaluate queries against a weighted relation via the plan IR.
 
-    def __init__(self, relation: Relation):
-        self._relation = relation
+    Every query — AST object, compiled plan, or SQL text — is compiled into
+    a :class:`~repro.plan.LogicalPlan` and executed by the relation-bound
+    :class:`~repro.plan.ColumnarExecutor`; the engine keeps no query logic
+    of its own anymore.
+    """
+
+    def __init__(self, relation: Relation, executor=None):
+        from ..plan.executor import ColumnarExecutor
+
+        self._executor = (
+            executor if executor is not None else ColumnarExecutor(relation)
+        )
 
     @property
     def relation(self) -> Relation:
         """The relation queries run against."""
-        return self._relation
+        return self._executor.relation
+
+    @property
+    def executor(self):
+        """The columnar plan executor behind this engine."""
+        return self._executor
+
+    @property
+    def mask_cache(self):
+        """The engine's predicate-mask cache (shared with the planner)."""
+        return self._executor.mask_cache
 
     # ------------------------------------------------------------------
-    # Dispatch
+    # Execution (all shapes share the compiled-plan path)
     # ------------------------------------------------------------------
     def execute(self, query: Query) -> float | QueryResult:
-        """Evaluate any supported query type."""
-        if isinstance(query, PointQuery):
-            return self.point(query.as_dict())
-        if isinstance(query, GroupByQuery):
-            return self.group_by(query)
-        if isinstance(query, ScalarAggregateQuery):
-            return self.scalar(query)
-        if isinstance(query, JoinGroupByQuery):
-            return self.join_group_by(query)
-        raise QueryError(f"unsupported query type {type(query).__name__}")
+        """Evaluate any supported query type (or compiled plan, or SQL)."""
+        return self._executor.execute(query)
 
-    # ------------------------------------------------------------------
-    # Point queries
-    # ------------------------------------------------------------------
     def point(self, assignment: Mapping[str, Any]) -> float:
         """``SELECT SUM(weight) WHERE A1=v1 AND ...`` — the weighted COUNT(*)."""
-        if not assignment:
-            raise QueryError("a point query needs at least one attribute-value pair")
-        mask = self._relation.mask_equal(assignment)
-        return float(self._relation.weights[mask].sum())
+        return self._executor.point(assignment)
 
-    # ------------------------------------------------------------------
-    # Scalar (no GROUP BY) aggregates
-    # ------------------------------------------------------------------
     def scalar(self, query: ScalarAggregateQuery) -> float:
         """A filtered aggregate with no grouping, returned as a single number."""
-        relation = self._apply_predicates(self._relation, query.predicates)
-        weights = relation.weights
-        function = query.aggregate.function
-        if function is AggregateFunction.COUNT:
-            return float(weights.sum())
-        measure = self._numeric_column(relation, query.aggregate.attribute)
-        if function is AggregateFunction.SUM:
-            return float(np.sum(weights * measure))
-        if function is AggregateFunction.AVG:
-            total = weights.sum()
-            return float(np.sum(weights * measure) / total) if total > 0 else 0.0
-        raise QueryError(f"unsupported aggregate function {function}")
+        return self._executor.scalar_plan(self._executor.compiler.compile(query))
 
-    # ------------------------------------------------------------------
-    # GROUP BY queries
-    # ------------------------------------------------------------------
     def group_by(self, query: GroupByQuery) -> QueryResult:
         """Evaluate a filtered GROUP BY aggregate with weighted semantics."""
-        relation = self._apply_predicates(self._relation, query.predicates)
-        if relation.n_rows == 0:
-            return QueryResult(query.group_by, {})
-        group_index, unique_rows = relation.group_codes(query.group_by)
-        weights = relation.weights
-        n_groups = unique_rows.shape[0]
-        weight_totals = np.bincount(group_index, weights=weights, minlength=n_groups)
+        return self._executor.group_by_plan(self._executor.compiler.compile(query))
 
-        function = query.aggregate.function
-        if function is AggregateFunction.COUNT:
-            values = weight_totals
-        else:
-            attribute = query.aggregate.attribute
-            measure = self._numeric_column(relation, attribute)
-            weighted_sums = np.bincount(
-                group_index, weights=weights * measure, minlength=n_groups
-            )
-            if function is AggregateFunction.SUM:
-                values = weighted_sums
-            elif function is AggregateFunction.AVG:
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    values = np.where(
-                        weight_totals > 0, weighted_sums / weight_totals, 0.0
-                    )
-            else:
-                raise QueryError(f"unsupported aggregate function {function}")
+    def join_group_by(
+        self, query: JoinGroupByQuery, other: Relation | None = None
+    ) -> QueryResult:
+        """Evaluate a weighted self-join (or join against ``other``) GROUP BY.
 
-        domains = [relation.schema[name].domain for name in query.group_by]
-        results: dict[tuple[Any, ...], float] = {}
-        for row, value, weight_total in zip(unique_rows, values, weight_totals):
-            if weight_total <= 0:
-                continue
-            key = tuple(domain.decode(code) for domain, code in zip(domains, row))
-            results[key] = float(value)
-        return QueryResult(query.group_by, results)
-
-    # ------------------------------------------------------------------
-    # Self-join queries (Table 5, Q6)
-    # ------------------------------------------------------------------
-    def join_group_by(self, query: JoinGroupByQuery, other: Relation | None = None) -> QueryResult:
-        """Evaluate a weighted self-join (or join against ``other``) GROUP BY COUNT.
-
-        The joined weight of a tuple pair is the product of the two tuple
-        weights divided by the estimated population size is *not* applied:
-        the count of joined pairs in the population is estimated by
-        ``sum_{i,j} w_i * w_j`` over matching pairs, which is the natural
-        plug-in estimator for a weighted sample.
+        When ``other`` is given it gets its own executor over its *own*
+        schema, so right-side literals bucketize against that relation's
+        domains (which may code values differently than this one's).
         """
-        left = self._apply_predicates(self._relation, query.left_predicates)
-        right = self._apply_predicates(
-            other if other is not None else self._relation, query.right_predicates
-        )
-        if left.n_rows == 0 or right.n_rows == 0:
-            return QueryResult((query.left_group, query.right_group), {})
+        from ..plan.executor import ColumnarExecutor
 
-        # Aggregate both sides by (join key, group attribute) first so the join
-        # is a merge of two small tables instead of a row-by-row nested loop.
-        left_counts = self._grouped_weights(left, (query.left_join, query.left_group))
-        right_counts = self._grouped_weights(right, (query.right_join, query.right_group))
-
-        right_by_key: dict[Any, list[tuple[Any, float]]] = {}
-        for (join_value, group_value), weight in right_counts.items():
-            right_by_key.setdefault(join_value, []).append((group_value, weight))
-
-        results: dict[tuple[Any, ...], float] = {}
-        for (join_value, left_group_value), left_weight in left_counts.items():
-            for right_group_value, right_weight in right_by_key.get(join_value, []):
-                key = (left_group_value, right_group_value)
-                results[key] = results.get(key, 0.0) + left_weight * right_weight
-        return QueryResult((query.left_group, query.right_group), results)
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _apply_predicates(relation: Relation, predicates: tuple[Predicate, ...]) -> Relation:
-        if not predicates:
-            return relation
-        mask = np.ones(relation.n_rows, dtype=bool)
-        for predicate in predicates:
-            mask &= predicate.mask(relation)
-        return relation.filter_mask(mask)
-
-    @staticmethod
-    def _numeric_column(relation: Relation, attribute: str) -> np.ndarray:
-        """Decoded numeric values of a column (for SUM/AVG aggregates)."""
-        values = relation.decoded_column(attribute)
-        try:
-            return np.asarray(values, dtype=float)
-        except (TypeError, ValueError):
-            raise QueryError(
-                f"attribute {attribute!r} is not numeric; cannot SUM/AVG over it"
-            ) from None
-
-    @staticmethod
-    def _grouped_weights(
-        relation: Relation, attributes: tuple[str, ...]
-    ) -> dict[tuple[Any, ...], float]:
-        return relation.value_counts(attributes, weighted=True)
+        plan = self._executor.compiler.compile(query)
+        other_executor = ColumnarExecutor(other) if other is not None else None
+        return self._executor.join_plan(plan, other_executor)
 
 
 def answer_point_query(relation: Relation, assignment: Mapping[str, Any]) -> float:

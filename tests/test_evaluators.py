@@ -56,8 +56,11 @@ class TestReweightedSampleEvaluator:
 
     def test_unknown_query_type_rejected(self, fitted_components):
         weighted, _, _ = fitted_components
-        with pytest.raises(QueryError):
+        with pytest.raises(QueryError) as excinfo:
             ReweightedSampleEvaluator(weighted).execute("not a query")
+        # The error names the offending query itself, not just its type.
+        assert "str" in str(excinfo.value)
+        assert repr("not a query") in str(excinfo.value)
 
 
 class TestBayesNetEvaluator:

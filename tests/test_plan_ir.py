@@ -1,0 +1,661 @@
+"""Tests for the unified logical-plan IR and its vectorized columnar kernels.
+
+The heart of this file is bit-identity: the historical filter-then-reduce
+engine is embedded verbatim as ``LegacyWeightedQueryEngine`` and every query
+shape (point, scalar, group-by, join-group-by) must produce *exactly* the
+same floats through the compiled-plan columnar kernels, on every workload.
+The remaining classes cover the compiler round-trip (SQL text -> AST ->
+plan -> canonical key), the predicate-mask cache, routing identity with the
+hybrid evaluator, the explain hook, and the batched BN aggregate lowering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import ExactInference
+from repro.core import OpenWorldEvaluator
+from repro.exceptions import QueryError
+from repro.plan import (
+    ROUTE_BAYES_NET,
+    ROUTE_HYBRID,
+    ROUTE_SAMPLE,
+    ColumnarExecutor,
+    MaskCache,
+    PlanCompiler,
+    resolve_route,
+)
+from repro.query import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    JoinGroupByQuery,
+    MixedQueryWorkload,
+    PointQuery,
+    Predicate,
+    ScalarAggregateQuery,
+)
+from repro.query.workload import PointQueryWorkload
+from repro.schema import Attribute, Domain, Relation, Schema
+from repro.serving.planner import QueryPlanner
+from repro.sql.engine import QueryResult, WeightedQueryEngine
+from repro.sql.parser import parse_sql
+
+
+def build_correlated_population() -> Relation:
+    """The same deterministic 3-attribute correlated population the shared
+    conftest builds (duplicated here so the module imports standalone from
+    any pytest rootdir)."""
+    rng = np.random.default_rng(123)
+    n = 4000
+    a = rng.choice(3, size=n, p=[0.6, 0.3, 0.1])
+    b_table = np.array([[0.7, 0.2, 0.1], [0.2, 0.6, 0.2], [0.1, 0.3, 0.6]])
+    b = np.array([rng.choice(3, p=b_table[value]) for value in a])
+    c_table = np.array([[0.9, 0.1], [0.5, 0.5], [0.2, 0.8]])
+    c = np.array([rng.choice(2, p=c_table[value]) for value in b])
+    schema = Schema(
+        [
+            Attribute("A", Domain([0, 1, 2])),
+            Attribute("B", Domain([0, 1, 2])),
+            Attribute("C", Domain([0, 1])),
+        ]
+    )
+    return Relation(schema, {"A": a, "B": b, "C": c})
+
+
+# ----------------------------------------------------------------------
+# The pre-refactor engine, embedded verbatim as the bit-identity reference.
+# ----------------------------------------------------------------------
+class LegacyWeightedQueryEngine:
+    """The historical filter-then-reduce engine (pre-plan-IR), kept as the
+    reference implementation the columnar kernels must match bit for bit."""
+
+    def __init__(self, relation: Relation):
+        self._relation = relation
+
+    def point(self, assignment) -> float:
+        if not assignment:
+            raise QueryError("a point query needs at least one attribute-value pair")
+        mask = self._relation.mask_equal(assignment)
+        return float(self._relation.weights[mask].sum())
+
+    def scalar(self, query: ScalarAggregateQuery) -> float:
+        relation = self._apply_predicates(self._relation, query.predicates)
+        weights = relation.weights
+        function = query.aggregate.function
+        if function is AggregateFunction.COUNT:
+            return float(weights.sum())
+        measure = self._numeric_column(relation, query.aggregate.attribute)
+        if function is AggregateFunction.SUM:
+            return float(np.sum(weights * measure))
+        total = weights.sum()
+        return float(np.sum(weights * measure) / total) if total > 0 else 0.0
+
+    def group_by(self, query: GroupByQuery) -> QueryResult:
+        relation = self._apply_predicates(self._relation, query.predicates)
+        if relation.n_rows == 0:
+            return QueryResult(query.group_by, {})
+        group_index, unique_rows = relation.group_codes(query.group_by)
+        weights = relation.weights
+        n_groups = unique_rows.shape[0]
+        weight_totals = np.bincount(group_index, weights=weights, minlength=n_groups)
+        function = query.aggregate.function
+        if function is AggregateFunction.COUNT:
+            values = weight_totals
+        else:
+            measure = self._numeric_column(relation, query.aggregate.attribute)
+            weighted_sums = np.bincount(
+                group_index, weights=weights * measure, minlength=n_groups
+            )
+            if function is AggregateFunction.SUM:
+                values = weighted_sums
+            else:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    values = np.where(
+                        weight_totals > 0, weighted_sums / weight_totals, 0.0
+                    )
+        domains = [relation.schema[name].domain for name in query.group_by]
+        results = {}
+        for row, value, weight_total in zip(unique_rows, values, weight_totals):
+            if weight_total <= 0:
+                continue
+            key = tuple(domain.decode(code) for domain, code in zip(domains, row))
+            results[key] = float(value)
+        return QueryResult(query.group_by, results)
+
+    def join_group_by(self, query: JoinGroupByQuery) -> QueryResult:
+        left = self._apply_predicates(self._relation, query.left_predicates)
+        right = self._apply_predicates(self._relation, query.right_predicates)
+        if left.n_rows == 0 or right.n_rows == 0:
+            return QueryResult((query.left_group, query.right_group), {})
+        left_counts = left.value_counts((query.left_join, query.left_group), weighted=True)
+        right_counts = right.value_counts(
+            (query.right_join, query.right_group), weighted=True
+        )
+        right_by_key = {}
+        for (join_value, group_value), weight in right_counts.items():
+            right_by_key.setdefault(join_value, []).append((group_value, weight))
+        results = {}
+        for (join_value, left_group_value), left_weight in left_counts.items():
+            for right_group_value, right_weight in right_by_key.get(join_value, []):
+                key = (left_group_value, right_group_value)
+                results[key] = results.get(key, 0.0) + left_weight * right_weight
+        return QueryResult((query.left_group, query.right_group), results)
+
+    @staticmethod
+    def _apply_predicates(relation, predicates):
+        if not predicates:
+            return relation
+        mask = np.ones(relation.n_rows, dtype=bool)
+        for predicate in predicates:
+            mask &= predicate.mask(relation)
+        return relation.filter_mask(mask)
+
+    @staticmethod
+    def _numeric_column(relation, attribute):
+        values = relation.decoded_column(attribute)
+        try:
+            return np.asarray(values, dtype=float)
+        except (TypeError, ValueError):
+            raise QueryError(
+                f"attribute {attribute!r} is not numeric; cannot SUM/AVG over it"
+            ) from None
+
+
+@pytest.fixture(scope="module")
+def weighted_relation() -> Relation:
+    """A weighted relation with non-trivial weights (like a reweighted sample)."""
+    population = build_correlated_population()
+    rng = np.random.default_rng(42)
+    sample = population.take(rng.choice(population.n_rows, size=900, replace=False))
+    return sample.with_weights(rng.uniform(0.25, 7.5, size=sample.n_rows))
+
+
+@pytest.fixture(scope="module")
+def engines(weighted_relation):
+    return (
+        WeightedQueryEngine(weighted_relation),
+        LegacyWeightedQueryEngine(weighted_relation),
+    )
+
+
+class TestBitIdentityWithLegacyEngine:
+    """Every shape, every workload entry: new floats == old floats."""
+
+    def test_point_queries(self, weighted_relation, engines):
+        new, legacy = engines
+        workload = PointQueryWorkload(weighted_relation, seed=0)
+        for attributes in (("A",), ("A", "B"), ("A", "B", "C")):
+            for entry in workload.generate(attributes, "random", 20):
+                assignment = entry.query.as_dict()
+                assert new.point(assignment) == legacy.point(assignment)
+
+    def test_out_of_domain_point_is_zero(self, engines):
+        new, legacy = engines
+        assert new.point({"A": 99}) == legacy.point({"A": 99}) == 0.0
+
+    def test_scalar_queries(self, weighted_relation, engines):
+        new, legacy = engines
+        workload = MixedQueryWorkload(weighted_relation, seed=1)
+        entries = workload.scalar_queries(30, n_predicates=2)
+        assert entries
+        for entry in entries:
+            assert new.scalar(entry.query) == legacy.scalar(entry.query)
+
+    def test_group_by_queries(self, weighted_relation, engines):
+        new, legacy = engines
+        workload = MixedQueryWorkload(weighted_relation, seed=2)
+        entries = workload.group_by_queries(30, n_predicates=1)
+        assert entries
+        for entry in entries:
+            assert new.group_by(entry.query) == legacy.group_by(entry.query)
+
+    def test_join_group_by_queries(self, weighted_relation, engines):
+        new, legacy = engines
+        queries = [
+            JoinGroupByQuery(
+                left_join="B", right_join="B", left_group="A", right_group="C"
+            ),
+            JoinGroupByQuery(
+                left_join="A",
+                right_join="A",
+                left_group="B",
+                right_group="C",
+                left_predicates=(Predicate("C", Comparison.EQ, 1),),
+            ),
+            JoinGroupByQuery(
+                left_join="C",
+                right_join="C",
+                left_group="A",
+                right_group="B",
+                left_predicates=(Predicate("A", Comparison.LE, 1),),
+                right_predicates=(Predicate("B", Comparison.IN, (0, 2)),),
+            ),
+        ]
+        for query in queries:
+            assert new.join_group_by(query) == legacy.join_group_by(query)
+
+    def test_join_against_other_relation_uses_its_own_domains(self):
+        """Regression: right-side literals must bucketize against *other*'s
+        schema when it codes the same values differently than the left."""
+        left_schema = Schema(
+            [Attribute("j", Domain([0, 1])), Attribute("g", Domain(["x", "y"])),
+             Attribute("c", Domain(["SF", "NY"]))]
+        )
+        other_schema = Schema(
+            [Attribute("j", Domain([0, 1])), Attribute("g", Domain(["x", "y"])),
+             Attribute("c", Domain(["NY", "SF"]))]  # reversed coding of c
+        )
+        left = Relation.from_rows(left_schema, [(0, "x", "SF"), (1, "y", "NY")])
+        other = Relation.from_rows(other_schema, [(0, "x", "SF"), (1, "y", "NY")])
+        query = JoinGroupByQuery(
+            left_join="j", right_join="j", left_group="g", right_group="g",
+            right_predicates=(Predicate("c", Comparison.EQ, "SF"),),
+        )
+        result = WeightedQueryEngine(left).join_group_by(query, other=other)
+        # Only the j=0 rows have c='SF' on the right, so ('x','x') joins.
+        assert result.as_dict() == {("x", "x"): 1.0}
+
+    def test_all_predicate_comparisons(self, weighted_relation, engines):
+        new, legacy = engines
+        comparisons = [
+            Predicate("A", Comparison.EQ, 1),
+            Predicate("A", Comparison.NE, 1),
+            Predicate("A", Comparison.LT, 2),
+            Predicate("A", Comparison.LE, 1),
+            Predicate("A", Comparison.GT, 0),
+            Predicate("A", Comparison.GE, 1),
+            Predicate("A", Comparison.IN, (0, 2)),
+            Predicate("A", Comparison.EQ, 99),   # out of domain
+            Predicate("A", Comparison.NE, 99),   # out of domain
+            Predicate("A", Comparison.IN, (98, 99)),
+            Predicate("A", Comparison.LT, -1),   # below every domain value
+            Predicate("A", Comparison.GT, -1),
+        ]
+        for predicate in comparisons:
+            query = ScalarAggregateQuery(predicates=(predicate,))
+            assert new.scalar(query) == legacy.scalar(query)
+
+    def test_zero_weight_groups_dropped_identically(self, weighted_relation):
+        zeroed = weighted_relation.with_weights(
+            np.where(weighted_relation.column("A") == 0, 0.0, weighted_relation.weights)
+        )
+        query = GroupByQuery(group_by=("A",))
+        assert WeightedQueryEngine(zeroed).group_by(query) == LegacyWeightedQueryEngine(
+            zeroed
+        ).group_by(query)
+
+    def test_empty_relation(self, weighted_relation):
+        empty = weighted_relation.filter_mask(
+            np.zeros(weighted_relation.n_rows, dtype=bool)
+        )
+        new, legacy = WeightedQueryEngine(empty), LegacyWeightedQueryEngine(empty)
+        query = GroupByQuery(group_by=("A", "B"))
+        assert new.group_by(query) == legacy.group_by(query) == QueryResult(("A", "B"), {})
+
+
+class TestBitIdentityOnFittedModel:
+    """Compile-then-run entry points equal the hybrid evaluator exactly."""
+
+    def test_point_routing_identity(self, serving_themis, sparse_serving_themis):
+        for themis in (serving_themis, sparse_serving_themis):
+            hybrid = themis.model.hybrid_evaluator
+            workload = PointQueryWorkload(themis.model.sample, seed=5)
+            queries = [
+                entry.query
+                for attrs in (("A",), ("A", "B"), ("B", "C"))
+                for entry in workload.generate(attrs, "random", 10)
+            ]
+            # Include tuples certain to miss the sparse sample (BN route).
+            queries += [PointQuery({"A": 2, "B": 2, "C": 1}), PointQuery({"A": 1, "C": 0})]
+            for query in queries:
+                assert themis.query(query) == hybrid.execute(query)
+
+    def test_scalar_and_group_by_routing_identity(self, serving_themis):
+        hybrid = serving_themis.model.hybrid_evaluator
+        workload = MixedQueryWorkload(serving_themis.model.weighted_sample, seed=6)
+        for entry in workload.scalar_queries(12) + workload.group_by_queries(12):
+            assert serving_themis.query(entry.query) == hybrid.execute(entry.query)
+
+    def test_bn_routed_scalar_identity(self, sparse_serving_themis):
+        # An out-of-sample conjunction: the scalar routes to the network.
+        query = ScalarAggregateQuery(
+            predicates=(
+                Predicate("A", Comparison.EQ, 2),
+                Predicate("B", Comparison.EQ, 2),
+                Predicate("C", Comparison.EQ, 1),
+            )
+        )
+        plan = sparse_serving_themis.plan(query)
+        hybrid = sparse_serving_themis.model.hybrid_evaluator
+        assert sparse_serving_themis.query(query) == hybrid.scalar(query)
+        if plan.route == ROUTE_BAYES_NET:  # sample truly misses the conjunction
+            bn = sparse_serving_themis.model.bayes_net_evaluator
+            assert sparse_serving_themis.query(query) == bn.scalar(query)
+
+    def test_join_group_by_identity(self, serving_themis):
+        query = JoinGroupByQuery(
+            left_join="B", right_join="B", left_group="A", right_group="C"
+        )
+        hybrid = serving_themis.model.hybrid_evaluator
+        assert serving_themis.query(query) == hybrid.join_group_by(query)
+
+    def test_sql_entry_point_identity(self, serving_themis):
+        hybrid = serving_themis.model.hybrid_evaluator
+        workload = MixedQueryWorkload(serving_themis.model.weighted_sample, seed=7)
+        for entry in workload.generate(4, 4, 4):
+            assert serving_themis.query(entry.sql) == hybrid.execute(
+                parse_sql(entry.sql).query
+            )
+
+
+class TestRoundTripCanonicalKeys:
+    """SQL text -> AST -> compiled plan -> canonical key is stable and equals
+    the key of the equivalent hand-built query, for every workload shape."""
+
+    @pytest.fixture(scope="class")
+    def compiler(self) -> PlanCompiler:
+        return PlanCompiler(build_correlated_population().schema)
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return MixedQueryWorkload(build_correlated_population(), seed=11).generate(
+            n_point=8, n_scalar=9, n_group_by=9
+        )
+
+    def test_every_shape_is_covered(self, workload):
+        assert {entry.shape for entry in workload} == {"point", "scalar", "group-by"}
+        # ...and every predicate comparison shape, IN included.
+        comparisons = {
+            predicate.comparison
+            for entry in workload
+            for predicate in getattr(entry.query, "predicates", ())
+        }
+        assert Comparison.IN in comparisons
+        assert any(c in comparisons for c in (Comparison.EQ,))
+        assert any(
+            c in comparisons
+            for c in (Comparison.LE, Comparison.GE, Comparison.LT, Comparison.GT)
+        )
+
+    def test_sql_key_equals_hand_built_key(self, compiler, workload):
+        for entry in workload:
+            parsed = parse_sql(entry.sql).query
+            assert compiler.compile(parsed).key == compiler.compile(entry.query).key, (
+                f"round-trip key mismatch for {entry.sql!r}"
+            )
+
+    def test_keys_are_stable_across_compilers(self, workload):
+        schema = build_correlated_population().schema
+        first, second = PlanCompiler(schema), PlanCompiler(schema)
+        for entry in workload:
+            assert first.compile(entry.query).key == second.compile(entry.query).key
+
+    def test_planner_key_is_the_compiled_key(self, workload):
+        schema = build_correlated_population().schema
+        planner = QueryPlanner(schema)
+        compiler = PlanCompiler(schema)
+        for entry in workload:
+            assert planner.canonical_key(entry.query) == compiler.compile(entry.query).key
+            assert planner.plan(entry.query).key == compiler.compile(entry.query).key
+
+    def test_join_key_round_trip(self, compiler):
+        query = JoinGroupByQuery(
+            left_join="B",
+            right_join="B",
+            left_group="A",
+            right_group="C",
+            left_predicates=(Predicate("C", Comparison.EQ, 1),),
+        )
+        assert compiler.compile(query).key == compiler.compile(query).key
+        reordered = JoinGroupByQuery(
+            left_join="B",
+            right_join="B",
+            left_group="A",
+            right_group="C",
+            left_predicates=(Predicate("C", Comparison.EQ, 1),),
+        )
+        assert compiler.compile(reordered).key == compiler.compile(query).key
+
+
+class TestMaskCache:
+    def test_warm_lookup_hits(self, weighted_relation):
+        cache = MaskCache(weighted_relation)
+        predicate = PlanCompiler(weighted_relation.schema).canonical_predicate(
+            Predicate("A", Comparison.LE, 1)
+        )
+        first = cache.predicate_mask(predicate)
+        second = cache.predicate_mask(predicate)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_conjunction_mask_cached_and_order_insensitive(self, weighted_relation):
+        compiler = PlanCompiler(weighted_relation.schema)
+        cache = MaskCache(weighted_relation)
+        a = compiler.canonical_predicate(Predicate("A", Comparison.LE, 1))
+        b = compiler.canonical_predicate(Predicate("B", Comparison.NE, 0))
+        forward = cache.conjunction_mask((a, b))
+        hits_before = cache.hits
+        backward = cache.conjunction_mask((b, a))
+        assert backward is forward
+        assert cache.hits == hits_before + 1
+
+    def test_generation_invalidation(self, weighted_relation):
+        cache = MaskCache(weighted_relation, generation=3)
+        predicate = PlanCompiler(weighted_relation.schema).canonical_predicate(
+            Predicate("A", Comparison.EQ, 0)
+        )
+        cache.predicate_mask(predicate)
+        assert len(cache) == 1
+        cache.invalidate(generation=4)
+        assert len(cache) == 0
+        cache.predicate_mask(predicate)
+        assert cache.misses == 2  # recomputed under the new generation
+
+    def test_executor_shares_masks_across_queries(self, weighted_relation):
+        executor = ColumnarExecutor(weighted_relation)
+        engine = WeightedQueryEngine(weighted_relation, executor=executor)
+        predicate = Predicate("A", Comparison.LE, 1)
+        engine.scalar(ScalarAggregateQuery(predicates=(predicate,)))
+        misses_after_first = executor.mask_cache.misses
+        engine.group_by(GroupByQuery(group_by=("B",), predicates=(predicate,)))
+        assert executor.mask_cache.misses == misses_after_first  # pure hits
+
+
+class TestRoutingMatchesHybrid:
+    def test_resolve_route_matches_planner(self, serving_themis):
+        model = serving_themis.model
+        planner = QueryPlanner(model.sample.schema, model)
+        compiler = PlanCompiler(model.sample.schema)
+        queries = [
+            PointQuery({"A": 0}),
+            PointQuery({"A": 2, "B": 2, "C": 1}),
+            ScalarAggregateQuery(predicates=(Predicate("A", Comparison.EQ, 0),)),
+            ScalarAggregateQuery(),
+            GroupByQuery(group_by=("A",)),
+            JoinGroupByQuery(
+                left_join="B", right_join="B", left_group="A", right_group="C"
+            ),
+        ]
+        for query in queries:
+            routed = resolve_route(compiler.compile(query), model)
+            assert routed.route == planner.plan(query).route
+
+    def test_unrouted_plan_defaults_to_hybrid(self):
+        compiler = PlanCompiler(build_correlated_population().schema)
+        plan = compiler.compile(GroupByQuery(group_by=("A",)))
+        assert plan.route is None
+        assert resolve_route(plan, None).route == ROUTE_HYBRID
+
+
+class TestExplainHook:
+    def test_query_explain_returns_compiled_plan(self, serving_themis):
+        explained = serving_themis.query(
+            "SELECT A, COUNT(*) FROM sample WHERE B <= 1 GROUP BY A", explain=True
+        )
+        plain = serving_themis.query(
+            "SELECT A, COUNT(*) FROM sample WHERE B <= 1 GROUP BY A"
+        )
+        assert explained.result == plain
+        assert explained.plan.shape == "group-by"
+        assert explained.route == ROUTE_HYBRID
+        rendering = explained.explain()
+        assert "Group[A]" in rendering and "Scan[sample]" in rendering
+
+    def test_point_explain_routes(self, serving_themis):
+        explained = serving_themis.query(PointQuery({"A": 0}), explain=True)
+        assert explained.route in (ROUTE_SAMPLE, ROUTE_BAYES_NET)
+        assert explained.plan.key[0] == "point"
+
+
+class TestQueryResultEquality:
+    def test_equal_results_compare_and_hash_equal(self):
+        left = QueryResult(("A",), {(0,): 1.5, (1,): 2.5})
+        right = QueryResult(("A",), {(1,): 2.5, (0,): 1.5})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_value_difference_detected(self):
+        left = QueryResult(("A",), {(0,): 1.5})
+        right = QueryResult(("A",), {(0,): 1.5 + 1e-12})
+        assert left != right
+
+    def test_group_by_columns_matter(self):
+        assert QueryResult(("A",), {(0,): 1.0}) != QueryResult(("B",), {(0,): 1.0})
+
+    def test_non_result_comparison(self):
+        assert QueryResult(("A",), {}) != {"anything": 1}
+
+
+class TestEvaluatorErrorMessages:
+    def test_execute_reports_offending_query_repr(self, serving_themis):
+        bogus = {"not": "a query"}
+        with pytest.raises(QueryError) as excinfo:
+            serving_themis.model.hybrid_evaluator.execute(bogus)
+        message = str(excinfo.value)
+        assert "dict" in message
+        assert repr(bogus) in message
+
+    def test_base_class_dispatch_raises_with_repr(self):
+        with pytest.raises(QueryError) as excinfo:
+            OpenWorldEvaluator().execute(42)
+        assert "int" in str(excinfo.value)
+        assert "42" in str(excinfo.value)
+
+
+class TestExactBNLowering:
+    def test_scalar_exact_matches_manual_inference(self, sparse_serving_themis):
+        model = sparse_serving_themis.model
+        bn = model.bayes_net_evaluator
+        query = ScalarAggregateQuery(
+            predicates=(
+                Predicate("A", Comparison.EQ, 2),
+                Predicate("B", Comparison.EQ, 2),
+            )
+        )
+        expected = model.population_size * ExactInference(bn.network).probability(
+            {"A": 2, "B": 2}
+        )
+        assert bn.scalar_exact(query) == pytest.approx(expected, rel=1e-9)
+
+    def test_scalar_exact_with_range_predicate(self, sparse_serving_themis):
+        model = sparse_serving_themis.model
+        bn = model.bayes_net_evaluator
+        query = ScalarAggregateQuery(predicates=(Predicate("A", Comparison.LE, 1),))
+        inference = ExactInference(bn.network)
+        expected = model.population_size * (
+            inference.probability({"A": 0}) + inference.probability({"A": 1})
+        )
+        assert bn.scalar_exact(query) == pytest.approx(expected, rel=1e-9)
+
+    def test_group_by_exact_masses_sum_to_population(self, sparse_serving_themis):
+        model = sparse_serving_themis.model
+        bn = model.bayes_net_evaluator
+        result = bn.group_by_exact(GroupByQuery(group_by=("A", "B")))
+        assert sum(result.as_dict().values()) == pytest.approx(
+            model.population_size, rel=1e-6
+        )
+
+    def test_group_by_exact_avg_matches_conditional_expectation(
+        self, sparse_serving_themis
+    ):
+        bn = sparse_serving_themis.model.bayes_net_evaluator
+        result = bn.group_by_exact(
+            GroupByQuery(
+                group_by=("A",), aggregate=AggregateSpec(AggregateFunction.AVG, "C")
+            )
+        )
+        inference = ExactInference(bn.network)
+        for (a_value,), average in result:
+            conditional = inference.conditional("C", {"A": a_value})
+            domain = bn.network.schema["C"].domain
+            expected = float(
+                np.dot(conditional, np.asarray(domain.values, dtype=float))
+            )
+            assert average == pytest.approx(expected, rel=1e-9)
+
+    def test_derived_factors_skip_elimination(self, sparse_serving_themis):
+        from repro.bayesnet import BatchedInference
+
+        network = sparse_serving_themis.model.bayes_net_evaluator.network
+        engine = BatchedInference(network)  # fresh cache, no shared state
+        # Eliminate the superset first...
+        engine.joint_factor(("A", "B", "C"))
+        passes_before = engine.elimination_passes
+        # ...then derive a subset factor from the shared eliminated prefix.
+        factor = engine.joint_factor(("A", "B"), allow_derived=True)
+        assert engine.elimination_passes == passes_before
+        assert engine.derived_factors == 1
+        exact = engine.eliminated_factor(("A", "B"))
+        assert np.allclose(
+            np.asarray(factor.table), np.asarray(exact.table), rtol=1e-12
+        )
+
+    def test_conditional_is_cached_and_bit_identical(self, sparse_serving_themis):
+        bn = sparse_serving_themis.model.bayes_net_evaluator
+        fresh = ExactInference(bn.network)
+        reference = fresh.eliminate(keep=("C", "A")).restrict({"A": 1})
+        expected = reference.table / reference.table.sum()
+        engine = bn.inference.batched
+        first = bn.inference.conditional("C", {"A": 1})
+        passes_after_first = engine.elimination_passes
+        second = bn.inference.conditional("C", {"A": 1})
+        assert engine.elimination_passes == passes_after_first  # cached factor
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, expected)
+
+    def test_exact_session_batches_bn_scalars(self, sparse_serving_themis):
+        session = sparse_serving_themis.serve(exact_bn_aggregates=True)
+        # Pick conjunctions absent from the sample, so the scalars provably
+        # route to the network.
+        sample = sparse_serving_themis.model.weighted_sample
+        missing = [
+            {"A": a, "B": b, "C": c}
+            for a in (2, 1)
+            for b in (2, 1, 0)
+            for c in (1, 0)
+            if not sample.contains({"A": a, "B": b, "C": c})
+        ][:2]
+        assert len(missing) == 2, "sparse sample unexpectedly covers every tuple"
+        queries = [
+            ScalarAggregateQuery(
+                predicates=tuple(
+                    Predicate(name, Comparison.EQ, value)
+                    for name, value in assignment.items()
+                )
+            )
+            for assignment in missing
+        ]
+        plans = [sparse_serving_themis.plan(query) for query in queries]
+        assert all(plan.route == ROUTE_BAYES_NET for plan in plans)
+        batch = session.execute_batch(queries)
+        bn = sparse_serving_themis.model.bayes_net_evaluator
+        for outcome, query in zip(batch, queries):
+            assert outcome.bn_batched
+            # The served plan's Route node records the lowering it ran under.
+            assert outcome.plan.bn_lowering == "exact"
+            assert outcome.result == pytest.approx(bn.scalar_exact(query), rel=1e-12)
+        # Exactly-lowered scalars never touch the generated samples.
+        assert batch.amortized_inference_seconds == 0.0

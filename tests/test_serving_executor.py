@@ -26,12 +26,10 @@ WORKLOAD = [
 
 
 def assert_same_answer(left, right):
+    """Bit-identity: QueryResult equality compares groups and exact floats."""
     if isinstance(left, QueryResult):
         assert isinstance(right, QueryResult)
-        assert left.as_dict() == right.as_dict()
-        assert left.group_by == right.group_by
-    else:
-        assert left == right
+    assert left == right
 
 
 class TestBatchMatchesSingleQuery:
