@@ -232,6 +232,29 @@ class BayesNetEvaluator(OpenWorldEvaluator):
         per_sample = [engine.group_by(query) for engine in self._sample_engines()]
         return _intersect_and_average(query.group_by, per_sample)
 
+    def group_by_batch(self, queries: Sequence[GroupByQuery]) -> list[QueryResult]:
+        """Batched :meth:`group_by`: one optimized pass per generated sample.
+
+        Each of the ``K`` generated engines serves the whole batch through
+        its batch-aware plan optimizer, so a family of aggregates sharing a
+        ``(Scan, Filter, Group)`` prefix pays one scatter-add pass per
+        engine instead of one per query.  Raw ASTs are passed down (each
+        engine compiles against its *own* schema, exactly as the per-query
+        path does), so answers are bit-identical to calling
+        :meth:`group_by` per query.
+        """
+        if not queries:
+            return []
+        per_engine = [
+            engine.execute_batch(queries) for engine in self._sample_engines()
+        ]
+        return [
+            _intersect_and_average(
+                query.group_by, [answers[index] for answers in per_engine]
+            )
+            for index, query in enumerate(queries)
+        ]
+
     def scalar(self, query: ScalarAggregateQuery) -> float:
         answers = [engine.scalar(query) for engine in self._sample_engines()]
         return float(np.mean(answers)) if answers else 0.0
@@ -435,11 +458,35 @@ class HybridEvaluator(OpenWorldEvaluator):
     def group_by(self, query: GroupByQuery) -> QueryResult:
         sample_result = self._sample_evaluator.group_by(query)
         bn_result = self._bn_evaluator.group_by(query)
-        merged = sample_result.as_dict()
-        for group, value in bn_result:
-            if group not in merged:
-                merged[group] = value
-        return QueryResult(query.group_by, merged)
+        return _merge_group_by(query.group_by, sample_result, bn_result)
+
+    def group_by_batch(
+        self, queries: Sequence["GroupByQuery | LogicalPlan"], stats=None
+    ) -> list[QueryResult]:
+        """Batched :meth:`group_by` with the hybrid's sample-union-BN merge.
+
+        The sample side serves the whole family through the shared columnar
+        engine's batch optimizer (compiled plans pass straight through; the
+        serving executor hands its routed logicals down so nothing compiles
+        twice), and the network side batches the same queries across the
+        ``K`` generated samples.  ``stats`` (when given) accumulates the
+        sample-side schedule's rewrite counters.  Answers are bit-identical
+        to calling :meth:`group_by` per query.
+        """
+        if not queries:
+            return []
+        sample_results = self._sample_evaluator.engine.execute_batch(
+            queries, stats=stats
+        )
+        asts = [
+            query.query if isinstance(query, LogicalPlan) else query
+            for query in queries
+        ]
+        bn_results = self._bn_evaluator.group_by_batch(asts)
+        return [
+            _merge_group_by(ast.group_by, sample_result, bn_result)
+            for ast, sample_result, bn_result in zip(asts, sample_results, bn_results)
+        ]
 
     def scalar(self, query: ScalarAggregateQuery) -> float:
         # Use the sample when any tuple satisfies the filters, otherwise the
@@ -457,11 +504,20 @@ class HybridEvaluator(OpenWorldEvaluator):
     def join_group_by(self, query: JoinGroupByQuery) -> QueryResult:
         sample_result = self._sample_evaluator.join_group_by(query)
         bn_result = self._bn_evaluator.join_group_by(query)
-        merged = sample_result.as_dict()
-        for group, value in bn_result:
-            if group not in merged:
-                merged[group] = value
-        return QueryResult((query.left_group, query.right_group), merged)
+        return _merge_group_by(
+            (query.left_group, query.right_group), sample_result, bn_result
+        )
+
+
+def _merge_group_by(
+    group_by: tuple[str, ...], sample_result: QueryResult, bn_result: QueryResult
+) -> QueryResult:
+    """The hybrid merge: sample groups, unioned with BN-only groups."""
+    merged = sample_result.as_dict()
+    for group, value in bn_result:
+        if group not in merged:
+            merged[group] = value
+    return QueryResult(group_by, merged)
 
 
 def _axis_restrictions(predicates, schema) -> tuple:

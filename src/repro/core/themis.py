@@ -79,12 +79,18 @@ class ExplainedResult:
     Returned by ``Themis.query(..., explain=True)``: ``result`` is exactly
     what ``query()`` would have returned on its own, ``plan`` is the
     compiled :class:`~repro.plan.LogicalPlan` (operator tree plus canonical
-    key), and ``route`` names the evaluator that served it.
+    key), and ``route`` names the evaluator that served it.  With
+    ``explain="optimized"``, ``optimized`` additionally carries the
+    post-rewrite plan the batch optimizer would execute — its Filter
+    conjunctions normalized (tautologies dropped, redundant bounds
+    tightened) while sharing the raw plan's canonical key, since rewrites
+    never change a plan's result-cache identity.
     """
 
     result: "float | QueryResult"
     plan: LogicalPlan
     route: str
+    optimized: LogicalPlan | None = None
 
     def explain(self) -> str:
         """The plan's printable operator-tree rendering."""
@@ -378,20 +384,29 @@ class Themis:
         return self._run_plan(self.plan(statement))
 
     def query(
-        self, statement: str | Query, explain: bool = False
+        self, statement: str | Query, explain: bool | str = False
     ) -> float | QueryResult | "ExplainedResult":
         """Answer a SQL string or an AST query (the uniform entry point).
 
         With ``explain=True`` the answer comes back wrapped in an
         :class:`ExplainedResult` carrying the compiled
         :class:`~repro.plan.LogicalPlan` (operator tree, canonical key, and
-        resolved route) next to the result.
+        resolved route) next to the result.  ``explain="optimized"``
+        additionally includes the batch optimizer's post-rewrite plan
+        (normalized predicates; same canonical key as the raw plan).
         """
         plan = self.plan(statement)
         result = self._run_plan(plan)
         if not explain:
             return result
-        return ExplainedResult(result=result, plan=plan.logical, route=plan.route)
+        optimized = None
+        if explain == "optimized":
+            from ..plan import normalize_plan
+
+            optimized = normalize_plan(plan.logical)
+        return ExplainedResult(
+            result=result, plan=plan.logical, route=plan.route, optimized=optimized
+        )
 
     # ------------------------------------------------------------------
     # Serving
@@ -400,7 +415,10 @@ class Themis:
         """Open a new serving session: cached, batched query answering.
 
         Keyword arguments are forwarded to
-        :class:`~repro.serving.session.ServingSession` (cache capacities).
+        :class:`~repro.serving.session.ServingSession` (cache capacities,
+        ``exact_bn_aggregates``, and ``optimize`` — pass
+        ``optimize=False`` to disable the batch-aware plan optimizer and
+        serve every plan individually).
         """
         from ..serving import ServingSession
 
@@ -413,8 +431,11 @@ class Themis:
         the model is refitted; answers are identical to issuing each query
         through :meth:`query` one by one.  Within a batch, BN-routed point
         plans are answered by one batched inference dispatch (one variable
-        elimination pass per evidence signature) and BN generated samples are
-        materialized at most once.
+        elimination pass per evidence signature), BN generated samples are
+        materialized at most once, and the batch-aware plan optimizer
+        (on by default) dedups equivalent plans, shares predicate masks,
+        and fuses group-by families into single scatter-add passes —
+        without changing a single answer.
         """
         if self._serving_session is None:
             self._serving_session = self.serve()

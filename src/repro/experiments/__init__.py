@@ -37,6 +37,7 @@ from .harness import (
     point_query_errors,
     point_query_workload,
 )
+from .plan_fusion_throughput import plan_fusion_workload, run_plan_fusion
 from .plan_ir_throughput import plan_ir_relation, plan_ir_workload, run_plan_ir
 from .reporting import ExperimentResult, format_table
 from .serving_throughput import run_serving_throughput, serving_workload
@@ -63,6 +64,7 @@ __all__ = [
     "imdb_bundle",
     "median_improvement_heavy",
     "one_dimensional_order",
+    "plan_fusion_workload",
     "plan_ir_relation",
     "plan_ir_workload",
     "point_query_errors",
@@ -74,6 +76,7 @@ __all__ = [
     "run_bn_modes",
     "run_nd_sweep",
     "run_overall_accuracy",
+    "run_plan_fusion",
     "run_plan_ir",
     "run_pruning",
     "run_query_execution_time",

@@ -1,0 +1,228 @@
+"""Plan fusion — the batch-aware optimizer vs. per-plan execution, both cold.
+
+Not a paper artefact: this experiment measures the batch-aware plan
+optimizer (:mod:`repro.plan.optimize`) on the workload shape it was built
+for — a serving batch full of *variants*: exact duplicates, the same WHERE
+clause padded with a redundant conjunct, and families of aggregates sharing
+one ``Scan -> Filter -> Group`` prefix.  Two phases over one weighted
+relation, each starting from a completely cold engine (fresh mask cache,
+fresh group-code memo):
+
+* ``per-plan`` — ``execute_batch(optimize=False)``: every plan executes its
+  own tree, paying a mask lookup, a group-code gather, a scatter-add pass,
+  and a per-group decode loop per plan;
+* ``optimized`` — ``execute_batch(optimize=True)``: the batch is rewritten
+  into a physical schedule first — execution-equivalent plans dedup to one
+  slot, equivalent filters normalize to one cached mask, and each aggregate
+  family runs as a single fused scatter-add pass with stacked reduction
+  columns.
+
+Expected shape: the optimized cold batch serves **at least 2x** the
+throughput of the per-plan cold batch, with bit-identical answers (asserted
+here with exact ``==``, never a tolerance) and rewrite counters proving the
+dedup, pushdown, mask sharing, and fusion all actually fired.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..exceptions import ExperimentError
+from ..plan import OptimizerStats
+from ..query.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    Predicate,
+    Query,
+    ScalarAggregateQuery,
+)
+from ..schema import Relation
+from ..sql.engine import WeightedQueryEngine
+from .config import ExperimentScale, SMALL_SCALE
+from .plan_ir_throughput import plan_ir_relation
+from .reporting import ExperimentResult
+
+
+def plan_fusion_workload(
+    relation: Relation, n_families: int = 4, duplication: int = 4
+) -> list[Query]:
+    """A duplicate- and shared-filter-heavy batch (the optimizer's target).
+
+    Each *family* shares one two-conjunct filter and one two-column group
+    prefix and contributes: five GROUP BY aggregates over that shared
+    prefix (COUNT, SUM/AVG over two measures — the fusion candidates), one
+    GROUP BY COUNT whose filter carries a *redundant* extra conjunct
+    (normalizes into the plain COUNT's slot despite a distinct plan key),
+    and three scalar aggregates over the same filter (mask sharing across
+    unit kinds).  Families alternate between two grouping dimensions — the
+    dashboard shape, many filters over few group-by column sets — and the
+    whole batch is repeated ``duplication`` times, the exact-duplicate half
+    of a realistic serving burst.
+    """
+    names = list(relation.attribute_names)
+    if len(names) < 5:
+        raise ExperimentError("plan fusion workload needs at least 5 attributes")
+    schema = relation.schema
+    group_by_pool = ((names[0], names[1]), (names[2], names[3]))
+    queries: list[Query] = []
+    for family in range(n_families):
+        group_by = group_by_pool[family % len(group_by_pool)]
+        remaining = [name for name in names if name not in group_by]
+        filter_a = remaining[family % len(remaining)]
+        filter_b = remaining[(family + 1) % len(remaining)]
+        measure_1, measure_2 = group_by[0], remaining[(family + 2) % len(remaining)]
+        in_size = min(6, len(schema[filter_a].domain))
+        bound = max(1, len(schema[filter_b].domain) // 2)
+        predicates = (
+            Predicate(filter_a, Comparison.IN, tuple(range(in_size))),
+            Predicate(filter_b, Comparison.LE, bound),
+        )
+        # A looser bound on the same attribute: implied by `predicates`,
+        # so normalization elides it — a distinct plan key, one execution.
+        redundant = predicates + (
+            Predicate(filter_b, Comparison.LE, bound + 1),
+        )
+        count = AggregateSpec(AggregateFunction.COUNT)
+        family_queries: list[Query] = [
+            GroupByQuery(group_by=group_by, aggregate=count, predicates=predicates),
+            GroupByQuery(
+                group_by=group_by,
+                aggregate=AggregateSpec(AggregateFunction.SUM, measure_1),
+                predicates=predicates,
+            ),
+            GroupByQuery(
+                group_by=group_by,
+                aggregate=AggregateSpec(AggregateFunction.AVG, measure_1),
+                predicates=predicates,
+            ),
+            GroupByQuery(
+                group_by=group_by,
+                aggregate=AggregateSpec(AggregateFunction.SUM, measure_2),
+                predicates=predicates,
+            ),
+            GroupByQuery(
+                group_by=group_by,
+                aggregate=AggregateSpec(AggregateFunction.AVG, measure_2),
+                predicates=predicates,
+            ),
+            GroupByQuery(group_by=group_by, aggregate=count, predicates=redundant),
+            ScalarAggregateQuery(aggregate=count, predicates=predicates),
+            ScalarAggregateQuery(
+                aggregate=AggregateSpec(AggregateFunction.SUM, measure_1),
+                predicates=predicates,
+            ),
+            ScalarAggregateQuery(
+                aggregate=AggregateSpec(AggregateFunction.AVG, measure_2),
+                predicates=predicates,
+            ),
+        ]
+        queries.extend(family_queries)
+    return queries * max(1, duplication)
+
+
+def _cold_engine(relation: Relation) -> WeightedQueryEngine:
+    """An engine with empty mask/group-code caches over the same columns."""
+    fresh = Relation(
+        relation.schema,
+        {name: relation.column(name) for name in relation.attribute_names},
+        relation.weights,
+    )
+    return WeightedQueryEngine(fresh)
+
+
+def run_plan_fusion(
+    scale: ExperimentScale = SMALL_SCALE, n_families: int | None = None
+) -> ExperimentResult:
+    """Measure per-plan vs. optimized cold-batch throughput on one workload."""
+    relation = plan_ir_relation(scale)
+    queries = plan_fusion_workload(relation, n_families or 4)
+
+    result = ExperimentResult(
+        experiment_id="plan-fusion",
+        title="Plan fusion: batch-aware optimizer vs per-plan execution, cold",
+        paper_claim=(
+            "Beyond the paper: rewriting a duplicate- and shared-filter-heavy "
+            "batch with the batch-aware plan optimizer (shared-sub-plan "
+            "elimination, predicate normalization + pushdown into shared "
+            "masks, multi-query group-by fusion) serves the cold batch at "
+            "least 2x faster than per-plan execution — with bit-identical "
+            "answers and counters proving every rewrite fired."
+        ),
+        parameters={
+            "n_rows": relation.n_rows,
+            "n_queries": len(queries),
+            "n_families": n_families or 4,
+        },
+    )
+
+    # Both phases take the best of three completely cold runs, so one
+    # scheduler hiccup on a shared CI runner cannot fake a slowdown.
+    per_plan_seconds = float("inf")
+    per_plan = None
+    for _ in range(3):
+        engine = _cold_engine(relation)
+        start = time.perf_counter()
+        answers = engine.execute_batch(queries, optimize=False)
+        elapsed = time.perf_counter() - start
+        if per_plan is not None and answers != per_plan:
+            raise ExperimentError("per-plan answers are not deterministic")
+        per_plan = answers
+        per_plan_seconds = min(per_plan_seconds, elapsed)
+    assert per_plan is not None
+    result.add_row(
+        phase="per-plan",
+        seconds=per_plan_seconds,
+        queries_per_second=len(queries) / per_plan_seconds,
+        speedup=1.0,
+        plans_deduped=0,
+        predicates_pushed_down=0,
+        groupby_fusions=0,
+        masks_shared=0,
+    )
+
+    optimized_seconds = float("inf")
+    optimized = None
+    stats = OptimizerStats()
+    for _ in range(3):
+        engine = _cold_engine(relation)
+        run_stats = OptimizerStats()
+        start = time.perf_counter()
+        answers = engine.execute_batch(queries, optimize=True, stats=run_stats)
+        elapsed = time.perf_counter() - start
+        if optimized is not None and answers != optimized:
+            raise ExperimentError("optimized answers are not deterministic")
+        optimized = answers
+        if elapsed < optimized_seconds:
+            optimized_seconds = elapsed
+            stats = run_stats
+    assert optimized is not None
+    result.add_row(
+        phase="optimized",
+        seconds=optimized_seconds,
+        queries_per_second=len(queries) / optimized_seconds,
+        speedup=per_plan_seconds / optimized_seconds
+        if optimized_seconds > 0
+        else float("inf"),
+        plans_deduped=stats.plans_deduped,
+        predicates_pushed_down=stats.predicates_pushed_down,
+        groupby_fusions=stats.groupby_fusions,
+        masks_shared=stats.masks_shared,
+    )
+
+    # The headline guarantee: optimization must not change a single bit.
+    for optimized_answer, reference in zip(optimized, per_plan):
+        if optimized_answer != reference:
+            raise ExperimentError(
+                f"optimizer changed an answer: {optimized_answer!r} != {reference!r}"
+            )
+    return result
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    print(run_plan_fusion().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -11,7 +11,12 @@ node — exactly once, and every executor consumes that plan:
 * the serving :class:`~repro.serving.planner.QueryPlanner` derives its
   result-cache keys and evaluator routes from the compiled plan;
 * network-routed aggregate plans can lower to batched conditional inference
-  (:mod:`repro.bayesnet.batched`) instead of per-query work.
+  (:mod:`repro.bayesnet.batched`) instead of per-query work;
+* whole batches are rewritten by the batch-aware optimizer
+  (:mod:`repro.plan.optimize`): execution-equivalent plans dedup to one
+  slot, equivalent filters normalize to one cached mask, and aggregates
+  sharing a ``(Scan, Filter, Group)`` prefix fuse into one scatter-add
+  pass — bit-identical to per-plan execution.
 """
 
 from .compiler import PlanCompiler, resolve_route
@@ -40,11 +45,21 @@ from .ir import (
 )
 from .kernels import (
     MaskCache,
+    fused_group_reduce,
+    fused_scalar_reduce,
     group_reduce,
     grouped_weight_totals,
     masked_weights,
     numeric_column,
     scalar_reduce,
+)
+from .optimize import (
+    OptimizerStats,
+    PhysicalSchedule,
+    ScheduleUnit,
+    normalize_plan,
+    normalize_predicates,
+    optimize_batch,
 )
 
 __all__ = [
@@ -69,11 +84,19 @@ __all__ = [
     "SHAPE_JOIN_GROUP_BY",
     "SHAPE_POINT",
     "SHAPE_SCALAR",
+    "OptimizerStats",
+    "PhysicalSchedule",
     "Scan",
+    "ScheduleUnit",
+    "fused_group_reduce",
+    "fused_scalar_reduce",
     "group_reduce",
     "grouped_weight_totals",
     "masked_weights",
+    "normalize_plan",
+    "normalize_predicates",
     "numeric_column",
+    "optimize_batch",
     "query_shape",
     "resolve_route",
     "scalar_reduce",

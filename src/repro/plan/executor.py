@@ -10,7 +10,7 @@ relations per query.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from typing import Any
 
 import numpy as np
@@ -29,11 +29,14 @@ from .ir import (
 )
 from .kernels import (
     MaskCache,
+    fused_group_reduce,
+    fused_scalar_reduce,
     group_reduce,
     grouped_weight_totals,
     numeric_column,
     scalar_reduce,
 )
+from .optimize import UNIT_GROUP_BY, UNIT_SCALAR, OptimizerStats, optimize_batch
 
 
 class ColumnarExecutor:
@@ -96,6 +99,65 @@ class ColumnarExecutor:
         if plan.shape == SHAPE_JOIN_GROUP_BY:
             return self.join_plan(plan)
         raise QueryError(f"unsupported plan shape {plan.shape!r}")
+
+    def execute_batch(
+        self,
+        queries: "Sequence[LogicalPlan | Query | str]",
+        optimize: bool = True,
+        stats: OptimizerStats | None = None,
+    ) -> list:
+        """Execute a batch of plans through the batch-aware optimizer.
+
+        With ``optimize=True`` (the default) the batch is rewritten by
+        :func:`repro.plan.optimize.optimize_batch` — execution-equivalent
+        plans run once and fan out, equivalent filters collapse to one
+        cached mask, and aggregates sharing a ``(Scan, Filter, Group)``
+        prefix fuse into a single scatter-add pass.  Answers are returned in
+        submission order and are bit-identical to the ``optimize=False``
+        per-plan loop (the escape hatch, and the reference the tests assert
+        against).  ``stats`` (when given) accumulates the schedule's
+        rewrite counters in place.
+        """
+        plans = [
+            query if isinstance(query, LogicalPlan) else self._compiler.compile(query)
+            for query in queries
+        ]
+        if not optimize:
+            return [self.execute(plan) for plan in plans]
+        schedule = optimize_batch(plans, stats)
+        slot_results: list = [None] * len(schedule.slots)
+        for unit in schedule.units:
+            if unit.kind == UNIT_SCALAR:
+                mask = self._masks.conjunction_mask(unit.predicates)
+                specs = [
+                    self._reduction_spec(schedule.slots[slot]) for slot in unit.slots
+                ]
+                values = fused_scalar_reduce(self._relation, mask, specs)
+                for slot, value in zip(unit.slots, values):
+                    slot_results[slot] = value
+            elif unit.kind == UNIT_GROUP_BY:
+                from ..sql.engine import QueryResult
+
+                mask = self._masks.conjunction_mask(unit.predicates)
+                specs = [
+                    self._reduction_spec(schedule.slots[slot]) for slot in unit.slots
+                ]
+                tables = fused_group_reduce(
+                    self._relation, unit.group_keys, mask, specs
+                )
+                for slot, table in zip(unit.slots, tables):
+                    slot_results[slot] = QueryResult(unit.group_keys, table)
+            else:  # join plans execute as-is (no cross-plan fusion)
+                (slot,) = unit.slots
+                slot_results[slot] = self.join_plan(schedule.slots[slot])
+        return schedule.fan_out(slot_results)
+
+    def _reduction_spec(self, plan: LogicalPlan) -> tuple[str, np.ndarray | None]:
+        """One plan's ``(function, measure column)`` fused-kernel spec."""
+        aggregate = plan.aggregate
+        if aggregate.function == "count":
+            return ("count", None)
+        return (aggregate.function, self._numeric_column(aggregate.attribute))
 
     def point_plan(self, plan: LogicalPlan) -> float:
         """Weighted COUNT(*) of an exact-match conjunction."""

@@ -166,18 +166,12 @@ def scalar_reduce(
     function: str,
     measure: np.ndarray | None,
 ) -> float:
-    """Masked weighted COUNT/SUM/AVG over a relation — the scalar kernel."""
-    weights = masked_weights(relation, mask)
-    if function == "count":
-        return float(weights.sum())
-    assert measure is not None
-    values = measure if mask is None else measure[mask]
-    if function == "sum":
-        return float(np.sum(weights * values))
-    if function == "avg":
-        total = weights.sum()
-        return float(np.sum(weights * values) / total) if total > 0 else 0.0
-    raise QueryError(f"unsupported aggregate function {function}")
+    """Masked weighted COUNT/SUM/AVG over a relation — the scalar kernel.
+
+    The single-aggregate case of :func:`fused_scalar_reduce` (one code path,
+    so the per-plan and fused-batch executions can never diverge).
+    """
+    return fused_scalar_reduce(relation, mask, [(function, measure)])[0]
 
 
 def group_reduce(
@@ -194,6 +188,78 @@ def group_reduce(
     over the same columns); per-group totals are ``np.bincount``
     scatter-adds over the masked rows.  Groups with no positive weight are
     dropped, matching the historical filtered-relation engine bit for bit.
+
+    The single-aggregate case of :func:`fused_group_reduce` (one code path,
+    so the per-plan and fused-batch executions can never diverge).
+    """
+    return fused_group_reduce(relation, keys, mask, [(function, measure)])[0]
+
+
+def fused_scalar_reduce(
+    relation: Relation,
+    mask: np.ndarray | None,
+    specs: list[tuple[str, np.ndarray | None]],
+) -> list[float]:
+    """Several masked weighted scalar aggregates over **one** shared mask.
+
+    ``specs`` is a list of ``(function, measure)`` pairs (``measure`` is the
+    pre-gathered numeric column, ``None`` for COUNT).  The masked weight
+    vector, its total, each masked measure gather, and each weighted sum are
+    computed once per distinct operand and shared across the family —
+    bit-identical to calling :func:`scalar_reduce` per spec, because the
+    shared values are produced by exactly the operations each individual
+    reduction would have run.
+    """
+    weights = masked_weights(relation, mask)
+    total: float | None = None
+    weighted_sums: dict[int, float] = {}
+
+    def weight_total() -> float:
+        nonlocal total
+        if total is None:
+            total = weights.sum()
+        return total
+
+    def weighted_sum(measure: np.ndarray) -> float:
+        key = id(measure)
+        if key not in weighted_sums:
+            values = measure if mask is None else measure[mask]
+            weighted_sums[key] = np.sum(weights * values)
+        return weighted_sums[key]
+
+    results: list[float] = []
+    for function, measure in specs:
+        if function == "count":
+            results.append(float(weight_total()))
+            continue
+        assert measure is not None
+        if function == "sum":
+            results.append(float(weighted_sum(measure)))
+        elif function == "avg":
+            total_weight = weight_total()
+            results.append(
+                float(weighted_sum(measure) / total_weight) if total_weight > 0 else 0.0
+            )
+        else:
+            raise QueryError(f"unsupported aggregate function {function}")
+    return results
+
+
+def fused_group_reduce(
+    relation: Relation,
+    keys: tuple[str, ...],
+    mask: np.ndarray | None,
+    specs: list[tuple[str, np.ndarray | None]],
+) -> list[dict[tuple[Any, ...], float]]:
+    """Several GROUP BY aggregates over one shared scatter-add pass.
+
+    The fusion kernel behind multi-query group-by fusion: every aggregate in
+    ``specs`` shares the ``(Scan, Filter, Group)`` prefix, so the group-code
+    gather, the masked weight scatter-add, and the per-group key decoding run
+    **once** for the whole family; each member only adds its own stacked
+    reduction column (one extra ``np.bincount`` per distinct measure).
+    Bit-identical to calling :func:`group_reduce` per spec: the shared
+    intermediates are the exact arrays each individual pass would compute.
     """
     group_index, unique_rows = relation.group_codes(keys)
     n_groups = unique_rows.shape[0]
@@ -203,30 +269,49 @@ def group_reduce(
         weights = weights[mask]
     weight_totals = np.bincount(group_index, weights=weights, minlength=n_groups)
 
-    if function == "count":
-        values = weight_totals
-    else:
+    weighted_sums: dict[int, np.ndarray] = {}
+
+    def sums_for(measure: np.ndarray) -> np.ndarray:
+        key = id(measure)
+        sums = weighted_sums.get(key)
+        if sums is None:
+            selected = measure if mask is None else measure[mask]
+            sums = np.bincount(
+                group_index, weights=weights * selected, minlength=n_groups
+            )
+            weighted_sums[key] = sums
+        return sums
+
+    per_spec: list[np.ndarray] = []
+    for function, measure in specs:
+        if function == "count":
+            per_spec.append(weight_totals)
+            continue
         assert measure is not None
-        selected = measure if mask is None else measure[mask]
-        weighted_sums = np.bincount(
-            group_index, weights=weights * selected, minlength=n_groups
-        )
+        sums = sums_for(measure)
         if function == "sum":
-            values = weighted_sums
+            per_spec.append(sums)
         elif function == "avg":
             with np.errstate(divide="ignore", invalid="ignore"):
-                values = np.where(weight_totals > 0, weighted_sums / weight_totals, 0.0)
+                per_spec.append(np.where(weight_totals > 0, sums / weight_totals, 0.0))
         else:
             raise QueryError(f"unsupported aggregate function {function}")
 
+    # Decode each positive-weight group's key tuple once for the family (the
+    # Python-loop half of group_reduce, the expensive part on wide groupings).
     domains = [relation.schema[name].domain for name in keys]
-    results: dict[tuple[Any, ...], float] = {}
-    for row, value, weight_total in zip(unique_rows, values, weight_totals):
-        if weight_total <= 0:
-            continue
-        key = tuple(domain.decode(code) for domain, code in zip(domains, row))
-        results[key] = float(value)
-    return results
+    positive = np.nonzero(weight_totals > 0)[0]
+    decoded = [
+        tuple(domain.decode(code) for domain, code in zip(domains, unique_rows[row]))
+        for row in positive
+    ]
+    return [
+        {
+            group: float(values[row])
+            for group, row in zip(decoded, positive)
+        }
+        for values in per_spec
+    ]
 
 
 def grouped_weight_totals(

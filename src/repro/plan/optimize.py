@@ -1,0 +1,437 @@
+"""Batch-aware plan optimizer: rewrite a batch of compiled plans into a schedule.
+
+A serving batch routinely carries fifty variants of the same query — exact
+duplicates, the same WHERE clause padded with a redundant conjunct, a family
+of aggregates over one shared ``Scan -> Filter -> Group`` prefix.  Executing
+tree-by-tree pays the mask lookups, the group-code gathers, and the
+scatter-add passes once **per plan**.  This module takes the whole batch and
+emits a :class:`PhysicalSchedule` that pays each piece of shared work once:
+
+1. **Canonical-key dedup** — execution-equivalent plans collapse to one
+   *slot*; the slot executes once and its answer fans out to every input
+   position (``plans_deduped``).
+2. **Predicate normalization + pushdown** — each filter's conjunction is
+   normalized (tautologies dropped, duplicate conjuncts removed, redundant
+   ordered bounds tightened, conjuncts implied by an equality elided) so
+   equivalent filters written differently collapse to one canonical
+   predicate tuple and hence one cached mask (``predicates_pushed_down``).
+3. **Shared-filter grouping** — distinct normalized conjunctions are pushed
+   down into a shared mask stage: every execution unit referencing the same
+   conjunction reuses one boolean mask per batch (``masks_shared``).
+4. **Multi-query group-by fusion** — aggregates sharing a
+   ``(Scan, Filter, Group)`` prefix run in a single ``np.unique``/
+   ``np.bincount`` scatter-add pass with stacked reduction columns, decoding
+   the group tuples once for the whole family (``groupby_fusions``).
+
+Every rewrite is mask-preserving by construction (a dropped conjunct is
+implied by a kept one, so the AND of the masks is the same boolean array),
+which is why optimized execution is **bit-identical** to per-plan execution:
+the same reductions run on the same operands in the same order.  The
+rewrites never touch a plan's canonical :attr:`~repro.plan.ir.LogicalPlan.key`
+— result-cache identity is stable across optimization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..exceptions import QueryError
+from ..query.ast import Comparison
+from .ir import (
+    OUT_OF_DOMAIN,
+    SHAPE_GROUP_BY,
+    SHAPE_JOIN_GROUP_BY,
+    SHAPE_POINT,
+    SHAPE_SCALAR,
+    CanonicalPredicate,
+    Filter,
+    Group,
+    Join,
+    LogicalPlan,
+)
+
+#: Execution-unit kinds a schedule can contain.
+UNIT_SCALAR = "scalar"
+UNIT_GROUP_BY = "group-by"
+UNIT_JOIN = "join"
+
+#: Ordered comparisons admitting an upper (lower) bound on the domain codes.
+_UPPER = (Comparison.LE, Comparison.LT)
+_LOWER = (Comparison.GE, Comparison.GT)
+
+
+@dataclass
+class OptimizerStats:
+    """Counters proving which rewrites fired on a batch (or a session).
+
+    Attributes
+    ----------
+    batches:
+        Optimized schedules built.
+    plans_in:
+        Plans submitted to the optimizer.
+    plans_deduped:
+        Inputs answered by an earlier execution-equivalent plan's slot
+        (exact duplicates, and distinct-key plans whose normalized
+        execution collapses — e.g. a filter padded with an implied conjunct).
+    predicates_pushed_down:
+        WHERE conjuncts eliminated by normalization before reaching the
+        shared mask stage (tautologies, duplicates, slack ordered bounds,
+        conjuncts implied by an equality).
+    groupby_fusions:
+        Scatter-add passes avoided by fusing aggregates that share a
+        ``(Scan, Filter, Group)`` prefix (family members beyond the first).
+    masks_shared:
+        Filter evaluations beyond the first per distinct normalized
+        conjunction — mask computations the shared mask stage skipped.
+    """
+
+    batches: int = 0
+    plans_in: int = 0
+    plans_deduped: int = 0
+    predicates_pushed_down: int = 0
+    groupby_fusions: int = 0
+    masks_shared: int = 0
+
+    def merge(self, other: "OptimizerStats") -> None:
+        """Fold another stats object's counters into this one."""
+        self.batches += other.batches
+        self.plans_in += other.plans_in
+        self.plans_deduped += other.plans_deduped
+        self.predicates_pushed_down += other.predicates_pushed_down
+        self.groupby_fusions += other.groupby_fusions
+        self.masks_shared += other.masks_shared
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain-dict snapshot of every counter."""
+        return {
+            "batches": self.batches,
+            "plans_in": self.plans_in,
+            "plans_deduped": self.plans_deduped,
+            "predicates_pushed_down": self.predicates_pushed_down,
+            "groupby_fusions": self.groupby_fusions,
+            "masks_shared": self.masks_shared,
+        }
+
+
+# ----------------------------------------------------------------------
+# Predicate normalization (rewrite 2)
+# ----------------------------------------------------------------------
+def _sort_key(predicate: CanonicalPredicate):
+    """The deterministic conjunct order (same convention as the mask cache)."""
+    return repr(predicate.key)
+
+
+def _is_always_true(predicate: CanonicalPredicate) -> bool:
+    """``!=``/``>``/``>=`` against an out-of-domain literal match every tuple."""
+    return predicate.bucket == OUT_OF_DOMAIN and predicate.comparison in (
+        Comparison.NE,
+        Comparison.GT,
+        Comparison.GE,
+    )
+
+
+def _is_always_false(predicate: CanonicalPredicate) -> bool:
+    """``=``/``<``/``<=`` against an out-of-domain literal (or an IN over no
+    in-domain values) match no tuple at all."""
+    if predicate.comparison is Comparison.IN:
+        return not predicate.bucket
+    return predicate.bucket == OUT_OF_DOMAIN and predicate.comparison in (
+        Comparison.EQ,
+        Comparison.LT,
+        Comparison.LE,
+    )
+
+
+def _ordered_bound(predicate: CanonicalPredicate) -> int:
+    """The inclusive domain-code bound an ordered conjunct imposes.
+
+    Domain codes are integers, so ``< b`` is the upper bound ``b - 1`` and
+    ``> b`` is the lower bound ``b + 1`` — which lets mixed ``<``/``<=``
+    (or ``>``/``>=``) conjuncts on one attribute compare directly.
+    """
+    bucket = int(predicate.bucket)
+    if predicate.comparison is Comparison.LT:
+        return bucket - 1
+    if predicate.comparison is Comparison.GT:
+        return bucket + 1
+    return bucket
+
+
+def _code_satisfies(code: int, predicate: CanonicalPredicate) -> bool:
+    """Whether an equality's domain code satisfies an ordered conjunct."""
+    if predicate.comparison in _UPPER:
+        return code <= _ordered_bound(predicate)
+    return code >= _ordered_bound(predicate)
+
+
+def normalize_predicates(
+    predicates: tuple[CanonicalPredicate, ...],
+) -> tuple[CanonicalPredicate, ...]:
+    """The mask-preserving normal form of one WHERE conjunction.
+
+    Rewrites (each drops only conjuncts *implied* by the kept ones, so the
+    AND of the remaining masks is bit-identical to the original):
+
+    * tautological conjuncts are removed;
+    * an unsatisfiable conjunct absorbs the whole conjunction (the AND is
+      all-false either way, and one all-false mask is that predicate's own);
+    * duplicate conjuncts (same canonical key) are removed;
+    * among the ordered upper (lower) bounds on one attribute only the
+      tightest survives;
+    * ordered conjuncts satisfied by an in-domain equality on the same
+      attribute are removed (the equality already implies them).
+
+    The result is sorted into the mask cache's canonical conjunct order, so
+    two equivalent filters written differently normalize to the *same*
+    tuple — one conjunction-mask cache entry, one mask computation.
+    """
+    kept: dict[tuple, CanonicalPredicate] = {}
+    for predicate in predicates:
+        if _is_always_true(predicate):
+            continue
+        if _is_always_false(predicate):
+            # The conjunction can match nothing; this one conjunct's
+            # (all-false) mask equals the whole conjunction's mask.
+            return (predicate,)
+        kept.setdefault(predicate.key, predicate)
+
+    by_attribute: dict[str, list[CanonicalPredicate]] = {}
+    for predicate in kept.values():
+        by_attribute.setdefault(predicate.attribute, []).append(predicate)
+
+    survivors: list[CanonicalPredicate] = []
+    for conjuncts in by_attribute.values():
+        equalities = [
+            p
+            for p in conjuncts
+            if p.comparison is Comparison.EQ and p.bucket != OUT_OF_DOMAIN
+        ]
+        ordered = [p for p in conjuncts if p.comparison in _UPPER + _LOWER]
+        rest = [p for p in conjuncts if p not in equalities and p not in ordered]
+        if equalities:
+            # Drop ordered bounds every equality already implies; an ordered
+            # bound an equality *violates* is kept (the conjunction is
+            # unsatisfiable, and the plain AND of masks preserves that).
+            ordered = [
+                p
+                for p in ordered
+                if not all(_code_satisfies(int(e.bucket), p) for e in equalities)
+            ]
+        else:
+            uppers = sorted(
+                (p for p in ordered if p.comparison in _UPPER and p.bucket != OUT_OF_DOMAIN),
+                key=lambda p: (_ordered_bound(p), _sort_key(p)),
+            )
+            lowers = sorted(
+                (p for p in ordered if p.comparison in _LOWER and p.bucket != OUT_OF_DOMAIN),
+                key=lambda p: (-_ordered_bound(p), _sort_key(p)),
+            )
+            ordered = ([uppers[0]] if uppers else []) + ([lowers[0]] if lowers else [])
+        survivors.extend(equalities + ordered + rest)
+    return tuple(sorted(survivors, key=_sort_key))
+
+
+def _normalize_filter(node: Filter, stats: OptimizerStats | None) -> Filter:
+    normalized = normalize_predicates(node.predicates)
+    if stats is not None:
+        stats.predicates_pushed_down += len(node.predicates) - len(normalized)
+    if normalized == node.predicates:
+        return node
+    return replace(node, predicates=normalized)
+
+
+def normalize_plan(
+    plan: LogicalPlan, stats: OptimizerStats | None = None
+) -> LogicalPlan:
+    """A copy of ``plan`` with every Filter's conjunction normalized.
+
+    The canonical :attr:`~repro.plan.ir.LogicalPlan.key` is untouched —
+    normalization changes how the plan *executes*, never its result-cache
+    identity — and the original query AST rides along unchanged.
+    """
+    aggregate = plan.aggregate
+    child = aggregate.child
+    if isinstance(child, Join):
+        left = _normalize_filter(child.left.child, stats)
+        right = _normalize_filter(child.right.child, stats)
+        new_child: Any = child
+        if left is not child.left.child or right is not child.right.child:
+            new_child = replace(
+                child,
+                left=replace(child.left, child=left),
+                right=replace(child.right, child=right),
+            )
+    elif isinstance(child, Group):
+        new_filter = _normalize_filter(child.child, stats)
+        new_child = child if new_filter is child.child else replace(child, child=new_filter)
+    else:
+        new_child = _normalize_filter(child, stats)
+    if new_child is child:
+        return plan
+    root = replace(plan.root, child=replace(aggregate, child=new_child))
+    return replace(plan, root=root)
+
+
+# ----------------------------------------------------------------------
+# The physical schedule (rewrites 1, 3, 4)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScheduleUnit:
+    """One execution unit: a fused family of slots sharing a plan prefix.
+
+    ``kind`` is :data:`UNIT_SCALAR` (point/scalar reductions over one shared
+    mask), :data:`UNIT_GROUP_BY` (one scatter-add pass with stacked
+    reduction columns), or :data:`UNIT_JOIN` (a single join plan).
+    ``slots`` indexes into :attr:`PhysicalSchedule.slots`; for the fused
+    kinds every member shares ``predicates`` (the normalized filter) and,
+    for group-by units, ``group_keys``.
+    """
+
+    kind: str
+    slots: tuple[int, ...]
+    predicates: tuple[CanonicalPredicate, ...] = ()
+    group_keys: tuple[str, ...] = ()
+
+
+@dataclass
+class PhysicalSchedule:
+    """The optimized execution order of one batch of compiled plans.
+
+    ``slots`` holds one normalized representative plan per distinct
+    execution; ``assignments[i]`` maps input plan ``i`` to its slot, so an
+    executor runs every unit once and fans each slot's answer back out to
+    the input positions.  ``units`` covers every slot exactly once.
+    """
+
+    plans: list[LogicalPlan]
+    slots: list[LogicalPlan] = field(default_factory=list)
+    assignments: list[int] = field(default_factory=list)
+    units: list[ScheduleUnit] = field(default_factory=list)
+    stats: OptimizerStats = field(default_factory=OptimizerStats)
+
+    def fan_out(self, slot_results: Sequence[Any]) -> list[Any]:
+        """Distribute per-slot answers back to input order."""
+        return [slot_results[index] for index in self.assignments]
+
+
+def _execution_signature(plan: LogicalPlan) -> tuple:
+    """What a plan *computes* on the sample engine, post-normalization.
+
+    Coarser than the canonical plan key in exactly one way: a point plan and
+    a COUNT scalar over the same normalized filter run the identical masked
+    reduction here, so they share a slot.  (Their canonical keys stay
+    distinct — on the Bayesian-network route they are answered differently —
+    but this signature is only ever used to schedule *columnar* execution,
+    where the kernels coincide.)
+    """
+    aggregate = plan.aggregate
+    if plan.shape == SHAPE_JOIN_GROUP_BY:
+        join = plan.join
+        return (
+            UNIT_JOIN,
+            join.on,
+            (join.left.keys, join.right.keys),
+            (aggregate.function, aggregate.attribute),
+            tuple(p.key for p in join.left.child.predicates),
+            tuple(p.key for p in join.right.child.predicates),
+        )
+    predicate_keys = tuple(p.key for p in plan.predicates)
+    if plan.shape == SHAPE_GROUP_BY:
+        return (
+            UNIT_GROUP_BY,
+            plan.group_keys,
+            (aggregate.function, aggregate.attribute),
+            predicate_keys,
+        )
+    # Point plans and scalar plans both reduce (function, attribute) over
+    # the filter mask; points are always ("count", None).
+    return (UNIT_SCALAR, (aggregate.function, aggregate.attribute), predicate_keys)
+
+
+def optimize_batch(
+    plans: Sequence[LogicalPlan], stats: OptimizerStats | None = None
+) -> PhysicalSchedule:
+    """Rewrite a batch of compiled plans into a :class:`PhysicalSchedule`.
+
+    Applies, in order: predicate normalization per plan, execution-signature
+    dedup (slot assignment), shared-filter grouping, and group-by fusion.
+    ``stats`` (when given) accumulates the schedule's counters in place —
+    the serving layer threads one session-lifetime object through here.
+    """
+    schedule = PhysicalSchedule(plans=list(plans))
+    schedule.stats.batches = 1
+    schedule.stats.plans_in = len(schedule.plans)
+
+    slot_by_signature: dict[tuple, int] = {}
+    for plan in schedule.plans:
+        if plan.shape == SHAPE_POINT and not plan.predicates:
+            raise QueryError("a point query needs at least one attribute-value pair")
+        if plan.shape not in (SHAPE_POINT, SHAPE_SCALAR, SHAPE_GROUP_BY, SHAPE_JOIN_GROUP_BY):
+            raise QueryError(f"unsupported plan shape {plan.shape!r}")
+        normalized = normalize_plan(plan, schedule.stats)
+        signature = _execution_signature(normalized)
+        slot = slot_by_signature.get(signature)
+        if slot is None:
+            slot = len(schedule.slots)
+            schedule.slots.append(normalized)
+            slot_by_signature[signature] = slot
+        else:
+            schedule.stats.plans_deduped += 1
+        schedule.assignments.append(slot)
+
+    # Shared-filter grouping + group-by fusion over the distinct slots,
+    # preserving first-appearance order of each family.
+    families: dict[tuple, list[int]] = {}
+    for index, plan in enumerate(schedule.slots):
+        if plan.shape == SHAPE_JOIN_GROUP_BY:
+            families.setdefault((UNIT_JOIN, index), []).append(index)
+        elif plan.shape == SHAPE_GROUP_BY:
+            families.setdefault(
+                (
+                    UNIT_GROUP_BY,
+                    plan.group_keys,
+                    tuple(p.key for p in plan.predicates),
+                ),
+                [],
+            ).append(index)
+        else:
+            families.setdefault(
+                (UNIT_SCALAR, tuple(p.key for p in plan.predicates)), []
+            ).append(index)
+
+    mask_references: dict[tuple, int] = {}
+    for family_key, members in families.items():
+        first = schedule.slots[members[0]]
+        kind = family_key[0]
+        if kind == UNIT_JOIN:
+            join = first.join
+            unit = ScheduleUnit(kind, tuple(members))
+            for side in (join.left, join.right):
+                keys = tuple(p.key for p in side.child.predicates)
+                if keys:
+                    mask_references[keys] = mask_references.get(keys, 0) + 1
+        else:
+            predicate_keys = tuple(p.key for p in first.predicates)
+            if predicate_keys:
+                mask_references[predicate_keys] = (
+                    mask_references.get(predicate_keys, 0) + len(members)
+                )
+            unit = ScheduleUnit(
+                kind,
+                tuple(members),
+                predicates=first.predicates,
+                group_keys=first.group_keys if kind == UNIT_GROUP_BY else (),
+            )
+            if kind == UNIT_GROUP_BY:
+                schedule.stats.groupby_fusions += len(members) - 1
+        schedule.units.append(unit)
+
+    schedule.stats.masks_shared = sum(
+        count - 1 for count in mask_references.values() if count > 1
+    )
+    if stats is not None:
+        stats.merge(schedule.stats)
+    return schedule

@@ -10,8 +10,10 @@ into a reusable query service for high-throughput workloads:
   the model is refitted;
 * :mod:`repro.serving.executor` — batched execution that groups plans sharing
   GROUP BY columns/BN factors, dispatches BN-routed point plans through one
-  batched variable-elimination call, and amortizes generated-sample
-  inference;
+  batched variable-elimination call, amortizes generated-sample inference,
+  and (by default) rewrites each batch with the batch-aware plan optimizer
+  (:mod:`repro.plan.optimize`: dedup, predicate normalization into shared
+  masks, multi-query group-by fusion — bit-identical to per-plan execution);
 * :mod:`repro.serving.session` — the long-lived serving front-end returned by
   ``Themis.serve()``;
 * :mod:`repro.serving.stats` — per-query outcomes, batch results, and

@@ -75,7 +75,18 @@ class LRUCache:
         return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        return self.peek(key, _MISSING) is not _MISSING
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Non-mutating, stat-free probe: the cached value, or ``default``.
+
+        Unlike :meth:`get`, peeking neither promotes the entry in the
+        recency order nor counts a hit/miss — it is how the executor and the
+        batch optimizer inspect the cache without perturbing eviction
+        behaviour or hit-rate statistics.
+        """
+        value = self._entries.get(key, _MISSING)
+        return default if value is _MISSING else value
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Fetch ``key``, marking it most recently used."""
@@ -121,15 +132,20 @@ class ResultCache:
         return len(self._cache)
 
     def __contains__(self, key: Hashable) -> bool:
-        """Whether a plan key is cached, without touching hit/miss counters.
-
-        The batch executor uses this to decide which BN point plans still
-        need inference; the counted lookup happens later — in
-        ``execute_plan`` for cached plans, or explicitly in the batched
-        dispatch branch for the misses it answers — so hit/miss statistics
-        match per-plan execution exactly.
-        """
+        """Whether a plan key is cached, without touching hit/miss counters."""
         return key in self._cache
+
+    def peek(self, key: Hashable) -> Any:
+        """The cached answer without touching recency order or statistics.
+
+        The batch executor uses this to decide which plans still need
+        execution (batched BN dispatch, the columnar batch schedule); the
+        counted :meth:`lookup` happens later — in ``execute_plan`` for
+        cached plans, or explicitly in the batched dispatch branches for the
+        misses they answer — so hit/miss statistics and eviction order match
+        per-plan execution exactly.
+        """
+        return self._cache.peek(key)
 
     def lookup(self, key: Hashable) -> Any:
         """The cached answer for a plan key, or ``None`` on a miss."""

@@ -26,11 +26,16 @@ from collections.abc import Sequence
 from dataclasses import replace
 
 from ..core.model import ThemisModel
-from ..plan import BN_LOWER_EXACT, SHAPE_SCALAR
+from ..plan import (
+    BN_LOWER_EXACT,
+    SHAPE_GROUP_BY,
+    SHAPE_SCALAR,
+    OptimizerStats,
+)
 from ..query.ast import PointQuery, Query
 from ..sql.engine import QueryResult
 from .cache import InferenceCache, PlanCache, ResultCache
-from .planner import ROUTE_BAYES_NET, ROUTE_SAMPLE, QueryPlan, QueryPlanner
+from .planner import ROUTE_BAYES_NET, ROUTE_HYBRID, ROUTE_SAMPLE, QueryPlan, QueryPlanner
 from .stats import BatchResult, QueryOutcome
 
 
@@ -46,6 +51,15 @@ class BatchExecutor:
         the default forward-sampled answering.  Exact lowering is
         deterministic and batch-friendly but intentionally **not**
         bit-identical to the sampled path, so it is opt-in per session.
+    optimize:
+        When true (the default), each batch runs through the batch-aware
+        plan optimizer (:mod:`repro.plan.optimize`): sample-routed plans
+        execute on one rewritten columnar schedule (normalized predicates,
+        shared masks, dedup across equivalent plans) and hybrid GROUP BY
+        plans sharing a ``(Scan, Filter, Group)`` prefix fuse into single
+        scatter-add passes on the sample and on every generated sample.
+        Answers are bit-identical either way; ``optimize=False`` is the
+        per-plan escape hatch (``Themis.serve(optimize=False)``).
     """
 
     def __init__(
@@ -56,6 +70,7 @@ class BatchExecutor:
         inference_cache: InferenceCache,
         plan_cache: PlanCache | None = None,
         exact_bn_aggregates: bool = False,
+        optimize: bool = True,
     ):
         self._model = model
         self._planner = planner
@@ -63,6 +78,7 @@ class BatchExecutor:
         self._inference_cache = inference_cache
         self._plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self._exact_bn_aggregates = bool(exact_bn_aggregates)
+        self._optimize = bool(optimize)
 
     @property
     def model(self) -> ThemisModel:
@@ -153,7 +169,10 @@ class BatchExecutor:
         point plans are partitioned out and dispatched in **one** batched
         inference call — one variable-elimination pass per evidence
         signature instead of one per plan — reported separately as
-        ``bn_batch_seconds`` / ``bn_elimination_passes``.
+        ``bn_batch_seconds`` / ``bn_elimination_passes``.  With the batch
+        optimizer on (the default), sample-routed plans and hybrid GROUP BY
+        plans likewise dispatch through rewritten columnar schedules
+        (``columnar_batch_seconds``, rewrite counters in ``optimizer``).
         """
         batch_start = time.perf_counter()
         plans = [self.plan(query) for query in queries]
@@ -178,7 +197,7 @@ class BatchExecutor:
         pending: dict[tuple, Query] = {}
         pending_scalars: dict[tuple, object] = {}  # Query or compiled LogicalPlan
         for plan in plans:
-            if plan.route != ROUTE_BAYES_NET or plan.key in self._result_cache:
+            if plan.route != ROUTE_BAYES_NET or self._result_cache.peek(plan.key) is not None:
                 continue
             if isinstance(plan.query, PointQuery):
                 pending.setdefault(plan.key, plan.query)
@@ -189,7 +208,7 @@ class BatchExecutor:
                     plan.key,
                     plan.logical if plan.logical is not None else plan.query,
                 )
-        precomputed: dict[tuple, float] = {}
+        precomputed: dict[tuple, float | QueryResult] = {}
         bn_batch_seconds = 0.0
         bn_passes = 0
         if pending or pending_scalars:
@@ -211,9 +230,51 @@ class BatchExecutor:
                 precomputed.update(zip(pending_scalars.keys(), scalar_answers))
             bn_passes = engine.elimination_passes - passes_before
             bn_batch_seconds = time.perf_counter() - dispatch_start
+        bn_keys = set(pending) | set(pending_scalars)
         # Attribute the shared dispatch evenly across the plans it answered.
-        n_batched = len(pending) + len(pending_scalars)
-        batched_share = bn_batch_seconds / n_batched if n_batched else 0.0
+        batched_share = bn_batch_seconds / len(bn_keys) if bn_keys else 0.0
+
+        # Optimized columnar dispatch: sample-routed plans run on one
+        # rewritten schedule (dedup, normalized shared masks, fused scalar
+        # reductions), and hybrid GROUP BY plans fuse their shared
+        # (Scan, Filter, Group) prefixes on the sample and on every
+        # generated sample.  Answers are bit-identical to per-plan
+        # execution; ``optimize=False`` skips this block entirely.
+        optimizer_stats = OptimizerStats()
+        optimized_keys: set[tuple] = set()
+        columnar_seconds = 0.0
+        optimized_share = 0.0
+        if self._optimize:
+            pending_columnar: dict[tuple, QueryPlan] = {}
+            pending_hybrid_groups: dict[tuple, QueryPlan] = {}
+            for plan in plans:
+                if (
+                    plan.logical is None
+                    or plan.key in precomputed
+                    or self._result_cache.peek(plan.key) is not None
+                ):
+                    continue
+                if plan.route == ROUTE_SAMPLE:
+                    pending_columnar.setdefault(plan.key, plan)
+                elif plan.route == ROUTE_HYBRID and plan.shape == SHAPE_GROUP_BY:
+                    pending_hybrid_groups.setdefault(plan.key, plan)
+            if pending_columnar or pending_hybrid_groups:
+                dispatch_start = time.perf_counter()
+                if pending_columnar:
+                    answers = self._model.sample_evaluator.engine.execute_batch(
+                        [plan.logical for plan in pending_columnar.values()],
+                        stats=optimizer_stats,
+                    )
+                    precomputed.update(zip(pending_columnar.keys(), answers))
+                if pending_hybrid_groups:
+                    answers = self._model.hybrid_evaluator.group_by_batch(
+                        [plan.logical for plan in pending_hybrid_groups.values()],
+                        stats=optimizer_stats,
+                    )
+                    precomputed.update(zip(pending_hybrid_groups.keys(), answers))
+                columnar_seconds = time.perf_counter() - dispatch_start
+                optimized_keys = set(pending_columnar) | set(pending_hybrid_groups)
+                optimized_share = columnar_seconds / len(optimized_keys)
 
         outcomes: list[QueryOutcome | None] = [None] * len(plans)
         served: dict[tuple, QueryOutcome] = {}
@@ -232,8 +293,8 @@ class BatchExecutor:
                     )
                     continue
                 if plan.key in precomputed:
-                    # The batched dispatch bypassed execute_plan, so record
-                    # the result-cache miss it decided on (keeping hit-rate
+                    # The batched dispatches bypassed execute_plan, so record
+                    # the result-cache miss they decided on (keeping hit-rate
                     # statistics identical to per-plan execution).
                     self._result_cache.lookup(plan.key)
                     result = precomputed[plan.key]
@@ -242,9 +303,12 @@ class BatchExecutor:
                         index=index,
                         plan=plan,
                         result=result,
-                        seconds=batched_share,
+                        seconds=batched_share
+                        if plan.key in bn_keys
+                        else optimized_share,
                         from_result_cache=False,
-                        bn_batched=True,
+                        bn_batched=plan.key in bn_keys,
+                        optimized=plan.key in optimized_keys,
                     )
                 else:
                     start = time.perf_counter()
@@ -266,4 +330,6 @@ class BatchExecutor:
             amortized_inference_seconds=amortized_seconds,
             bn_batch_seconds=bn_batch_seconds,
             bn_elimination_passes=bn_passes,
+            columnar_batch_seconds=columnar_seconds,
+            optimizer=optimizer_stats.as_dict() if self._optimize else None,
         )

@@ -48,6 +48,13 @@ class ServingSession:
         of the default forward-sampled answering.  Deterministic and
         batch-friendly, but deliberately *not* bit-identical to the sampled
         path (so the default stays the paper's semantics).
+    optimize:
+        Whether batches run through the batch-aware plan optimizer
+        (shared-sub-plan dedup, predicate normalization and pushdown into
+        shared masks, multi-query group-by fusion).  On by default —
+        optimized answers are bit-identical to per-plan execution;
+        ``Themis.serve(optimize=False)`` is the per-plan escape hatch for
+        debugging and for measuring the optimizer's effect.
     """
 
     def __init__(
@@ -57,12 +64,14 @@ class ServingSession:
         plan_cache_size: int = 512,
         inference_factor_capacity: int = 128,
         exact_bn_aggregates: bool = False,
+        optimize: bool = True,
     ):
         self._themis = themis
         self._result_cache = ResultCache(result_cache_size)
         self._plan_cache = PlanCache(plan_cache_size)
         self._inference_factor_capacity = int(inference_factor_capacity)
         self._exact_bn_aggregates = bool(exact_bn_aggregates)
+        self._optimize = bool(optimize)
         self._inference_cache: InferenceCache | None = None
         self._executor: BatchExecutor | None = None
         self._generation: int | None = None
@@ -116,6 +125,7 @@ class ServingSession:
             self._inference_cache,
             self._plan_cache,
             exact_bn_aggregates=self._exact_bn_aggregates,
+            optimize=self._optimize,
         )
         self._generation = generation
         return self._executor

@@ -39,6 +39,9 @@ class QueryOutcome:
     bn_batched:
         Whether the answer came out of the batch's single shared
         variable-elimination dispatch (BN-routed point plans only).
+    optimized:
+        Whether the answer came out of the batch's optimized columnar
+        schedule (sample-routed plans and fused hybrid GROUP BY families).
     """
 
     index: int
@@ -48,6 +51,7 @@ class QueryOutcome:
     from_result_cache: bool = False
     deduplicated: bool = False
     bn_batched: bool = False
+    optimized: bool = False
 
     @property
     def route(self) -> str:
@@ -78,6 +82,14 @@ class BatchResult:
     #: Variable-elimination passes the batched dispatch actually ran (a
     #: warm per-signature factor cache makes this zero).
     bn_elimination_passes: int = 0
+    #: Seconds spent in the batch's optimized columnar dispatch (the
+    #: rewritten schedule serving sample-routed plans and fused hybrid
+    #: GROUP BY families).
+    columnar_batch_seconds: float = 0.0
+    #: Rewrite counters of the batch's optimizer schedules (plans deduped,
+    #: predicates pushed down, group-by fusions, masks shared); ``None``
+    #: when the batch ran with ``optimize=False``.
+    optimizer: dict[str, int] | None = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -98,6 +110,11 @@ class BatchResult:
     def bn_batched_points(self) -> int:
         """Queries answered by the shared batched BN inference dispatch."""
         return sum(1 for outcome in self.outcomes if outcome.bn_batched)
+
+    @property
+    def optimized_plans(self) -> int:
+        """Queries answered by the batch's optimized columnar schedule."""
+        return sum(1 for outcome in self.outcomes if outcome.optimized)
 
     @property
     def queries_per_second(self) -> float:
@@ -121,6 +138,9 @@ class BatchResult:
             "bn_batched_points": self.bn_batched_points,
             "bn_batch_seconds": self.bn_batch_seconds,
             "bn_elimination_passes": self.bn_elimination_passes,
+            "optimized_plans": self.optimized_plans,
+            "columnar_batch_seconds": self.columnar_batch_seconds,
+            "optimizer": dict(self.optimizer) if self.optimizer else {},
             "routes": routes,
         }
 
@@ -138,12 +158,27 @@ class ServingStatistics:
     #: vs. individually (single-query serving, or cache-refill stragglers).
     bn_points_batched: int = 0
     bn_points_single: int = 0
+    #: Queries answered through optimized columnar schedules.
+    plans_optimized: int = 0
+    #: Session-lifetime optimizer rewrite counters (see
+    #: :class:`repro.plan.OptimizerStats`): how many plans the batch
+    #: optimizer deduplicated, how many WHERE conjuncts predicate
+    #: normalization eliminated, how many scatter-add passes group-by
+    #: fusion avoided, and how many mask evaluations the shared mask stage
+    #: skipped — the counters benchmarks assert on to prove the rewrites
+    #: actually fired.
+    plans_deduped: int = 0
+    predicates_pushed_down: int = 0
+    groupby_fusions: int = 0
+    masks_shared: int = 0
 
     def record_outcome(self, outcome: QueryOutcome) -> None:
         """Fold one served query into the counters."""
         self.queries_served += 1
         self.total_seconds += outcome.seconds
         self.route_counts[outcome.route] = self.route_counts.get(outcome.route, 0) + 1
+        if outcome.optimized:
+            self.plans_optimized += 1
         if outcome.is_bn_point and not outcome.from_result_cache and not outcome.deduplicated:
             if outcome.bn_batched:
                 self.bn_points_batched += 1
@@ -155,6 +190,13 @@ class ServingStatistics:
         self.batches_served += 1
         for outcome in batch.outcomes:
             self.record_outcome(outcome)
+        if batch.optimizer:
+            self.plans_deduped += batch.optimizer.get("plans_deduped", 0)
+            self.predicates_pushed_down += batch.optimizer.get(
+                "predicates_pushed_down", 0
+            )
+            self.groupby_fusions += batch.optimizer.get("groupby_fusions", 0)
+            self.masks_shared += batch.optimizer.get("masks_shared", 0)
 
     def as_dict(self) -> dict[str, Any]:
         """A plain-dict snapshot of every session-lifetime counter."""
@@ -166,4 +208,11 @@ class ServingStatistics:
             "route_counts": dict(self.route_counts),
             "bn_points_batched": self.bn_points_batched,
             "bn_points_single": self.bn_points_single,
+            "plans_optimized": self.plans_optimized,
+            "optimizer": {
+                "plans_deduped": self.plans_deduped,
+                "predicates_pushed_down": self.predicates_pushed_down,
+                "groupby_fusions": self.groupby_fusions,
+                "masks_shared": self.masks_shared,
+            },
         }

@@ -112,6 +112,16 @@ class WeightedQueryEngine:
         """Evaluate any supported query type (or compiled plan, or SQL)."""
         return self._executor.execute(query)
 
+    def execute_batch(self, queries, optimize: bool = True, stats=None) -> list:
+        """Evaluate a batch through the batch-aware plan optimizer.
+
+        Answers come back in submission order and are bit-identical to
+        calling :meth:`execute` per query; ``optimize=False`` is the
+        per-plan reference loop.  See
+        :meth:`repro.plan.ColumnarExecutor.execute_batch`.
+        """
+        return self._executor.execute_batch(queries, optimize=optimize, stats=stats)
+
     def point(self, assignment: Mapping[str, Any]) -> float:
         """``SELECT SUM(weight) WHERE A1=v1 AND ...`` — the weighted COUNT(*)."""
         return self._executor.point(assignment)
