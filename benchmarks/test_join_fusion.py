@@ -1,0 +1,45 @@
+"""Benchmark: join-aware batch optimizer vs. per-plan join execution.
+
+Not a paper artefact — this measures the join-side rewrites added on top of
+the reproduction's batch-aware plan optimizer.  Acceptance bars:
+
+* a **cold** side-sharing join batch served through the optimized schedule
+  must be at least 2x faster than the per-plan reference loop
+  (``optimize=False``);
+* a **warm** repeat of the batch must answer every scheduled side from the
+  cross-batch join-side cache (counter-proven; no timing bar — the warm
+  delta is too small to assert robustly on a noisy shared runner);
+* answers must be bit-identical across all three phases (asserted inside the
+  experiment with exact ``==``);
+* the counters must prove the join rewrites fired: sides fused, equivalent
+  join plans deduped, and warm-batch join-side cache hits.
+"""
+
+from repro.experiments import run_join_fusion
+
+
+def test_join_fusion_throughput(run_experiment, scale):
+    result = run_experiment(run_join_fusion, scale)
+    phases = {row["phase"]: row for row in result.rows}
+    assert set(phases) == {"per-plan", "optimized", "warm"}
+
+    per_plan = phases["per-plan"]
+    optimized = phases["optimized"]
+    warm = phases["warm"]
+
+    # Every join rewrite fired: duplicate and padded/reordered join plans
+    # collapsed, shared sides computed once per batch through the fused
+    # stacked scatter-add, and the warm batch answered every scheduled side
+    # from the cross-batch cache.  (Bit-identity between the phases is
+    # asserted inside the experiment itself, with exact equality.)
+    assert optimized["plans_deduped"] > 0
+    assert optimized["join_sides_fused"] > 0
+    assert optimized["join_side_cache_hits"] == 0  # cold: nothing cached yet
+    assert warm["join_side_cache_hits"] > 0
+
+    # The headline claim: the join-aware optimizer at least doubles
+    # cold-batch throughput on the side-sharing workload.  (The warm phase
+    # is proven by its cache-hit counter above, not a timing bar — its
+    # delta over cold-optimized is too small to assert on noisy runners.)
+    assert optimized["speedup"] >= 2.0
+    assert optimized["queries_per_second"] >= 2.0 * per_plan["queries_per_second"]

@@ -174,6 +174,11 @@ class BayesNetEvaluator(OpenWorldEvaluator):
         return self._inference
 
     @property
+    def n_generated_samples(self) -> int:
+        """``K``, the number of forward-sampled relations (Sec. 4.2.4)."""
+        return self._k
+
+    @property
     def has_generated_samples(self) -> bool:
         """Whether the ``K`` forward-sampled relations are materialized."""
         return self._generated is not None
@@ -262,6 +267,33 @@ class BayesNetEvaluator(OpenWorldEvaluator):
     def join_group_by(self, query: JoinGroupByQuery) -> QueryResult:
         per_sample = [engine.join_group_by(query) for engine in self._sample_engines()]
         return _intersect_and_average((query.left_group, query.right_group), per_sample)
+
+    def join_group_by_batch(
+        self, queries: Sequence[JoinGroupByQuery]
+    ) -> list[QueryResult]:
+        """Batched :meth:`join_group_by`: one optimized pass per generated sample.
+
+        Each of the ``K`` generated engines serves the whole join family
+        through its batch-aware optimizer — execution-equivalent join plans
+        dedup, plans sharing a side compute its ``(join key, group)`` totals
+        once per engine through the fused scatter-add kernel — so the
+        per-sample work is paid once per *family* instead of once per plan.
+        Raw ASTs are passed down (each engine compiles against its *own*
+        schema, exactly as the per-query path does), so answers are
+        bit-identical to calling :meth:`join_group_by` per query.
+        """
+        if not queries:
+            return []
+        per_engine = [
+            engine.execute_batch(queries) for engine in self._sample_engines()
+        ]
+        return [
+            _intersect_and_average(
+                (query.left_group, query.right_group),
+                [answers[index] for answers in per_engine],
+            )
+            for index, query in enumerate(queries)
+        ]
 
     # ------------------------------------------------------------------
     # Exact lowering of Filter-restricted aggregates (plan-IR extension)
@@ -483,10 +515,56 @@ class HybridEvaluator(OpenWorldEvaluator):
             for query in queries
         ]
         bn_results = self._bn_evaluator.group_by_batch(asts)
+        self._count_sample_dispatches_saved(len(asts), stats)
         return [
             _merge_group_by(ast.group_by, sample_result, bn_result)
             for ast, sample_result, bn_result in zip(asts, sample_results, bn_results)
         ]
+
+    def join_group_by_batch(
+        self, queries: Sequence["JoinGroupByQuery | LogicalPlan"], stats=None
+    ) -> list[QueryResult]:
+        """Batched :meth:`join_group_by` with the hybrid's sample-union-BN merge.
+
+        The sample side serves the whole join family through the shared
+        columnar engine's batch optimizer — shared sides compute their
+        ``(join key, group)`` weight totals once per batch (and persist in
+        the cross-batch join-side cache) — and the network side batches the
+        same family across the ``K`` generated samples: one optimized
+        dispatch per sample instead of one join execution per (plan,
+        sample) pair.  ``stats`` (when given) accumulates the sample-side
+        schedule's rewrite counters plus the per-sample dispatches the BN
+        batching saved.  Answers are bit-identical to calling
+        :meth:`join_group_by` per query.
+        """
+        if not queries:
+            return []
+        sample_results = self._sample_evaluator.engine.execute_batch(
+            queries, stats=stats
+        )
+        asts = [
+            query.query if isinstance(query, LogicalPlan) else query
+            for query in queries
+        ]
+        bn_results = self._bn_evaluator.join_group_by_batch(asts)
+        self._count_sample_dispatches_saved(len(asts), stats)
+        return [
+            _merge_group_by(
+                (ast.left_group, ast.right_group), sample_result, bn_result
+            )
+            for ast, sample_result, bn_result in zip(asts, sample_results, bn_results)
+        ]
+
+    def _count_sample_dispatches_saved(self, family_size: int, stats) -> None:
+        """Record per-generated-sample dispatches a batched family avoided.
+
+        Per-query serving pays one evaluator dispatch per (plan, generated
+        sample); batching pays one per sample, saving ``K * (family - 1)``.
+        """
+        if stats is not None and family_size > 1:
+            stats.bn_sample_dispatches_saved += (
+                self._bn_evaluator.n_generated_samples * (family_size - 1)
+            )
 
     def scalar(self, query: ScalarAggregateQuery) -> float:
         # Use the sample when any tuple satisfies the filters, otherwise the

@@ -82,9 +82,10 @@ class ExplainedResult:
     key), and ``route`` names the evaluator that served it.  With
     ``explain="optimized"``, ``optimized`` additionally carries the
     post-rewrite plan the batch optimizer would execute — its Filter
-    conjunctions normalized (tautologies dropped, redundant bounds
-    tightened) while sharing the raw plan's canonical key, since rewrites
-    never change a plan's result-cache identity.
+    conjunctions (both sides' filters, for join plans) normalized
+    (tautologies dropped, redundant bounds tightened) while sharing the raw
+    plan's canonical key, since rewrites never change a plan's result-cache
+    identity.
     """
 
     result: "float | QueryResult"
@@ -434,7 +435,11 @@ class Themis:
         elimination pass per evidence signature), BN generated samples are
         materialized at most once, and the batch-aware plan optimizer
         (on by default) dedups equivalent plans, shares predicate masks,
-        and fuses group-by families into single scatter-add passes —
+        fuses group-by families into single scatter-add passes, and fuses
+        join plans' shared sides — each distinct ``(join key, group)`` side
+        computes its weight totals once per batch (and persists across
+        batches in the generation-keyed join-side cache), while hybrid
+        join families pay one batched dispatch per generated sample —
         without changing a single answer.
         """
         if self._serving_session is None:

@@ -37,6 +37,7 @@ from .harness import (
     point_query_errors,
     point_query_workload,
 )
+from .join_fusion_throughput import join_fusion_workload, run_join_fusion
 from .plan_fusion_throughput import plan_fusion_workload, run_plan_fusion
 from .plan_ir_throughput import plan_ir_relation, plan_ir_workload, run_plan_ir
 from .reporting import ExperimentResult, format_table
@@ -63,6 +64,7 @@ __all__ = [
     "format_table",
     "imdb_bundle",
     "median_improvement_heavy",
+    "join_fusion_workload",
     "one_dimensional_order",
     "plan_fusion_workload",
     "plan_ir_relation",
@@ -75,6 +77,7 @@ __all__ = [
     "run_bn_batch",
     "run_bn_modes",
     "run_nd_sweep",
+    "run_join_fusion",
     "run_overall_accuracy",
     "run_plan_fusion",
     "run_plan_ir",

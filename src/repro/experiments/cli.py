@@ -44,6 +44,7 @@ def _build_registry() -> None:
     from .fig14_reweighting import run_reweighting_comparison
     from .fig15_pruning import run_pruning
     from .fig16_time_accuracy import run_time_accuracy
+    from .join_fusion_throughput import run_join_fusion
     from .plan_fusion_throughput import run_plan_fusion
     from .plan_ir_throughput import run_plan_ir
     from .serving_throughput import run_serving_throughput
@@ -75,6 +76,7 @@ def _build_registry() -> None:
     _register("bn_batch", lambda scale: run_bn_batch(scale))
     _register("plan_ir", lambda scale: run_plan_ir(scale))
     _register("plan_fusion", lambda scale: run_plan_fusion(scale))
+    _register("join_fusion", lambda scale: run_join_fusion(scale))
 
 
 def available_experiments() -> list[str]:

@@ -1,0 +1,259 @@
+"""Join fusion — the join-aware batch optimizer vs. per-plan join execution.
+
+Not a paper artefact: this experiment measures the join-side rewrites added
+on top of the batch-aware plan optimizer on the workload shape they were
+built for — a serving burst of self-join GROUP BY plans (Table 5's Q6 shape)
+that keeps referencing the same *sides*: a few distinct
+``Group(Filter(Scan))`` side subtrees paired every which way, padded with
+reordered/redundant filter variants and exact duplicates.  Three phases over
+one weighted relation:
+
+* ``per-plan`` — ``execute_batch(optimize=False)`` on a completely cold
+  engine: every join plan recomputes both of its sides'
+  ``(join key, group)`` weight totals (two scatter-add passes plus two
+  decode loops per plan) and runs its own merge;
+* ``optimized`` — ``execute_batch(optimize=True)`` on a cold engine: the
+  batch's join plans share a deduplicated side table, each distinct side
+  computes once through the fused stacked scatter-add kernel, and
+  execution-equivalent plans (duplicates, padded filters) collapse to one
+  merge;
+* ``warm`` — the same optimized batch again on the same engine: every side
+  now comes out of the cross-batch join-side cache, leaving only the
+  merges.
+
+Expected shape: the optimized cold batch serves **at least 2x** the
+throughput of the per-plan cold batch (with measured headroom well beyond
+that), the warm batch beats the cold optimized one, and answers are
+bit-identical across all three phases (asserted with exact ``==``, never a
+tolerance) with counters proving the side fusion, dedup, and cross-batch
+cache all fired.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..exceptions import ExperimentError
+from ..plan import OptimizerStats
+from ..query.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    JoinGroupByQuery,
+    Predicate,
+    Query,
+)
+from ..schema import Relation
+from ..sql.engine import WeightedQueryEngine
+from .config import ExperimentScale, SMALL_SCALE
+from .plan_ir_throughput import plan_ir_relation
+from .reporting import ExperimentResult
+
+
+def join_fusion_workload(
+    relation: Relation, n_sides: int = 4, duplication: int = 5
+) -> list[Query]:
+    """A join batch whose plans keep referencing a few shared sides.
+
+    ``n_sides`` distinct sides — each a (group attribute, two-conjunct
+    filter) pair over one shared join key — are combined into every ordered
+    (left, right) pairing, so each side is referenced ``2 * n_sides`` times
+    while the optimizer schedules it once.  On top of the pairings ride the
+    realistic variants: for every side one plan writes its filter reordered
+    and one pads it with an implied extra bound (distinct plan keys, same
+    execution), one GROUP BY shares a side's filter (cross-shape mask
+    sharing), and the whole batch repeats ``duplication`` times — the
+    exact-duplicate half of a serving burst.
+    """
+    names = list(relation.attribute_names)
+    if len(names) < 5:
+        raise ExperimentError("join fusion workload needs at least 5 attributes")
+    schema = relation.schema
+    join_key = names[-1]  # the smallest domain: keeps merge tables compact
+    pool = names[:-1]
+
+    sides: list[tuple[str, tuple[Predicate, ...]]] = []
+    for index in range(n_sides):
+        # Sides alternate over two group attributes: distinct sides sharing
+        # key columns stack into one fused scatter-add pass.
+        group = pool[index % 2]
+        filter_a = pool[(index + 1) % len(pool)]
+        filter_b = pool[(index + 2) % len(pool)]
+        bound_a = max(1, len(schema[filter_a].domain) * (index + 2) // (n_sides + 2))
+        bound_b = max(1, len(schema[filter_b].domain) // 2)
+        sides.append(
+            (
+                group,
+                (
+                    Predicate(filter_a, Comparison.LE, bound_a),
+                    Predicate(filter_b, Comparison.GE, bound_b),
+                ),
+            )
+        )
+
+    def join(left: int, right: int, left_predicates=None) -> JoinGroupByQuery:
+        left_group, left_preds = sides[left]
+        right_group, right_preds = sides[right]
+        return JoinGroupByQuery(
+            left_join=join_key,
+            right_join=join_key,
+            left_group=left_group,
+            right_group=right_group,
+            left_predicates=left_predicates if left_predicates is not None else left_preds,
+            right_predicates=right_preds,
+        )
+
+    queries: list[Query] = []
+    for left in range(n_sides):
+        for right in range(n_sides):
+            queries.append(join(left, right))
+    count = AggregateSpec(AggregateFunction.COUNT)
+    for index, (group, predicates) in enumerate(sides):
+        # Reordered filter: distinct AST, identical normalized side.
+        queries.append(join(index, (index + 1) % n_sides, predicates[::-1]))
+        # Padded filter: an implied looser bound normalization elides —
+        # a distinct plan key that collapses into the plain pairing's slot.
+        padded = predicates + (
+            Predicate(predicates[0].attribute, Comparison.LE, predicates[0].value + 1),
+        )
+        queries.append(join(index, (index + 1) % n_sides, padded))
+        # A non-join shape over the same filter (cross-shape mask sharing).
+        queries.append(
+            GroupByQuery(group_by=(group,), aggregate=count, predicates=predicates)
+        )
+    return queries * max(1, duplication)
+
+
+def _cold_engine(relation: Relation) -> WeightedQueryEngine:
+    """An engine with empty mask/group-code/join-side caches."""
+    fresh = Relation(
+        relation.schema,
+        {name: relation.column(name) for name in relation.attribute_names},
+        relation.weights,
+    )
+    return WeightedQueryEngine(fresh)
+
+
+def run_join_fusion(
+    scale: ExperimentScale = SMALL_SCALE, n_sides: int | None = None
+) -> ExperimentResult:
+    """Measure per-plan vs. optimized vs. warm join-batch throughput."""
+    relation = plan_ir_relation(scale)
+    queries = join_fusion_workload(relation, n_sides or 4)
+
+    result = ExperimentResult(
+        experiment_id="join-fusion",
+        title="Join fusion: join-aware batch optimizer vs per-plan execution",
+        paper_claim=(
+            "Beyond the paper: rewriting a side-sharing join batch with the "
+            "join-aware batch optimizer (fused join-side scatter-adds, "
+            "execution-equivalent dedup, cross-batch join-side cache) serves "
+            "the cold batch at least 2x faster than per-plan execution — "
+            "with bit-identical answers and counters proving every join "
+            "rewrite fired."
+        ),
+        parameters={
+            "n_rows": relation.n_rows,
+            "n_queries": len(queries),
+            "n_sides": n_sides or 4,
+        },
+    )
+
+    # Every phase takes the best of three runs, so one scheduler hiccup on a
+    # shared CI runner cannot fake a slowdown.
+    per_plan_seconds = float("inf")
+    per_plan = None
+    for _ in range(3):
+        engine = _cold_engine(relation)
+        start = time.perf_counter()
+        answers = engine.execute_batch(queries, optimize=False)
+        elapsed = time.perf_counter() - start
+        if per_plan is not None and answers != per_plan:
+            raise ExperimentError("per-plan answers are not deterministic")
+        per_plan = answers
+        per_plan_seconds = min(per_plan_seconds, elapsed)
+    assert per_plan is not None
+    result.add_row(
+        phase="per-plan",
+        seconds=per_plan_seconds,
+        queries_per_second=len(queries) / per_plan_seconds,
+        speedup=1.0,
+        plans_deduped=0,
+        join_sides_fused=0,
+        join_side_cache_hits=0,
+    )
+
+    optimized_seconds = float("inf")
+    optimized = None
+    stats = OptimizerStats()
+    warm_engine: WeightedQueryEngine | None = None
+    for _ in range(3):
+        engine = _cold_engine(relation)
+        run_stats = OptimizerStats()
+        start = time.perf_counter()
+        answers = engine.execute_batch(queries, optimize=True, stats=run_stats)
+        elapsed = time.perf_counter() - start
+        if optimized is not None and answers != optimized:
+            raise ExperimentError("optimized answers are not deterministic")
+        optimized = answers
+        if elapsed < optimized_seconds:
+            optimized_seconds = elapsed
+            stats = run_stats
+            warm_engine = engine
+    assert optimized is not None and warm_engine is not None
+    result.add_row(
+        phase="optimized",
+        seconds=optimized_seconds,
+        queries_per_second=len(queries) / optimized_seconds,
+        speedup=per_plan_seconds / optimized_seconds
+        if optimized_seconds > 0
+        else float("inf"),
+        plans_deduped=stats.plans_deduped,
+        join_sides_fused=stats.join_sides_fused,
+        join_side_cache_hits=stats.join_side_cache_hits,
+    )
+
+    # Warm phase: the same batch again on the engine that just served it —
+    # every scheduled side is a cross-batch join-side cache hit.
+    warm_seconds = float("inf")
+    warm = None
+    warm_stats = OptimizerStats()
+    for _ in range(3):
+        run_stats = OptimizerStats()
+        start = time.perf_counter()
+        answers = warm_engine.execute_batch(queries, optimize=True, stats=run_stats)
+        elapsed = time.perf_counter() - start
+        if warm is not None and answers != warm:
+            raise ExperimentError("warm answers are not deterministic")
+        warm = answers
+        if elapsed < warm_seconds:
+            warm_seconds = elapsed
+            warm_stats = run_stats
+    assert warm is not None
+    result.add_row(
+        phase="warm",
+        seconds=warm_seconds,
+        queries_per_second=len(queries) / warm_seconds,
+        speedup=per_plan_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+        plans_deduped=warm_stats.plans_deduped,
+        join_sides_fused=warm_stats.join_sides_fused,
+        join_side_cache_hits=warm_stats.join_side_cache_hits,
+    )
+
+    # The headline guarantee: optimization must not change a single bit.
+    for phase_answers in (optimized, warm):
+        for answer, reference in zip(phase_answers, per_plan):
+            if answer != reference:
+                raise ExperimentError(
+                    f"optimizer changed an answer: {answer!r} != {reference!r}"
+                )
+    return result
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    print(run_join_fusion().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

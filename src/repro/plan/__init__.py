@@ -44,16 +44,20 @@ from .ir import (
     query_shape,
 )
 from .kernels import (
+    JoinSideCache,
     MaskCache,
     fused_group_reduce,
+    fused_grouped_weight_totals,
     fused_scalar_reduce,
     group_reduce,
     grouped_weight_totals,
     masked_weights,
+    merge_join_sides,
     numeric_column,
     scalar_reduce,
 )
 from .optimize import (
+    JoinSideSpec,
     OptimizerStats,
     PhysicalSchedule,
     ScheduleUnit,
@@ -71,6 +75,8 @@ __all__ = [
     "Filter",
     "Group",
     "Join",
+    "JoinSideCache",
+    "JoinSideSpec",
     "LogicalPlan",
     "MaskCache",
     "OUT_OF_DOMAIN",
@@ -89,10 +95,12 @@ __all__ = [
     "Scan",
     "ScheduleUnit",
     "fused_group_reduce",
+    "fused_grouped_weight_totals",
     "fused_scalar_reduce",
     "group_reduce",
     "grouped_weight_totals",
     "masked_weights",
+    "merge_join_sides",
     "normalize_plan",
     "normalize_predicates",
     "numeric_column",

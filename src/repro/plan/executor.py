@@ -28,15 +28,24 @@ from .ir import (
     LogicalPlan,
 )
 from .kernels import (
+    JoinSideCache,
     MaskCache,
     fused_group_reduce,
+    fused_grouped_weight_totals,
     fused_scalar_reduce,
     group_reduce,
     grouped_weight_totals,
+    merge_join_sides,
     numeric_column,
     scalar_reduce,
 )
-from .optimize import UNIT_GROUP_BY, UNIT_SCALAR, OptimizerStats, optimize_batch
+from .optimize import (
+    UNIT_GROUP_BY,
+    UNIT_SCALAR,
+    OptimizerStats,
+    PhysicalSchedule,
+    optimize_batch,
+)
 
 
 class ColumnarExecutor:
@@ -53,6 +62,11 @@ class ColumnarExecutor:
     mask_cache:
         The predicate-mask cache; built fresh when omitted.  Sharing it is
         what lets a serving batch pay each predicate mask once across plans.
+    join_side_cache:
+        The cross-batch cache of fused join-side totals; built fresh when
+        omitted.  Keys embed the mask cache's generation, so it invalidates
+        with the masks (``Themis.refit()`` builds a fresh executor, an
+        in-place mask invalidation moves the generation).
     """
 
     def __init__(
@@ -60,10 +74,14 @@ class ColumnarExecutor:
         relation: Relation,
         compiler: PlanCompiler | None = None,
         mask_cache: MaskCache | None = None,
+        join_side_cache: JoinSideCache | None = None,
     ):
         self._relation = relation
         self._compiler = compiler if compiler is not None else PlanCompiler(relation.schema)
         self._masks = mask_cache if mask_cache is not None else MaskCache(relation)
+        self._join_sides = (
+            join_side_cache if join_side_cache is not None else JoinSideCache()
+        )
         self._numeric: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
@@ -83,6 +101,11 @@ class ColumnarExecutor:
     def mask_cache(self) -> MaskCache:
         """The predicate-mask cache keyed by ``(generation, predicate)``."""
         return self._masks
+
+    @property
+    def join_side_cache(self) -> JoinSideCache:
+        """The cross-batch join-side totals cache, generation-keyed."""
+        return self._join_sides
 
     # ------------------------------------------------------------------
     # Execution
@@ -111,8 +134,11 @@ class ColumnarExecutor:
         With ``optimize=True`` (the default) the batch is rewritten by
         :func:`repro.plan.optimize.optimize_batch` — execution-equivalent
         plans run once and fan out, equivalent filters collapse to one
-        cached mask, and aggregates sharing a ``(Scan, Filter, Group)``
-        prefix fuse into a single scatter-add pass.  Answers are returned in
+        cached mask, aggregates sharing a ``(Scan, Filter, Group)``
+        prefix fuse into a single scatter-add pass, and join plans share a
+        deduplicated side table whose ``(join key, group)`` weight totals
+        compute through fused stacked scatter-adds (carried across batches
+        by the generation-keyed join-side cache).  Answers are returned in
         submission order and are bit-identical to the ``optimize=False``
         per-plan loop (the escape hatch, and the reference the tests assert
         against).  ``stats`` (when given) accumulates the schedule's
@@ -147,10 +173,57 @@ class ColumnarExecutor:
                 )
                 for slot, table in zip(unit.slots, tables):
                     slot_results[slot] = QueryResult(unit.group_keys, table)
-            else:  # join plans execute as-is (no cross-plan fusion)
-                (slot,) = unit.slots
-                slot_results[slot] = self.join_plan(schedule.slots[slot])
+            else:  # the join family: fused shared side totals, then merges
+                from ..sql.engine import QueryResult
+
+                side_totals = self._join_side_totals(schedule, stats)
+                for slot, (left, right) in zip(unit.slots, unit.sides):
+                    plan = schedule.slots[slot]
+                    slot_results[slot] = QueryResult(
+                        plan.group_keys,
+                        merge_join_sides(side_totals[left], side_totals[right]),
+                    )
         return schedule.fan_out(slot_results)
+
+    def _join_side_totals(
+        self, schedule: PhysicalSchedule, stats: OptimizerStats | None
+    ) -> list[dict]:
+        """Resolve every scheduled join side's ``(join key, group)`` totals.
+
+        Sides land in three tiers: the cross-batch :class:`JoinSideCache`
+        (hit: zero work this batch), then one fused stacked scatter-add pass
+        per distinct key-column set for the misses (each side contributes
+        its conjunction mask as a stacked reduction column), whose results
+        are cached for the next batch.  Totals are bit-identical to
+        :func:`grouped_weight_totals` per side — the fused kernel is the
+        same code path — so optimized join answers exactly match per-plan
+        execution no matter which tier served a side.
+        """
+        totals: list[dict | None] = [None] * len(schedule.join_sides)
+        pending: dict[tuple[str, ...], list[int]] = {}
+        for index, side in enumerate(schedule.join_sides):
+            cached = self._join_sides.get((self._masks.generation, side.signature))
+            if cached is not None:
+                totals[index] = cached
+                if stats is not None:
+                    stats.join_side_cache_hits += 1
+            else:
+                pending.setdefault(side.keys, []).append(index)
+        for keys, indexes in pending.items():
+            masks = [
+                self._masks.conjunction_mask(schedule.join_sides[index].predicates)
+                for index in indexes
+            ]
+            for index, side_totals in zip(
+                indexes, fused_grouped_weight_totals(self._relation, keys, masks)
+            ):
+                totals[index] = side_totals
+                self._join_sides.put(
+                    (self._masks.generation, schedule.join_sides[index].signature),
+                    side_totals,
+                )
+        assert all(entry is not None for entry in totals)
+        return totals  # type: ignore[return-value]
 
     def _reduction_spec(self, plan: LogicalPlan) -> tuple[str, np.ndarray | None]:
         """One plan's ``(function, measure column)`` fused-kernel spec."""
@@ -210,7 +283,7 @@ class ColumnarExecutor:
 
         join = plan.join
         right_executor = other if other is not None else self
-        group_by = (join.left.keys[1], join.right.keys[1])
+        group_by = plan.group_keys
 
         right_predicates = join.right.child.predicates
         if right_executor is not self:
@@ -229,19 +302,7 @@ class ColumnarExecutor:
         right_counts = grouped_weight_totals(
             right_executor._relation, join.right.keys, right_mask
         )
-        if not left_counts or not right_counts:
-            return QueryResult(group_by, {})
-
-        right_by_key: dict[Any, list[tuple[Any, float]]] = {}
-        for (join_value, group_value), weight in right_counts.items():
-            right_by_key.setdefault(join_value, []).append((group_value, weight))
-
-        results: dict[tuple[Any, ...], float] = {}
-        for (join_value, left_group_value), left_weight in left_counts.items():
-            for right_group_value, right_weight in right_by_key.get(join_value, []):
-                key = (left_group_value, right_group_value)
-                results[key] = results.get(key, 0.0) + left_weight * right_weight
-        return QueryResult(group_by, results)
+        return QueryResult(group_by, merge_join_sides(left_counts, right_counts))
 
     # ------------------------------------------------------------------
     # Internals

@@ -322,20 +322,149 @@ def grouped_weight_totals(
     Unlike :func:`group_reduce` this keeps zero-weight groups whose tuples
     matched the mask (``Relation.value_counts`` semantics), because the join
     merge enumerates *present* groups, not positive-weight ones.
+
+    The single-side case of :func:`fused_grouped_weight_totals` (one code
+    path, so per-plan and fused-batch join execution can never diverge).
+    """
+    return fused_grouped_weight_totals(relation, keys, [mask])[0]
+
+
+def fused_grouped_weight_totals(
+    relation: Relation,
+    keys: tuple[str, ...],
+    masks: list[np.ndarray | None],
+) -> list[dict[tuple[Any, ...], float]]:
+    """Several join sides' weight totals over **one** shared scatter-add pass.
+
+    The fusion kernel behind join-side fusion: every side in ``masks`` groups
+    over the same ``keys`` columns, so the group-code gather runs once and
+    each side only adds its own stacked reduction columns (one weight
+    bincount plus one presence bincount).  Group tuples are decoded once for
+    the union of present groups and shared across the family.  Bit-identical
+    to calling :func:`grouped_weight_totals` per mask: each side's totals
+    and presence come from exactly the arrays its individual pass would
+    compute, and present groups are emitted in the same ascending group-row
+    order.
     """
     group_index, unique_rows = relation.group_codes(keys)
     n_groups = unique_rows.shape[0]
-    weights = relation.weights
-    if mask is not None:
-        group_index = group_index[mask]
-        weights = weights[mask]
-    totals = np.bincount(group_index, weights=weights, minlength=n_groups)
-    presence = np.bincount(group_index, minlength=n_groups)
+    all_weights = relation.weights
+
+    per_side: list[tuple[np.ndarray, np.ndarray]] = []
+    union = np.zeros(n_groups, dtype=bool)
+    for mask in masks:
+        side_index = group_index if mask is None else group_index[mask]
+        weights = all_weights if mask is None else all_weights[mask]
+        totals = np.bincount(side_index, weights=weights, minlength=n_groups)
+        present = np.bincount(side_index, minlength=n_groups) > 0
+        union |= present
+        per_side.append((totals, present))
+
+    # Decode each group tuple once for the whole family (the Python-loop
+    # half of the per-side pass, shared across stacked sides).
     domains = [relation.schema[name].domain for name in keys]
-    counts: dict[tuple[Any, ...], float] = {}
-    for row, total, present in zip(unique_rows, totals, presence):
-        if not present:
-            continue
-        key = tuple(domain.decode(code) for domain, code in zip(domains, row))
-        counts[key] = float(total)
-    return counts
+    decoded = {
+        row: tuple(domain.decode(code) for domain, code in zip(domains, unique_rows[row]))
+        for row in np.nonzero(union)[0]
+    }
+    return [
+        {decoded[row]: float(totals[row]) for row in np.nonzero(present)[0]}
+        for totals, present in per_side
+    ]
+
+
+def merge_join_sides(
+    left_counts: dict[tuple[Any, ...], float],
+    right_counts: dict[tuple[Any, ...], float],
+) -> dict[tuple[Any, ...], float]:
+    """Merge two join sides' ``(join key, group)`` weight totals.
+
+    The joined weight of a pair of groups is ``sum_{i,j} w_i * w_j`` over
+    matching tuple pairs — the natural plug-in estimator for a weighted
+    sample.  Shared by per-plan join execution and the fused join schedule,
+    so the two paths run the identical float operations in the identical
+    order.
+    """
+    results: dict[tuple[Any, ...], float] = {}
+    if not left_counts or not right_counts:
+        return results
+    right_by_key: dict[Any, list[tuple[Any, float]]] = {}
+    for (join_value, group_value), weight in right_counts.items():
+        right_by_key.setdefault(join_value, []).append((group_value, weight))
+    for (join_value, left_group_value), left_weight in left_counts.items():
+        for right_group_value, right_weight in right_by_key.get(join_value, []):
+            key = (left_group_value, right_group_value)
+            results[key] = results.get(key, 0.0) + left_weight * right_weight
+    return results
+
+
+class JoinSideCache:
+    """Cross-batch cache of join-side weight totals (LRU-capped).
+
+    Entries map a side's execution signature — keyed by the owning
+    executor as ``(generation, (side keys, normalized predicate keys))`` —
+    to the :func:`grouped_weight_totals` dict that side computes.  Carrying
+    the totals *across* batches means a serving session whose join workload
+    keeps referencing the same sides pays each side's scatter-add and
+    decode loop once per model generation, not once per batch.
+
+    Like :class:`MaskCache`, the generation baked into every key is the
+    mask cache's: ``Themis.refit()`` builds a fresh executor (hence a fresh
+    cache), and an in-place ``MaskCache.invalidate`` moves the generation so
+    stale side totals can never answer a query against a new model.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("join-side cache capacity must be positive")
+        self._capacity = int(capacity)
+        self._store: OrderedDict[tuple, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached sides (LRU eviction beyond that)."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: tuple) -> dict[tuple[Any, ...], float] | None:
+        """The cached totals of one side signature (``None`` on a miss)."""
+        totals = self._store.get(key)
+        if totals is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return totals
+
+    def put(self, key: tuple, totals: dict[tuple[Any, ...], float]) -> None:
+        """Cache one side's totals, evicting the least recently used entry."""
+        self._store[key] = totals
+        self._store.move_to_end(key)
+        if len(self._store) > self._capacity:
+            self._store.popitem(last=False)
+
+    def entries(self) -> list[tuple]:
+        """The cached side signatures, least to most recently used.
+
+        Non-mutating (no recency promotion, no hit/miss counting) — the
+        observability probe serving statistics read.
+        """
+        return list(self._store)
+
+    def invalidate(self) -> None:
+        """Drop every cached side (statistics are kept)."""
+        self._store.clear()
+
+    def statistics(self) -> dict[str, int | float]:
+        """Hit/miss counters plus the number of cached sides."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "cached_sides": len(self._store),
+        }

@@ -22,6 +22,14 @@ emits a :class:`PhysicalSchedule` that pays each piece of shared work once:
    ``(Scan, Filter, Group)`` prefix run in a single ``np.unique``/
    ``np.bincount`` scatter-add pass with stacked reduction columns, decoding
    the group tuples once for the whole family (``groupby_fusions``).
+5. **Join-side fusion** — the batch's join plans share a deduplicated side
+   table: plans referencing the same side (same key columns and normalized
+   ``Scan``/``Filter``) compute its ``(join key, group)`` weight totals
+   once, and distinct sides grouping over the same key columns stack into
+   one fused scatter-add pass (``join_sides_fused``); the executor
+   additionally carries side totals *across* batches in a
+   generation-keyed :class:`~repro.plan.kernels.JoinSideCache`
+   (``join_side_cache_hits``).
 
 Every rewrite is mask-preserving by construction (a dropped conjunct is
 implied by a kept one, so the AND of the masks is the same boolean array),
@@ -86,6 +94,18 @@ class OptimizerStats:
     masks_shared:
         Filter evaluations beyond the first per distinct normalized
         conjunction — mask computations the shared mask stage skipped.
+    join_sides_fused:
+        Join-side scatter-add passes avoided by join-side fusion: side
+        references served by an already-scheduled identical side (same
+        ``Scan``/``Filter``/keys), plus distinct sides beyond the first
+        folded into a stacked fused pass over the same key columns.
+    join_side_cache_hits:
+        Scheduled join sides answered by the cross-batch
+        :class:`~repro.plan.kernels.JoinSideCache` instead of recomputed.
+    bn_sample_dispatches_saved:
+        Per-generated-sample evaluator dispatches avoided by batching a
+        hybrid GROUP BY / join-group-by family across the BN's ``K``
+        samples — ``K * (family size - 1)`` per batched family.
     """
 
     batches: int = 0
@@ -94,6 +114,9 @@ class OptimizerStats:
     predicates_pushed_down: int = 0
     groupby_fusions: int = 0
     masks_shared: int = 0
+    join_sides_fused: int = 0
+    join_side_cache_hits: int = 0
+    bn_sample_dispatches_saved: int = 0
 
     def merge(self, other: "OptimizerStats") -> None:
         """Fold another stats object's counters into this one."""
@@ -103,6 +126,9 @@ class OptimizerStats:
         self.predicates_pushed_down += other.predicates_pushed_down
         self.groupby_fusions += other.groupby_fusions
         self.masks_shared += other.masks_shared
+        self.join_sides_fused += other.join_sides_fused
+        self.join_side_cache_hits += other.join_side_cache_hits
+        self.bn_sample_dispatches_saved += other.bn_sample_dispatches_saved
 
     def as_dict(self) -> dict[str, int]:
         """A plain-dict snapshot of every counter."""
@@ -113,6 +139,9 @@ class OptimizerStats:
             "predicates_pushed_down": self.predicates_pushed_down,
             "groupby_fusions": self.groupby_fusions,
             "masks_shared": self.masks_shared,
+            "join_sides_fused": self.join_sides_fused,
+            "join_side_cache_hits": self.join_side_cache_hits,
+            "bn_sample_dispatches_saved": self.bn_sample_dispatches_saved,
         }
 
 
@@ -279,21 +308,47 @@ def normalize_plan(
 # The physical schedule (rewrites 1, 3, 4)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
+class JoinSideSpec:
+    """One distinct join side a schedule's join plans reference.
+
+    A *side* is the ``Group(Filter(Scan), (join key, group key))`` subtree a
+    join plan aggregates into ``(join key, group)`` weight totals.  Two join
+    plans share a side when their sides' key columns and *normalized*
+    filters coincide — the optimizer then schedules one side computation
+    (one stacked scatter-add column) for both.  ``signature`` is the
+    hashable execution identity; prefixed with the mask-cache generation it
+    is also the cross-batch :class:`~repro.plan.kernels.JoinSideCache` key.
+    """
+
+    keys: tuple[str, ...]
+    predicates: tuple[CanonicalPredicate, ...]
+
+    @property
+    def signature(self) -> tuple:
+        """The side's hashable execution identity (keys + normalized filter)."""
+        return (self.keys, tuple(p.key for p in self.predicates))
+
+
+@dataclass(frozen=True)
 class ScheduleUnit:
     """One execution unit: a fused family of slots sharing a plan prefix.
 
     ``kind`` is :data:`UNIT_SCALAR` (point/scalar reductions over one shared
     mask), :data:`UNIT_GROUP_BY` (one scatter-add pass with stacked
-    reduction columns), or :data:`UNIT_JOIN` (a single join plan).
+    reduction columns), or :data:`UNIT_JOIN` (the batch's join plans, whose
+    fused side totals are shared through :attr:`PhysicalSchedule.join_sides`).
     ``slots`` indexes into :attr:`PhysicalSchedule.slots`; for the fused
-    kinds every member shares ``predicates`` (the normalized filter) and,
-    for group-by units, ``group_keys``.
+    non-join kinds every member shares ``predicates`` (the normalized
+    filter) and, for group-by units, ``group_keys``.  For join units
+    ``sides[i]`` gives slot ``i``'s ``(left, right)`` indexes into the
+    schedule's join-side table.
     """
 
     kind: str
     slots: tuple[int, ...]
     predicates: tuple[CanonicalPredicate, ...] = ()
     group_keys: tuple[str, ...] = ()
+    sides: tuple[tuple[int, int], ...] = ()
 
 
 @dataclass
@@ -310,6 +365,7 @@ class PhysicalSchedule:
     slots: list[LogicalPlan] = field(default_factory=list)
     assignments: list[int] = field(default_factory=list)
     units: list[ScheduleUnit] = field(default_factory=list)
+    join_sides: list[JoinSideSpec] = field(default_factory=list)
     stats: OptimizerStats = field(default_factory=OptimizerStats)
 
     def fan_out(self, slot_results: Sequence[Any]) -> list[Any]:
@@ -383,11 +439,13 @@ def optimize_batch(
         schedule.assignments.append(slot)
 
     # Shared-filter grouping + group-by fusion over the distinct slots,
-    # preserving first-appearance order of each family.
+    # preserving first-appearance order of each family.  Join slots gather
+    # into one family whose shared side table is built below.
+    join_slots: list[int] = []
     families: dict[tuple, list[int]] = {}
     for index, plan in enumerate(schedule.slots):
         if plan.shape == SHAPE_JOIN_GROUP_BY:
-            families.setdefault((UNIT_JOIN, index), []).append(index)
+            join_slots.append(index)
         elif plan.shape == SHAPE_GROUP_BY:
             families.setdefault(
                 (
@@ -406,28 +464,60 @@ def optimize_batch(
     for family_key, members in families.items():
         first = schedule.slots[members[0]]
         kind = family_key[0]
-        if kind == UNIT_JOIN:
-            join = first.join
-            unit = ScheduleUnit(kind, tuple(members))
-            for side in (join.left, join.right):
-                keys = tuple(p.key for p in side.child.predicates)
-                if keys:
-                    mask_references[keys] = mask_references.get(keys, 0) + 1
-        else:
-            predicate_keys = tuple(p.key for p in first.predicates)
-            if predicate_keys:
-                mask_references[predicate_keys] = (
-                    mask_references.get(predicate_keys, 0) + len(members)
-                )
-            unit = ScheduleUnit(
-                kind,
-                tuple(members),
-                predicates=first.predicates,
-                group_keys=first.group_keys if kind == UNIT_GROUP_BY else (),
+        predicate_keys = tuple(p.key for p in first.predicates)
+        if predicate_keys:
+            mask_references[predicate_keys] = (
+                mask_references.get(predicate_keys, 0) + len(members)
             )
-            if kind == UNIT_GROUP_BY:
-                schedule.stats.groupby_fusions += len(members) - 1
+        unit = ScheduleUnit(
+            kind,
+            tuple(members),
+            predicates=first.predicates,
+            group_keys=first.group_keys if kind == UNIT_GROUP_BY else (),
+        )
+        if kind == UNIT_GROUP_BY:
+            schedule.stats.groupby_fusions += len(members) - 1
         schedule.units.append(unit)
+
+    # Join-side fusion: the batch's join slots become one unit referencing a
+    # deduplicated side table.  Plans sharing a side (same keys and
+    # normalized ``Scan``/``Filter``) point at one entry, and distinct sides
+    # grouping over the same key columns stack into one fused scatter-add
+    # pass at execution time.
+    if join_slots:
+        side_by_signature: dict[tuple, int] = {}
+        side_refs: list[tuple[int, int]] = []
+        side_references = 0
+        for slot in join_slots:
+            join = schedule.slots[slot].join
+            pair = []
+            for side_node in (join.left, join.right):
+                spec = JoinSideSpec(side_node.keys, side_node.child.predicates)
+                side = side_by_signature.get(spec.signature)
+                if side is None:
+                    side = len(schedule.join_sides)
+                    schedule.join_sides.append(spec)
+                    side_by_signature[spec.signature] = side
+                    # Each distinct side evaluates its conjunction mask once;
+                    # duplicate references never reach the mask stage at all.
+                    if spec.signature[1]:
+                        mask_references[spec.signature[1]] = (
+                            mask_references.get(spec.signature[1], 0) + 1
+                        )
+                pair.append(side)
+                side_references += 1
+            side_refs.append((pair[0], pair[1]))
+        # Side passes avoided: references answered by an already-scheduled
+        # identical side, plus distinct sides beyond the first per stacked
+        # key-column pass.
+        distinct_sides = len(schedule.join_sides)
+        stacked_passes = len({spec.keys for spec in schedule.join_sides})
+        schedule.stats.join_sides_fused += (
+            (side_references - distinct_sides) + (distinct_sides - stacked_passes)
+        )
+        schedule.units.append(
+            ScheduleUnit(UNIT_JOIN, tuple(join_slots), sides=tuple(side_refs))
+        )
 
     schedule.stats.masks_shared = sum(
         count - 1 for count in mask_references.values() if count > 1

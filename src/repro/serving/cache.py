@@ -111,6 +111,15 @@ class LRUCache:
         """Keys from least to most recently used."""
         return list(self._entries)
 
+    def entries(self) -> list[tuple[Hashable, Any]]:
+        """A ``(key, value)`` snapshot, least to most recently used.
+
+        Non-mutating and stat-free, like :meth:`peek` — the observability
+        probe serving statistics use to watch cache growth without
+        perturbing eviction order or hit rates.
+        """
+        return list(self._entries.items())
+
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._entries.clear()
@@ -146,6 +155,15 @@ class ResultCache:
         per-plan execution exactly.
         """
         return self._cache.peek(key)
+
+    def entries(self) -> list[tuple[Hashable, Any]]:
+        """A stat-free ``(plan key, answer)`` snapshot in LRU order.
+
+        Extends :meth:`peek` from single probes to the whole cache: serving
+        statistics read the size-in-items (and, in tests, the contents)
+        without promoting entries or counting lookups.
+        """
+        return self._cache.entries()
 
     def lookup(self, key: Hashable) -> Any:
         """The cached answer for a plan key, or ``None`` on a miss."""
@@ -304,6 +322,21 @@ class InferenceCache:
         self._configure_engine().invalidate(generation)
         self._marginals.clear()
         self._samples_warm = False
+
+    def entries(self) -> dict[str, int | bool]:
+        """Size-in-items snapshot of every memoized tier (non-mutating).
+
+        ``factors`` counts the engine's cached eliminated factors,
+        ``marginals`` the memoized per-node marginals, and ``samples_warm``
+        whether the ``K`` generated relations are materialized — cache
+        growth made observable without touching hit/miss statistics or any
+        LRU order.
+        """
+        return {
+            "factors": self.engine.cached_factor_count,
+            "marginals": len(self._marginals),
+            "samples_warm": self.samples_warm,
+        }
 
     def describe(self) -> dict[str, Any]:
         """Hit/miss counters plus the engine's amortization counters."""

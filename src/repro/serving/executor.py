@@ -29,6 +29,7 @@ from ..core.model import ThemisModel
 from ..plan import (
     BN_LOWER_EXACT,
     SHAPE_GROUP_BY,
+    SHAPE_JOIN_GROUP_BY,
     SHAPE_SCALAR,
     OptimizerStats,
 )
@@ -236,10 +237,13 @@ class BatchExecutor:
 
         # Optimized columnar dispatch: sample-routed plans run on one
         # rewritten schedule (dedup, normalized shared masks, fused scalar
-        # reductions), and hybrid GROUP BY plans fuse their shared
+        # reductions), hybrid GROUP BY plans fuse their shared
         # (Scan, Filter, Group) prefixes on the sample and on every
-        # generated sample.  Answers are bit-identical to per-plan
-        # execution; ``optimize=False`` skips this block entirely.
+        # generated sample, and hybrid join-group-by families share fused
+        # join-side totals (cross-batch cached) on the sample and pay one
+        # batched dispatch per generated sample instead of one per plan.
+        # Answers are bit-identical to per-plan execution;
+        # ``optimize=False`` skips this block entirely.
         optimizer_stats = OptimizerStats()
         optimized_keys: set[tuple] = set()
         columnar_seconds = 0.0
@@ -247,6 +251,7 @@ class BatchExecutor:
         if self._optimize:
             pending_columnar: dict[tuple, QueryPlan] = {}
             pending_hybrid_groups: dict[tuple, QueryPlan] = {}
+            pending_hybrid_joins: dict[tuple, QueryPlan] = {}
             for plan in plans:
                 if (
                     plan.logical is None
@@ -258,7 +263,9 @@ class BatchExecutor:
                     pending_columnar.setdefault(plan.key, plan)
                 elif plan.route == ROUTE_HYBRID and plan.shape == SHAPE_GROUP_BY:
                     pending_hybrid_groups.setdefault(plan.key, plan)
-            if pending_columnar or pending_hybrid_groups:
+                elif plan.route == ROUTE_HYBRID and plan.shape == SHAPE_JOIN_GROUP_BY:
+                    pending_hybrid_joins.setdefault(plan.key, plan)
+            if pending_columnar or pending_hybrid_groups or pending_hybrid_joins:
                 dispatch_start = time.perf_counter()
                 if pending_columnar:
                     answers = self._model.sample_evaluator.engine.execute_batch(
@@ -272,8 +279,18 @@ class BatchExecutor:
                         stats=optimizer_stats,
                     )
                     precomputed.update(zip(pending_hybrid_groups.keys(), answers))
+                if pending_hybrid_joins:
+                    answers = self._model.hybrid_evaluator.join_group_by_batch(
+                        [plan.logical for plan in pending_hybrid_joins.values()],
+                        stats=optimizer_stats,
+                    )
+                    precomputed.update(zip(pending_hybrid_joins.keys(), answers))
                 columnar_seconds = time.perf_counter() - dispatch_start
-                optimized_keys = set(pending_columnar) | set(pending_hybrid_groups)
+                optimized_keys = (
+                    set(pending_columnar)
+                    | set(pending_hybrid_groups)
+                    | set(pending_hybrid_joins)
+                )
                 optimized_share = columnar_seconds / len(optimized_keys)
 
         outcomes: list[QueryOutcome | None] = [None] * len(plans)

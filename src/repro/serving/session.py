@@ -189,13 +189,32 @@ class ServingSession:
             )
 
     def cache_statistics(self) -> dict[str, Any]:
-        """Hit/miss snapshots of every cache tier."""
+        """Hit/miss snapshots of every cache tier, plus size-in-items counts.
+
+        Sizes come from the stat-free ``entries()`` probes, so reading the
+        statistics never promotes an entry or perturbs a hit rate.
+        """
         stats = {
-            "result_cache": self._result_cache.statistics.as_dict(),
-            "plan_cache": self._plan_cache.statistics.as_dict(),
+            "result_cache": {
+                **self._result_cache.statistics.as_dict(),
+                "entries": len(self._result_cache),
+            },
+            "plan_cache": {
+                **self._plan_cache.statistics.as_dict(),
+                "entries": len(self._plan_cache),
+            },
         }
         if self._inference_cache is not None:
-            stats["inference_cache"] = self._inference_cache.describe()
+            stats["inference_cache"] = {
+                **self._inference_cache.describe(),
+                "entries": self._inference_cache.entries(),
+            }
+        if self._executor is not None:
+            join_sides = (
+                self._executor.model.sample_evaluator.engine.executor.join_side_cache
+            )
+            # statistics() already reports the side count as `cached_sides`.
+            stats["join_side_cache"] = join_sides.statistics()
         return stats
 
     def describe(self) -> dict[str, Any]:

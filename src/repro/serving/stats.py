@@ -171,6 +171,13 @@ class ServingStatistics:
     predicates_pushed_down: int = 0
     groupby_fusions: int = 0
     masks_shared: int = 0
+    #: Join rewrites: side scatter-add passes avoided by join-side fusion,
+    #: scheduled sides answered by the cross-batch join-side cache, and
+    #: per-generated-sample evaluator dispatches hybrid family batching
+    #: avoided.
+    join_sides_fused: int = 0
+    join_side_cache_hits: int = 0
+    bn_sample_dispatches_saved: int = 0
 
     def record_outcome(self, outcome: QueryOutcome) -> None:
         """Fold one served query into the counters."""
@@ -197,6 +204,13 @@ class ServingStatistics:
             )
             self.groupby_fusions += batch.optimizer.get("groupby_fusions", 0)
             self.masks_shared += batch.optimizer.get("masks_shared", 0)
+            self.join_sides_fused += batch.optimizer.get("join_sides_fused", 0)
+            self.join_side_cache_hits += batch.optimizer.get(
+                "join_side_cache_hits", 0
+            )
+            self.bn_sample_dispatches_saved += batch.optimizer.get(
+                "bn_sample_dispatches_saved", 0
+            )
 
     def as_dict(self) -> dict[str, Any]:
         """A plain-dict snapshot of every session-lifetime counter."""
@@ -214,5 +228,8 @@ class ServingStatistics:
                 "predicates_pushed_down": self.predicates_pushed_down,
                 "groupby_fusions": self.groupby_fusions,
                 "masks_shared": self.masks_shared,
+                "join_sides_fused": self.join_sides_fused,
+                "join_side_cache_hits": self.join_side_cache_hits,
+                "bn_sample_dispatches_saved": self.bn_sample_dispatches_saved,
             },
         }

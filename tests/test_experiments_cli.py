@@ -24,6 +24,10 @@ class TestRegistry:
             "table8",
             "ablation",
             "serving",
+            "bn_batch",
+            "plan_ir",
+            "plan_fusion",
+            "join_fusion",
         } | {f"fig{i}" for i in range(3, 17)}
         assert expected <= names
 

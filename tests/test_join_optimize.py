@@ -1,0 +1,414 @@
+"""Tests for the join-aware batch optimizer.
+
+The load-bearing guarantee: join-side fusion, the cross-batch join-side
+cache, and the per-generated-sample batching of hybrid join families are
+**bit-identical** to per-plan execution at every layer (columnar executor,
+evaluators, serving batches — including after a mid-session refit), while
+the new counters prove the rewrites actually fire.  Every equality below is
+exact (``==``), never a tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plan import (
+    ColumnarExecutor,
+    JoinSideCache,
+    OptimizerStats,
+    PlanCompiler,
+    fused_grouped_weight_totals,
+    grouped_weight_totals,
+    optimize_batch,
+)
+from repro.plan.optimize import UNIT_JOIN
+from repro.query import (
+    AggregateFunction,
+    AggregateSpec,
+    Comparison,
+    GroupByQuery,
+    JoinGroupByQuery,
+    PointQuery,
+    Predicate,
+    ScalarAggregateQuery,
+)
+from repro.schema import Attribute, Domain, Relation, Schema
+from repro.serving.cache import LRUCache, ResultCache
+
+
+def build_relation(n_rows: int = 3000, seed: int = 23) -> Relation:
+    rng = np.random.default_rng(seed)
+    sizes = {"a": 8, "b": 6, "c": 5, "d": 4, "e": 3}
+    schema = Schema(
+        [Attribute(name, Domain(list(range(size)))) for name, size in sizes.items()]
+    )
+    columns = {
+        name: rng.integers(0, size, size=n_rows, dtype=np.int64)
+        for name, size in sizes.items()
+    }
+    weights = rng.uniform(0.1, 5.0, size=n_rows)
+    return Relation(schema, columns, weights)
+
+
+@pytest.fixture(scope="module")
+def relation() -> Relation:
+    return build_relation()
+
+
+@pytest.fixture(scope="module")
+def compiler(relation) -> PlanCompiler:
+    return PlanCompiler(relation.schema)
+
+
+def join_query(
+    left_group="b",
+    right_group="c",
+    left_predicates=(),
+    right_predicates=(),
+    join_key="a",
+) -> JoinGroupByQuery:
+    return JoinGroupByQuery(
+        left_join=join_key,
+        right_join=join_key,
+        left_group=left_group,
+        right_group=right_group,
+        left_predicates=tuple(left_predicates),
+        right_predicates=tuple(right_predicates),
+    )
+
+
+FILTER = (Predicate("d", Comparison.LE, 2), Predicate("e", Comparison.GE, 1))
+
+
+class TestFusedJoinSideKernel:
+    def test_fused_totals_match_per_side_kernel(self, relation):
+        executor = ColumnarExecutor(relation)
+        plan = executor.compiler.compile(join_query(left_predicates=FILTER))
+        masks = [
+            executor.mask_cache.conjunction_mask(plan.join.left.child.predicates),
+            None,
+        ]
+        fused = fused_grouped_weight_totals(relation, ("a", "b"), masks)
+        for mask, totals in zip(masks, fused):
+            assert totals == grouped_weight_totals(relation, ("a", "b"), mask)
+
+    def test_single_side_delegates_to_the_fused_kernel(self, relation):
+        mask = relation.column("d") <= 1
+        alone = grouped_weight_totals(relation, ("a", "c"), mask)
+        (stacked,) = fused_grouped_weight_totals(relation, ("a", "c"), [mask])
+        assert alone == stacked
+
+
+class TestJoinSideSharing:
+    def test_reordered_and_padded_side_filters_share_one_side(self, compiler):
+        reordered = join_query(left_predicates=FILTER[::-1])
+        padded = join_query(
+            left_predicates=FILTER + (Predicate("d", Comparison.LE, 3),)
+        )
+        plans = [compiler.compile(q) for q in (join_query(left_predicates=FILTER), reordered, padded)]
+        assert len({plan.key for plan in plans}) == 2  # padded has its own key
+        schedule = optimize_batch(plans)
+        # All three collapse to one slot; one left side, one (empty) right.
+        assert len(schedule.slots) == 1
+        assert schedule.stats.plans_deduped == 2
+        assert len(schedule.join_sides) == 2
+
+    def test_plans_sharing_a_side_schedule_it_once(self, compiler):
+        queries = [
+            join_query("b", "c", left_predicates=FILTER),
+            join_query("b", "d", left_predicates=FILTER),  # same left side
+            join_query("c", "b"),  # mirror of the unfiltered sides
+        ]
+        plans = [compiler.compile(q) for q in queries]
+        schedule = optimize_batch(plans)
+        (unit,) = [u for u in schedule.units if u.kind == UNIT_JOIN]
+        assert unit.slots == (0, 1, 2)
+        # Distinct sides: (a,b)+FILTER, (a,c)+(), (a,d)+(), (a,c)... the
+        # mirror's left (a,c) and right (a,b) reuse scheduled key sets only
+        # when the filters match too: (a,c) empty is shared with slot 0's
+        # right side; (a,b) empty is new.
+        assert len(schedule.join_sides) == 4
+        assert schedule.stats.join_sides_fused > 0
+        # Every slot's side references point into the shared table.
+        for left, right in unit.sides:
+            assert 0 <= left < len(schedule.join_sides)
+            assert 0 <= right < len(schedule.join_sides)
+
+    def test_identical_left_and_right_sides_compute_once(self, compiler):
+        plan = compiler.compile(join_query("b", "b"))
+        schedule = optimize_batch([plan])
+        assert len(schedule.join_sides) == 1
+        assert schedule.stats.join_sides_fused == 1
+
+
+class TestColumnarJoinBitIdentity:
+    def _queries(self):
+        return [
+            join_query("b", "c", left_predicates=FILTER),
+            join_query("b", "c", left_predicates=FILTER[::-1]),
+            join_query("b", "d", left_predicates=FILTER),
+            join_query("c", "b", right_predicates=FILTER),
+            join_query("b", "b"),
+            join_query("b", "c", left_predicates=FILTER),  # exact duplicate
+            # Non-join shapes riding along in the same batch.
+            GroupByQuery(("b",), predicates=FILTER),
+            ScalarAggregateQuery(
+                aggregate=AggregateSpec(AggregateFunction.COUNT), predicates=FILTER
+            ),
+            PointQuery({"d": 1}),
+        ]
+
+    def test_optimized_join_batch_matches_per_plan(self, relation):
+        queries = self._queries()
+        reference = [ColumnarExecutor(relation).execute(q) for q in queries]
+        stats = OptimizerStats()
+        optimized = ColumnarExecutor(relation).execute_batch(queries, stats=stats)
+        unoptimized = ColumnarExecutor(relation).execute_batch(
+            queries, optimize=False
+        )
+        assert optimized == reference
+        assert unoptimized == reference
+        assert stats.join_sides_fused > 0
+        assert stats.plans_deduped > 0
+        assert stats.join_side_cache_hits == 0  # first batch: nothing cached
+
+    def test_second_batch_hits_the_join_side_cache_bit_identically(self, relation):
+        queries = self._queries()
+        executor = ColumnarExecutor(relation)
+        first = executor.execute_batch(queries)
+        stats = OptimizerStats()
+        second = executor.execute_batch(queries, stats=stats)
+        assert second == first
+        assert stats.join_side_cache_hits > 0
+        assert executor.join_side_cache.statistics()["hits"] > 0
+
+    def test_empty_and_join_only_batches(self, relation):
+        executor = ColumnarExecutor(relation)
+        assert executor.execute_batch([]) == []
+        queries = [join_query("b", "c"), join_query("b", "c")]
+        results = executor.execute_batch(queries)
+        assert results[0] == results[1]
+        assert results[0] == ColumnarExecutor(relation).execute(queries[0])
+
+
+class TestJoinSideCache:
+    def test_lru_eviction_and_statistics(self):
+        cache = JoinSideCache(capacity=2)
+        cache.put(("g", "s1"), {("x",): 1.0})
+        cache.put(("g", "s2"), {("y",): 2.0})
+        assert cache.get(("g", "s1")) == {("x",): 1.0}  # promotes s1
+        cache.put(("g", "s3"), {("z",): 3.0})  # evicts s2
+        assert cache.get(("g", "s2")) is None
+        assert cache.get(("g", "s3")) == {("z",): 3.0}
+        stats = cache.statistics()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["cached_sides"] == 2
+
+    def test_entries_is_non_mutating(self):
+        cache = JoinSideCache(capacity=2)
+        cache.put(("g", "old"), {})
+        cache.put(("g", "new"), {})
+        assert cache.entries() == [("g", "old"), ("g", "new")]
+        # entries() must not promote: "old" is still first out.
+        cache.put(("g", "evictor"), {})
+        assert cache.get(("g", "old")) is None
+
+    def test_invalidate_drops_entries(self):
+        cache = JoinSideCache()
+        cache.put(("g", "s"), {})
+        cache.invalidate()
+        assert len(cache) == 0
+        with pytest.raises(ValueError):
+            JoinSideCache(capacity=0)
+
+
+class TestEvaluatorJoinBatches:
+    QUERIES = [
+        JoinGroupByQuery("A", "A", "B", "C"),
+        JoinGroupByQuery(
+            "A", "A", "B", "C", left_predicates=(Predicate("B", Comparison.EQ, 1),)
+        ),
+        JoinGroupByQuery(
+            "A", "A", "C", "B", right_predicates=(Predicate("B", Comparison.EQ, 1),)
+        ),
+    ]
+
+    def test_bn_join_batch_matches_per_query(self, serving_themis):
+        evaluator = serving_themis.model.bayes_net_evaluator
+        batched = evaluator.join_group_by_batch(self.QUERIES)
+        for result, query in zip(batched, self.QUERIES):
+            assert result == evaluator.join_group_by(query)
+
+    def test_hybrid_join_batch_matches_per_query(self, serving_themis):
+        hybrid = serving_themis.model.hybrid_evaluator
+        stats = OptimizerStats()
+        batched = hybrid.join_group_by_batch(self.QUERIES, stats=stats)
+        for result, query in zip(batched, self.QUERIES):
+            assert result == hybrid.join_group_by(query)
+        k = serving_themis.model.bayes_net_evaluator.n_generated_samples
+        assert stats.bn_sample_dispatches_saved == k * (len(self.QUERIES) - 1)
+
+    def test_empty_join_batches(self, serving_themis):
+        assert serving_themis.model.hybrid_evaluator.join_group_by_batch([]) == []
+        assert serving_themis.model.bayes_net_evaluator.join_group_by_batch([]) == []
+
+
+class TestServingJoinBatches:
+    WORKLOAD = [
+        JoinGroupByQuery("A", "A", "B", "C"),
+        JoinGroupByQuery(
+            "A", "A", "B", "C", left_predicates=(Predicate("B", Comparison.EQ, 1),)
+        ),
+        JoinGroupByQuery(  # padded variant: distinct key, same execution
+            "A",
+            "A",
+            "B",
+            "C",
+            left_predicates=(
+                Predicate("B", Comparison.EQ, 1),
+                Predicate("B", Comparison.EQ, 1),
+            ),
+        ),
+        JoinGroupByQuery("A", "A", "B", "C"),  # exact duplicate
+        GroupByQuery(("A",)),
+        PointQuery({"A": 0}),
+    ]
+
+    def test_join_batch_matches_per_plan_session_and_singles(self, serving_themis):
+        optimized = serving_themis.serve().execute_batch(self.WORKLOAD)
+        per_plan = serving_themis.serve(optimize=False).execute_batch(self.WORKLOAD)
+        singles = [serving_themis.query(query) for query in self.WORKLOAD]
+        for left, right, single in zip(optimized, per_plan, singles):
+            assert left.result == right.result
+            assert left.result == single
+
+    def test_join_counters_reach_batch_and_session_statistics(self, serving_themis):
+        session = serving_themis.serve()
+        batch = session.execute_batch(self.WORKLOAD)
+        assert batch.optimizer is not None
+        assert batch.optimizer["join_sides_fused"] > 0
+        assert batch.optimizer["bn_sample_dispatches_saved"] > 0
+        stats = session.statistics.as_dict()["optimizer"]
+        assert stats["join_sides_fused"] == batch.optimizer["join_sides_fused"]
+        assert (
+            stats["bn_sample_dispatches_saved"]
+            == batch.optimizer["bn_sample_dispatches_saved"]
+        )
+        # A fresh pairing over already-computed sides hits the cross-batch
+        # join-side cache (the repeated plans themselves are result-cache
+        # hits, so the cache probe needs a new plan key).
+        fresh = JoinGroupByQuery(
+            "A",
+            "A",
+            "B",
+            "C",
+            left_predicates=(Predicate("B", Comparison.EQ, 1),),
+            right_predicates=(Predicate("B", Comparison.EQ, 1),),
+        )
+        second = session.execute_batch([fresh])
+        assert second.optimizer["join_side_cache_hits"] > 0
+        # Session-lifetime counters fold in every batch this session served
+        # (the model's engine-level cache may already be warm from earlier
+        # sessions over the same fitted model, so the first batch can hit
+        # too).
+        assert (
+            session.statistics.as_dict()["optimizer"]["join_side_cache_hits"]
+            == batch.optimizer["join_side_cache_hits"]
+            + second.optimizer["join_side_cache_hits"]
+        )
+        caches = session.cache_statistics()
+        assert caches["join_side_cache"]["cached_sides"] > 0
+        assert caches["join_side_cache"]["hits"] > 0
+
+    def test_unoptimized_session_serves_joins_per_plan(self, serving_themis):
+        batch = serving_themis.serve(optimize=False).execute_batch(self.WORKLOAD)
+        assert batch.optimizer is None
+        assert batch.optimized_plans == 0
+
+    def test_refit_invalidates_the_join_side_cache(self, fresh_serving_themis):
+        session = fresh_serving_themis.serve()
+        before = session.execute_batch(self.WORKLOAD)
+        old_cache = (
+            fresh_serving_themis.model.sample_evaluator.engine.executor.join_side_cache
+        )
+        assert len(old_cache.entries()) > 0
+        fresh_serving_themis.refit()
+        after = session.execute_batch(self.WORKLOAD)
+        new_cache = (
+            fresh_serving_themis.model.sample_evaluator.engine.executor.join_side_cache
+        )
+        # A refit rebuilds the executor: fresh cache object, no stale sides.
+        assert new_cache is not old_cache
+        per_plan = fresh_serving_themis.serve(optimize=False).execute_batch(
+            self.WORKLOAD
+        )
+        for left, right in zip(after, per_plan):
+            assert left.result == right.result
+        assert len(before) == len(after)
+
+    def test_warm_join_batch_serves_from_the_result_cache(self, serving_themis):
+        session = serving_themis.serve()
+        session.execute_batch(self.WORKLOAD)
+        warm = session.execute_batch(self.WORKLOAD)
+        assert warm.cache_hits == len(self.WORKLOAD)
+        assert warm.optimized_plans == 0
+
+
+class TestExplainOptimizedJoin:
+    def test_optimized_join_plan_shares_the_raw_plan_key(self, serving_themis):
+        padded = JoinGroupByQuery(
+            "A",
+            "A",
+            "B",
+            "C",
+            left_predicates=(
+                Predicate("B", Comparison.EQ, 1),
+                Predicate("B", Comparison.EQ, 1),
+            ),
+        )
+        explained = serving_themis.query(padded, explain="optimized")
+        assert explained.optimized is not None
+        assert explained.optimized.key == explained.plan.key
+        assert len(explained.optimized.join.left.child.predicates) < len(
+            explained.plan.join.left.child.predicates
+        )
+        assert explained.result == serving_themis.query(padded)
+
+
+class TestCacheEntries:
+    def test_lru_entries_snapshot_is_stat_free_and_non_mutating(self):
+        cache = LRUCache(capacity=2)
+        cache.put("old", 1)
+        cache.put("new", 2)
+        before = cache.statistics.as_dict()
+        assert cache.entries() == [("old", 1), ("new", 2)]
+        assert cache.statistics.as_dict() == before
+        # entries() must not promote "old": it is still evicted first.
+        cache.put("evictor", 3)
+        assert "old" not in cache
+        assert "new" in cache
+
+    def test_result_cache_entries_snapshot(self):
+        cache = ResultCache(capacity=4)
+        cache.store(("k1",), 1.0)
+        cache.store(("k2",), 2.0)
+        before = cache.statistics.as_dict()
+        assert cache.entries() == [(("k1",), 1.0), (("k2",), 2.0)]
+        assert cache.statistics.as_dict() == before
+
+    def test_session_cache_statistics_report_entry_counts(self, serving_themis):
+        session = serving_themis.serve()
+        session.execute_batch(
+            ["SELECT COUNT(*) FROM sample WHERE A = 0", GroupByQuery(("A",))]
+        )
+        caches = session.cache_statistics()
+        assert caches["result_cache"]["entries"] == len(
+            session.result_cache.entries()
+        )
+        assert caches["result_cache"]["entries"] > 0
+        assert caches["plan_cache"]["entries"] > 0
+        inference_entries = caches["inference_cache"]["entries"]
+        assert set(inference_entries) == {"factors", "marginals", "samples_warm"}
+        assert inference_entries["samples_warm"] is True
