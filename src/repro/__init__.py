@@ -16,7 +16,9 @@ commonly used pieces of the public API; subpackages hold the substrates:
 * :mod:`repro.baselines` — AQP and the reuse baseline of Galakatos et al.;
 * :mod:`repro.data` — synthetic Flights / IMDB / CHILD populations and the
   paper's biased samples;
-* :mod:`repro.metrics` and :mod:`repro.experiments` — the evaluation harness.
+* :mod:`repro.metrics` and :mod:`repro.experiments` — the evaluation harness;
+* :mod:`repro.obs` — structured tracing (span trees, EXPLAIN ANALYZE) and
+  the metrics registry every serving counter lives in.
 """
 
 from .aggregates import AggregateQuery, AggregateSet, prune_aggregates
@@ -41,6 +43,7 @@ from .core import (
 )
 from .exceptions import ThemisError
 from .metrics import percent_difference
+from .obs import MetricsRegistry, Span, Tracer
 from .plan import ColumnarExecutor, LogicalPlan, MaskCache, PlanCompiler
 from .query import GroupByQuery, PointQuery, Predicate, ScalarAggregateQuery
 from .reweighting import (
@@ -84,6 +87,7 @@ __all__ = [
     "LinearRegressionReweighter",
     "LogicalPlan",
     "MaskCache",
+    "MetricsRegistry",
     "PlanCompiler",
     "PointQuery",
     "Predicate",
@@ -94,7 +98,9 @@ __all__ = [
     "ScalarAggregateQuery",
     "Schema",
     "ServingSession",
+    "Span",
     "Themis",
+    "Tracer",
     "ThemisBayesNetLearner",
     "ThemisConfig",
     "ThemisError",

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from ..exceptions import BayesNetError
+from ..obs.trace import NULL_TRACER
 from .factor import Factor
 from .network import BayesianNetwork
 
@@ -108,6 +109,10 @@ class BatchedInference:
         self.derived_factors = 0
         self.batches = 0
         self.queries = 0
+        # The serving layer points this at a live tracer while it dispatches,
+        # so each paid elimination pass shows up as a span; NULL_TRACER
+        # otherwise (a no-op).
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Introspection
@@ -152,6 +157,15 @@ class BatchedInference:
             "cached_factors": self.cached_factor_count,
         }
 
+    def reset_statistics(self) -> None:
+        """Zero the amortization counters without touching cached factors."""
+        self.elimination_passes = 0
+        self.factor_cache_hits = 0
+        self.factor_cache_misses = 0
+        self.derived_factors = 0
+        self.batches = 0
+        self.queries = 0
+
     # ------------------------------------------------------------------
     # The per-signature factor cache
     # ------------------------------------------------------------------
@@ -170,7 +184,8 @@ class BatchedInference:
             return cached
         self.factor_cache_misses += 1
         self.elimination_passes += 1
-        factor = self._inference.eliminate(keep=tuple(variables))
+        with self.tracer.span("bn-elimination", kept=",".join(sorted(variables))):
+            factor = self._inference.eliminate(keep=tuple(variables))
         self._factors[key] = factor
         if len(self._factors) > self._capacity:
             self._factors.popitem(last=False)

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..bayesnet import BayesianNetwork, ExactInference, ForwardSampler
 from ..exceptions import QueryError
+from ..obs.trace import NULL_TRACER
 from ..plan import (
     SHAPE_GROUP_BY,
     SHAPE_POINT,
@@ -493,7 +494,7 @@ class HybridEvaluator(OpenWorldEvaluator):
         return _merge_group_by(query.group_by, sample_result, bn_result)
 
     def group_by_batch(
-        self, queries: Sequence["GroupByQuery | LogicalPlan"], stats=None
+        self, queries: Sequence["GroupByQuery | LogicalPlan"], stats=None, tracer=NULL_TRACER
     ) -> list[QueryResult]:
         """Batched :meth:`group_by` with the hybrid's sample-union-BN merge.
 
@@ -502,19 +503,24 @@ class HybridEvaluator(OpenWorldEvaluator):
         serving executor hands its routed logicals down so nothing compiles
         twice), and the network side batches the same queries across the
         ``K`` generated samples.  ``stats`` (when given) accumulates the
-        sample-side schedule's rewrite counters.  Answers are bit-identical
-        to calling :meth:`group_by` per query.
+        sample-side schedule's rewrite counters; an enabled ``tracer``
+        records the sample-side and BN-side dispatches as sibling spans.
+        Answers are bit-identical to calling :meth:`group_by` per query.
         """
         if not queries:
             return []
-        sample_results = self._sample_evaluator.engine.execute_batch(
-            queries, stats=stats
-        )
+        with tracer.span("sample-side", queries=len(queries)):
+            sample_results = self._sample_evaluator.engine.execute_batch(
+                queries, stats=stats, tracer=tracer
+            )
         asts = [
             query.query if isinstance(query, LogicalPlan) else query
             for query in queries
         ]
-        bn_results = self._bn_evaluator.group_by_batch(asts)
+        with tracer.span(
+            "bn-samples", samples=self._bn_evaluator.n_generated_samples
+        ):
+            bn_results = self._bn_evaluator.group_by_batch(asts)
         self._count_sample_dispatches_saved(len(asts), stats)
         return [
             _merge_group_by(ast.group_by, sample_result, bn_result)
@@ -522,7 +528,7 @@ class HybridEvaluator(OpenWorldEvaluator):
         ]
 
     def join_group_by_batch(
-        self, queries: Sequence["JoinGroupByQuery | LogicalPlan"], stats=None
+        self, queries: Sequence["JoinGroupByQuery | LogicalPlan"], stats=None, tracer=NULL_TRACER
     ) -> list[QueryResult]:
         """Batched :meth:`join_group_by` with the hybrid's sample-union-BN merge.
 
@@ -539,14 +545,18 @@ class HybridEvaluator(OpenWorldEvaluator):
         """
         if not queries:
             return []
-        sample_results = self._sample_evaluator.engine.execute_batch(
-            queries, stats=stats
-        )
+        with tracer.span("sample-side", queries=len(queries)):
+            sample_results = self._sample_evaluator.engine.execute_batch(
+                queries, stats=stats, tracer=tracer
+            )
         asts = [
             query.query if isinstance(query, LogicalPlan) else query
             for query in queries
         ]
-        bn_results = self._bn_evaluator.join_group_by_batch(asts)
+        with tracer.span(
+            "bn-samples", samples=self._bn_evaluator.n_generated_samples
+        ):
+            bn_results = self._bn_evaluator.join_group_by_batch(asts)
         self._count_sample_dispatches_saved(len(asts), stats)
         return [
             _merge_group_by(

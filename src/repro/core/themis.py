@@ -92,10 +92,24 @@ class ExplainedResult:
     plan: LogicalPlan
     route: str
     optimized: LogicalPlan | None = None
+    #: The executed span tree (:class:`repro.obs.Span`) when the query ran
+    #: under ``explain="analyze"``; ``None`` otherwise.
+    trace: Any = None
 
     def explain(self) -> str:
         """The plan's printable operator-tree rendering."""
         return self.plan.explain()
+
+    def explain_analyze(self) -> str:
+        """EXPLAIN ANALYZE: the operator tree plus the executed span tree.
+
+        Only available on results produced by ``query(..., explain="analyze")``.
+        """
+        if self.trace is None:
+            raise ThemisError(
+                'no execution trace recorded; use query(..., explain="analyze")'
+            )
+        return f"{self.plan.explain()}\n\n{self.trace.render()}"
 
 
 class Themis:
@@ -318,7 +332,7 @@ class Themis:
         """Compile (and route) one SQL string or AST query without running it."""
         return self._current_planner().plan(statement)
 
-    def _run_plan(self, plan: "QueryPlan") -> float | QueryResult:
+    def _run_plan(self, plan: "QueryPlan", tracer: Any = None) -> float | QueryResult:
         """Execute a routed plan on the evaluator its ``Route`` node chose.
 
         The routing rules are derived from :class:`HybridEvaluator` (see
@@ -326,18 +340,23 @@ class Themis:
         running every query through the hybrid — the route only skips work
         the hybrid would have discarded.
         """
+        from ..obs.trace import NULL_TRACER
         from ..serving.planner import ROUTE_BAYES_NET, ROUTE_SAMPLE
 
+        if tracer is None:
+            tracer = NULL_TRACER
         model = self.model
         query = plan.query
         if plan.route == ROUTE_SAMPLE:
             if plan.logical is not None:
                 # Execute the already-compiled plan directly — no recompile.
-                return model.sample_evaluator.engine.execute(plan.logical)
+                return model.sample_evaluator.engine.execute(plan.logical, tracer=tracer)
             return model.sample_evaluator.execute(query)
         if plan.route == ROUTE_BAYES_NET:
-            return model.bayes_net_evaluator.execute(query)
-        return model.hybrid_evaluator.execute(query)
+            with tracer.span("bn-evaluate", shape=plan.shape):
+                return model.bayes_net_evaluator.execute(query)
+        with tracer.span("hybrid", shape=plan.shape):
+            return model.hybrid_evaluator.execute(query)
 
     # ------------------------------------------------------------------
     # Query answering
@@ -395,7 +414,24 @@ class Themis:
         resolved route) next to the result.  ``explain="optimized"``
         additionally includes the batch optimizer's post-rewrite plan
         (normalized predicates; same canonical key as the raw plan).
+        ``explain="analyze"`` *executes under a tracer* and attaches the
+        span tree as ``.trace`` — compile and execute stages with wall-time,
+        kernel/mask/cache counters — rendered by :meth:`ExplainedResult
+        .explain_analyze`.
         """
+        if explain == "analyze":
+            from ..obs.trace import Tracer
+
+            tracer = Tracer()
+            with tracer.span("query") as root:
+                with tracer.span("compile"):
+                    plan = self.plan(statement)
+                root.set(route=plan.route, shape=plan.shape)
+                with tracer.span("execute", route=plan.route):
+                    result = self._run_plan(plan, tracer=tracer)
+            return ExplainedResult(
+                result=result, plan=plan.logical, route=plan.route, trace=root
+            )
         plan = self.plan(statement)
         result = self._run_plan(plan)
         if not explain:
@@ -417,9 +453,10 @@ class Themis:
 
         Keyword arguments are forwarded to
         :class:`~repro.serving.session.ServingSession` (cache capacities,
-        ``exact_bn_aggregates``, and ``optimize`` — pass
-        ``optimize=False`` to disable the batch-aware plan optimizer and
-        serve every plan individually).
+        ``exact_bn_aggregates``, ``optimize`` — pass ``optimize=False`` to
+        disable the batch-aware plan optimizer and serve every plan
+        individually — and ``trace=True`` to attach a structured span tree
+        to every outcome and batch).
         """
         from ..serving import ServingSession
 

@@ -45,6 +45,7 @@ def _build_registry() -> None:
     from .fig15_pruning import run_pruning
     from .fig16_time_accuracy import run_time_accuracy
     from .join_fusion_throughput import run_join_fusion
+    from .obs_report import run_obs
     from .plan_fusion_throughput import run_plan_fusion
     from .plan_ir_throughput import run_plan_ir
     from .serving_throughput import run_serving_throughput
@@ -77,6 +78,7 @@ def _build_registry() -> None:
     _register("plan_ir", lambda scale: run_plan_ir(scale))
     _register("plan_fusion", lambda scale: run_plan_fusion(scale))
     _register("join_fusion", lambda scale: run_join_fusion(scale))
+    _register("obs", lambda scale: run_obs(scale))
 
 
 def available_experiments() -> list[str]:

@@ -1,0 +1,110 @@
+"""Frozen names of the observability surface.
+
+Metric names and histogram bucket boundaries are public API: dashboards,
+benchmark assertions, and the serving-statistics views all address the
+registry by these strings.  They live in one module so that a rename is a
+deliberate, reviewed change — ``tests/test_obs.py`` pins every value here
+and fails on accidental drift.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Histogram bucket boundaries
+# ---------------------------------------------------------------------------
+#: Log-spaced latency bucket upper bounds, in seconds: 1 µs doubling up to
+#: ~1073 s.  Fine enough for sub-millisecond kernel stages, wide enough for
+#: whole-experiment wall clocks.  31 bounds -> 32 buckets (last is overflow).
+LATENCY_BUCKETS: tuple[float, ...] = tuple(1e-6 * (2**i) for i in range(31))
+
+# ---------------------------------------------------------------------------
+# Serving-session counters (the ServingStatistics view reads these)
+# ---------------------------------------------------------------------------
+QUERIES_SERVED = "serving.queries_served"
+BATCHES_SERVED = "serving.batches_served"
+TOTAL_SECONDS = "serving.total_seconds"
+INVALIDATIONS = "serving.invalidations"
+#: Per-route served-query counters are ``serving.route.<route-name>``.
+ROUTE_PREFIX = "serving.route."
+BN_POINTS_BATCHED = "serving.bn_points_batched"
+BN_POINTS_SINGLE = "serving.bn_points_single"
+PLANS_OPTIMIZED = "serving.plans_optimized"
+
+# ---------------------------------------------------------------------------
+# Batch-optimizer counters (mirrors of OptimizerStats fields)
+# ---------------------------------------------------------------------------
+#: Optimizer rewrite counters are ``optimizer.<field>`` for each field of
+#: :class:`repro.plan.OptimizerStats`, in its ``as_dict()`` order.
+OPTIMIZER_PREFIX = "optimizer."
+OPTIMIZER_COUNTERS: tuple[str, ...] = (
+    "batches",
+    "plans_in",
+    "plans_deduped",
+    "predicates_pushed_down",
+    "groupby_fusions",
+    "masks_shared",
+    "join_sides_fused",
+    "join_side_cache_hits",
+    "bn_sample_dispatches_saved",
+)
+
+# ---------------------------------------------------------------------------
+# Bayesian-network engine counters
+# ---------------------------------------------------------------------------
+BN_ELIMINATION_PASSES = "bn.elimination_passes"
+BN_FACTOR_CACHE_HITS = "bn.factor_cache_hits"
+BN_FACTOR_CACHE_MISSES = "bn.factor_cache_misses"
+
+# ---------------------------------------------------------------------------
+# Cache gauges (synced from the cache statistics surfaces)
+# ---------------------------------------------------------------------------
+#: Cache hit/miss/entry gauges are ``cache.<tier>.<field>`` where tier is
+#: one of ``result``, ``plan``, ``inference``, ``mask``, ``join_side``.
+CACHE_PREFIX = "cache."
+CACHE_TIERS: tuple[str, ...] = ("result", "plan", "inference", "mask", "join_side")
+
+# ---------------------------------------------------------------------------
+# Latency histograms
+# ---------------------------------------------------------------------------
+QUERY_SECONDS = "latency.query_seconds"
+BATCH_SECONDS = "latency.batch_seconds"
+#: Per-stage batch latency histograms are ``latency.stage.<stage-name>``.
+STAGE_PREFIX = "latency.stage."
+
+# Span / stage names used by the serving batch trace.
+STAGE_COMPILE = "compile"
+STAGE_ROUTE = "route"
+STAGE_WARM_SAMPLES = "warm-samples"
+STAGE_BN_DISPATCH = "bn-dispatch"
+STAGE_OPTIMIZE = "optimize"
+STAGE_COLUMNAR = "columnar"
+STAGE_CACHE_PROBE = "cache-probe"
+
+#: Stage names that get a ``latency.stage.*`` histogram per served batch.
+BATCH_STAGES: tuple[str, ...] = (
+    STAGE_COMPILE,
+    STAGE_WARM_SAMPLES,
+    STAGE_BN_DISPATCH,
+    STAGE_COLUMNAR,
+    STAGE_CACHE_PROBE,
+)
+
+
+def route_counter(route: str) -> str:
+    """The registry counter name for one served route."""
+    return ROUTE_PREFIX + route
+
+
+def optimizer_counter(field: str) -> str:
+    """The registry counter name for one optimizer rewrite counter."""
+    return OPTIMIZER_PREFIX + field
+
+
+def cache_gauge(tier: str, metric: str) -> str:
+    """The registry gauge name for one cache-tier statistic."""
+    return f"{CACHE_PREFIX}{tier}.{metric}"
+
+
+def stage_histogram(stage: str) -> str:
+    """The registry histogram name for one batch stage."""
+    return STAGE_PREFIX + stage

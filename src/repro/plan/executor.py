@@ -16,6 +16,7 @@ from typing import Any
 import numpy as np
 
 from ..exceptions import QueryError
+from ..obs.trace import NULL_TRACER
 from ..query.ast import Comparison, Predicate, Query
 from ..schema import Relation
 from .compiler import PlanCompiler
@@ -110,9 +111,25 @@ class ColumnarExecutor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, query: LogicalPlan | Query | str):
-        """Execute a compiled plan (compiling ASTs/SQL on the fly)."""
+    def execute(self, query: LogicalPlan | Query | str, tracer=NULL_TRACER):
+        """Execute a compiled plan (compiling ASTs/SQL on the fly).
+
+        An enabled ``tracer`` wraps the execution in an ``execute-plan``
+        span carrying the plan shape and the mask-cache hit/miss delta.
+        """
         plan = query if isinstance(query, LogicalPlan) else self._compiler.compile(query)
+        if not tracer.enabled:
+            return self._execute_plan(plan)
+        with tracer.span("execute-plan", shape=plan.shape) as span:
+            hits, misses = self._masks.hits, self._masks.misses
+            result = self._execute_plan(plan)
+            span.count(
+                mask_hits=self._masks.hits - hits,
+                mask_misses=self._masks.misses - misses,
+            )
+        return result
+
+    def _execute_plan(self, plan: LogicalPlan):
         if plan.shape == SHAPE_POINT:
             return self.point_plan(plan)
         if plan.shape == SHAPE_SCALAR:
@@ -128,6 +145,7 @@ class ColumnarExecutor:
         queries: "Sequence[LogicalPlan | Query | str]",
         optimize: bool = True,
         stats: OptimizerStats | None = None,
+        tracer=NULL_TRACER,
     ) -> list:
         """Execute a batch of plans through the batch-aware optimizer.
 
@@ -142,48 +160,91 @@ class ColumnarExecutor:
         submission order and are bit-identical to the ``optimize=False``
         per-plan loop (the escape hatch, and the reference the tests assert
         against).  ``stats`` (when given) accumulates the schedule's
-        rewrite counters in place.
+        rewrite counters in place.  An enabled ``tracer`` records the
+        compile/optimize/unit span tree: one span per execution unit with
+        mask and kernel children, plus one structural ``slot`` child per
+        scheduled plan (deduplicated inputs appear as ``fan-out``
+        grandchildren).
         """
-        plans = [
-            query if isinstance(query, LogicalPlan) else self._compiler.compile(query)
-            for query in queries
-        ]
+        if tracer.enabled:
+            with tracer.span("compile", queries=len(queries)):
+                plans = [
+                    query
+                    if isinstance(query, LogicalPlan)
+                    else self._compiler.compile(query)
+                    for query in queries
+                ]
+        else:
+            plans = [
+                query if isinstance(query, LogicalPlan) else self._compiler.compile(query)
+                for query in queries
+            ]
         if not optimize:
-            return [self.execute(plan) for plan in plans]
-        schedule = optimize_batch(plans, stats)
+            return [self.execute(plan, tracer) for plan in plans]
+        schedule = optimize_batch(plans, stats, tracer=tracer)
         slot_results: list = [None] * len(schedule.slots)
         for unit in schedule.units:
-            if unit.kind == UNIT_SCALAR:
-                mask = self._masks.conjunction_mask(unit.predicates)
-                specs = [
-                    self._reduction_spec(schedule.slots[slot]) for slot in unit.slots
-                ]
-                values = fused_scalar_reduce(self._relation, mask, specs)
-                for slot, value in zip(unit.slots, values):
-                    slot_results[slot] = value
-            elif unit.kind == UNIT_GROUP_BY:
-                from ..sql.engine import QueryResult
+            with tracer.span(f"unit:{unit.kind}", slots=len(unit.slots)) as span:
+                self._run_unit(unit, schedule, slot_results, stats, tracer)
+                if tracer.enabled:
+                    _annotate_unit_slots(span, unit, schedule)
+        return schedule.fan_out(slot_results)
 
-                mask = self._masks.conjunction_mask(unit.predicates)
-                specs = [
-                    self._reduction_spec(schedule.slots[slot]) for slot in unit.slots
-                ]
+    def _run_unit(
+        self,
+        unit,
+        schedule: PhysicalSchedule,
+        slot_results: list,
+        stats: OptimizerStats | None,
+        tracer=NULL_TRACER,
+    ) -> None:
+        """Execute one schedule unit, filling its slots' results in place."""
+        if unit.kind == UNIT_SCALAR:
+            mask = self._shared_mask(unit.predicates, tracer)
+            specs = [
+                self._reduction_spec(schedule.slots[slot]) for slot in unit.slots
+            ]
+            with tracer.span("kernel", kind="fused-scalar-reduce", reductions=len(specs)):
+                values = fused_scalar_reduce(self._relation, mask, specs)
+            for slot, value in zip(unit.slots, values):
+                slot_results[slot] = value
+        elif unit.kind == UNIT_GROUP_BY:
+            from ..sql.engine import QueryResult
+
+            mask = self._shared_mask(unit.predicates, tracer)
+            specs = [
+                self._reduction_spec(schedule.slots[slot]) for slot in unit.slots
+            ]
+            with tracer.span("kernel", kind="fused-group-reduce", reductions=len(specs)):
                 tables = fused_group_reduce(
                     self._relation, unit.group_keys, mask, specs
                 )
-                for slot, table in zip(unit.slots, tables):
-                    slot_results[slot] = QueryResult(unit.group_keys, table)
-            else:  # the join family: fused shared side totals, then merges
-                from ..sql.engine import QueryResult
+            for slot, table in zip(unit.slots, tables):
+                slot_results[slot] = QueryResult(unit.group_keys, table)
+        else:  # the join family: fused shared side totals, then merges
+            from ..sql.engine import QueryResult
 
+            with tracer.span("kernel", kind="join-sides", sides=len(schedule.join_sides)):
                 side_totals = self._join_side_totals(schedule, stats)
-                for slot, (left, right) in zip(unit.slots, unit.sides):
-                    plan = schedule.slots[slot]
-                    slot_results[slot] = QueryResult(
-                        plan.group_keys,
-                        merge_join_sides(side_totals[left], side_totals[right]),
-                    )
-        return schedule.fan_out(slot_results)
+            for slot, (left, right) in zip(unit.slots, unit.sides):
+                plan = schedule.slots[slot]
+                slot_results[slot] = QueryResult(
+                    plan.group_keys,
+                    merge_join_sides(side_totals[left], side_totals[right]),
+                )
+
+    def _shared_mask(self, predicates, tracer=NULL_TRACER):
+        """A unit's shared conjunction mask, traced with cache-delta counters."""
+        if not tracer.enabled:
+            return self._masks.conjunction_mask(predicates)
+        with tracer.span("mask", conjuncts=len(predicates)) as span:
+            hits, misses = self._masks.hits, self._masks.misses
+            mask = self._masks.conjunction_mask(predicates)
+            span.count(
+                mask_hits=self._masks.hits - hits,
+                mask_misses=self._masks.misses - misses,
+            )
+        return mask
 
     def _join_side_totals(
         self, schedule: PhysicalSchedule, stats: OptimizerStats | None
@@ -324,3 +385,25 @@ class ColumnarExecutor:
             cached = numeric_column(self._relation, attribute)
             self._numeric[attribute] = cached
         return cached
+
+
+def _annotate_unit_slots(span, unit, schedule: PhysicalSchedule) -> None:
+    """Attach one structural ``slot`` child per scheduled plan in the unit.
+
+    Every input position the slot serves beyond its first appearance is a
+    ``fan-out`` grandchild, so the trace accounts for all submitted plans:
+    slot children + fan-out children == batch size, summed over units.
+    """
+    inputs_by_slot: dict[int, list[int]] = {}
+    for index, slot in enumerate(schedule.assignments):
+        inputs_by_slot.setdefault(slot, []).append(index)
+    for slot in unit.slots:
+        inputs = inputs_by_slot.get(slot, [])
+        child = span.child(
+            "slot",
+            slot=slot,
+            shape=schedule.slots[slot].shape,
+            input=inputs[0] if inputs else None,
+        )
+        for extra in inputs[1:]:
+            child.child("fan-out", input=extra)

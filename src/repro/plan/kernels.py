@@ -133,6 +133,11 @@ class MaskCache:
             "cached_masks": len(self._store),
         }
 
+    def reset_statistics(self) -> None:
+        """Zero the hit/miss counters without touching the cached masks."""
+        self.hits = 0
+        self.misses = 0
+
 
 # ----------------------------------------------------------------------
 # Reduction kernels (shared by the executor and the evaluators)
@@ -468,3 +473,8 @@ class JoinSideCache:
             "hit_rate": self.hits / lookups if lookups else 0.0,
             "cached_sides": len(self._store),
         }
+
+    def reset_statistics(self) -> None:
+        """Zero the hit/miss counters without touching the cached sides."""
+        self.hits = 0
+        self.misses = 0

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..exceptions import QueryError
+from ..obs.trace import NULL_TRACER
 from ..query.ast import Comparison
 from .ir import (
     OUT_OF_DOMAIN,
@@ -408,7 +409,9 @@ def _execution_signature(plan: LogicalPlan) -> tuple:
 
 
 def optimize_batch(
-    plans: Sequence[LogicalPlan], stats: OptimizerStats | None = None
+    plans: Sequence[LogicalPlan],
+    stats: OptimizerStats | None = None,
+    tracer=NULL_TRACER,
 ) -> PhysicalSchedule:
     """Rewrite a batch of compiled plans into a :class:`PhysicalSchedule`.
 
@@ -416,7 +419,21 @@ def optimize_batch(
     dedup (slot assignment), shared-filter grouping, and group-by fusion.
     ``stats`` (when given) accumulates the schedule's counters in place —
     the serving layer threads one session-lifetime object through here.
+    An enabled ``tracer`` records one ``optimize`` span carrying the
+    schedule's rewrite counters.
     """
+    if tracer.enabled:
+        with tracer.span("optimize", plans=len(plans)) as span:
+            schedule = _optimize_batch(plans, stats)
+            span.set(slots=len(schedule.slots), units=len(schedule.units))
+            span.count(**schedule.stats.as_dict())
+        return schedule
+    return _optimize_batch(plans, stats)
+
+
+def _optimize_batch(
+    plans: Sequence[LogicalPlan], stats: OptimizerStats | None = None
+) -> PhysicalSchedule:
     schedule = PhysicalSchedule(plans=list(plans))
     schedule.stats.batches = 1
     schedule.stats.plans_in = len(schedule.plans)

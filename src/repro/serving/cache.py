@@ -60,6 +60,31 @@ class CacheStatistics:
             "hit_rate": self.hit_rate,
         }
 
+    def snapshot(self) -> "CacheStatistics":
+        """An immutable-by-convention copy of the counters as of now.
+
+        The baseline half of per-window reporting: take a snapshot, serve a
+        window of traffic, then :meth:`since` the snapshot to get the
+        window's own hit rate (lifetime counters are never disturbed).
+        """
+        return CacheStatistics(
+            hits=self.hits, misses=self.misses, evictions=self.evictions
+        )
+
+    def since(self, baseline: "CacheStatistics") -> "CacheStatistics":
+        """Counters accumulated after ``baseline`` was snapshotted."""
+        return CacheStatistics(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            evictions=self.evictions - baseline.evictions,
+        )
+
+    def reset(self) -> None:
+        """Zero the counters (cached entries, wherever they live, are kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
 
 class LRUCache:
     """A small least-recently-used cache with hit/miss accounting."""

@@ -26,6 +26,9 @@ from collections.abc import Sequence
 from dataclasses import replace
 
 from ..core.model import ThemisModel
+from ..obs import names
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..plan import (
     BN_LOWER_EXACT,
     SHAPE_GROUP_BY,
@@ -72,6 +75,7 @@ class BatchExecutor:
         plan_cache: PlanCache | None = None,
         exact_bn_aggregates: bool = False,
         optimize: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         self._model = model
         self._planner = planner
@@ -80,11 +84,20 @@ class BatchExecutor:
         self._plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self._exact_bn_aggregates = bool(exact_bn_aggregates)
         self._optimize = bool(optimize)
+        # The single accumulation point for optimizer/BN/stage counters; the
+        # serving session passes its own registry so ServingStatistics reads
+        # the very counters this executor writes.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
 
     @property
     def model(self) -> ThemisModel:
         """The fitted model queries run against."""
         return self._model
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry the executor folds batch counters into."""
+        return self._metrics
 
     # ------------------------------------------------------------------
     # Planning (with the SQL-text plan cache)
@@ -121,12 +134,20 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     # Single-plan execution
     # ------------------------------------------------------------------
-    def execute_plan(self, plan: QueryPlan) -> tuple[float | QueryResult, bool]:
+    def execute_plan(
+        self, plan: QueryPlan, tracer=NULL_TRACER
+    ) -> tuple[float | QueryResult, bool]:
         """Serve one plan; returns ``(answer, came_from_result_cache)``."""
-        cached = self._result_cache.lookup(plan.key)
+        with tracer.span("cache-probe") as span:
+            cached = self._result_cache.lookup(plan.key)
+            if tracer.enabled:
+                span.count(
+                    result_cache_hits=int(cached is not None),
+                    result_cache_misses=int(cached is None),
+                )
         if cached is not None:
             return cached, True
-        result = self._evaluate(plan)
+        result = self._evaluate(plan, tracer=tracer)
         self._result_cache.store(plan.key, result)
         return result, False
 
@@ -136,31 +157,47 @@ class BatchExecutor:
             return False
         return plan.needs_generated_samples
 
-    def _evaluate(self, plan: QueryPlan) -> float | QueryResult:
+    def _evaluate(self, plan: QueryPlan, tracer=NULL_TRACER) -> float | QueryResult:
         """Run a plan on its routed evaluator (hybrid-identical by design)."""
         query = plan.query
         if plan.route == ROUTE_SAMPLE:
             if plan.logical is not None:
                 # Execute the already-compiled plan directly — no recompile.
-                return self._model.sample_evaluator.engine.execute(plan.logical)
+                return self._model.sample_evaluator.engine.execute(
+                    plan.logical, tracer=tracer
+                )
             return self._model.sample_evaluator.execute(query)
         if plan.route == ROUTE_BAYES_NET:
-            if isinstance(query, PointQuery):
-                return self._inference_cache.point(query.as_dict())
-            if plan.bn_lowering == BN_LOWER_EXACT:
-                return self._model.bayes_net_evaluator.scalar_exact(
-                    plan.logical if plan.logical is not None else query
-                )
-            self._inference_cache.warm_samples()
-            return self._model.bayes_net_evaluator.execute(query)
+            engine = self._inference_cache.engine
+            if tracer.enabled:
+                # Each paid elimination pass becomes a span.
+                engine.tracer = tracer
+            try:
+                if isinstance(query, PointQuery):
+                    with tracer.span("bn-point"):
+                        return self._inference_cache.point(query.as_dict())
+                if plan.bn_lowering == BN_LOWER_EXACT:
+                    with tracer.span("bn-exact-scalar"):
+                        return self._model.bayes_net_evaluator.scalar_exact(
+                            plan.logical if plan.logical is not None else query
+                        )
+                with tracer.span("bn-sampled"):
+                    self._inference_cache.warm_samples()
+                    return self._model.bayes_net_evaluator.execute(query)
+            finally:
+                if tracer.enabled:
+                    engine.tracer = NULL_TRACER
         if plan.needs_generated_samples:
             self._inference_cache.warm_samples()
-        return self._model.hybrid_evaluator.execute(query)
+        with tracer.span("hybrid"):
+            return self._model.hybrid_evaluator.execute(query)
 
     # ------------------------------------------------------------------
     # Batch execution
     # ------------------------------------------------------------------
-    def execute_batch(self, queries: Sequence[Query | str]) -> BatchResult:
+    def execute_batch(
+        self, queries: Sequence[Query | str], tracer=NULL_TRACER
+    ) -> BatchResult:
         """Plan, group, and serve a batch, returning answers in input order.
 
         Plans are bucketed by group signature so queries over the same
@@ -174,14 +211,39 @@ class BatchExecutor:
         optimizer on (the default), sample-routed plans and hybrid GROUP BY
         plans likewise dispatch through rewritten columnar schedules
         (``columnar_batch_seconds``, rewrite counters in ``optimizer``).
+
+        An enabled ``tracer`` wraps the batch in a ``batch`` span with one
+        child per stage (compile → route → warm-samples → bn-dispatch →
+        columnar → cache-probe), attaches the schedule/unit/slot span tree
+        under the columnar stage, and stores the root on
+        ``BatchResult.trace``.  Stage wall-times additionally feed the
+        registry's ``latency.stage.*`` histograms whether or not the batch
+        is traced.
         """
+        with tracer.span("batch", n_queries=len(queries)) as root:
+            batch = self._execute_batch(queries, tracer)
+        if tracer.enabled:
+            batch.trace = root
+        return batch
+
+    def _execute_batch(
+        self, queries: Sequence[Query | str], tracer=NULL_TRACER
+    ) -> BatchResult:
         batch_start = time.perf_counter()
-        plans = [self.plan(query) for query in queries]
+        with tracer.span(names.STAGE_COMPILE, queries=len(queries)) as span:
+            if tracer.enabled:
+                plan_stats = self._plan_cache.statistics.snapshot()
+            plans = [self.plan(query) for query in queries]
+            if tracer.enabled:
+                delta = self._plan_cache.statistics.since(plan_stats)
+                span.count(plan_cache_hits=delta.hits, plan_cache_misses=delta.misses)
+        compile_seconds = time.perf_counter() - batch_start
 
         # Group plan indices by signature, preserving first-appearance order.
-        grouped: dict[tuple, list[int]] = {}
-        for index, plan in enumerate(plans):
-            grouped.setdefault(plan.group_signature, []).append(index)
+        with tracer.span(names.STAGE_ROUTE):
+            grouped: dict[tuple, list[int]] = {}
+            for index, plan in enumerate(plans):
+                grouped.setdefault(plan.group_signature, []).append(index)
 
         # Amortized warm-up: materialize BN samples once for the whole batch.
         # (Exactly-lowered BN scalars never touch the generated samples, so
@@ -189,7 +251,8 @@ class BatchExecutor:
         amortized_seconds = 0.0
         if any(self._plan_needs_samples(plan) for plan in plans):
             warm_start = time.perf_counter()
-            self._inference_cache.warm_samples()
+            with tracer.span(names.STAGE_WARM_SAMPLES):
+                self._inference_cache.warm_samples()
             amortized_seconds = time.perf_counter() - warm_start
 
         # Batched BN point dispatch: every unique BN-routed point plan that
@@ -216,20 +279,47 @@ class BatchExecutor:
             dispatch_start = time.perf_counter()
             engine = self._inference_cache.engine
             passes_before = engine.elimination_passes
-            if pending:
-                answers = self._inference_cache.point_batch(
-                    [query.as_dict() for query in pending.values()]
-                )
-                precomputed.update(zip(pending.keys(), answers))
-            if pending_scalars:
-                # One lowering call for every exactly-lowered scalar plan:
-                # factors over shared variable sets eliminate once, subsets
-                # derive from already-eliminated prefixes.
-                scalar_answers = self._model.bayes_net_evaluator.scalar_exact_batch(
-                    list(pending_scalars.values())
-                )
-                precomputed.update(zip(pending_scalars.keys(), scalar_answers))
-            bn_passes = engine.elimination_passes - passes_before
+            hits_before = engine.factor_cache_hits
+            misses_before = engine.factor_cache_misses
+            with tracer.span(
+                names.STAGE_BN_DISPATCH,
+                points=len(pending),
+                exact_scalars=len(pending_scalars),
+            ) as span:
+                if tracer.enabled:
+                    # Each paid elimination pass becomes a child span.
+                    engine.tracer = tracer
+                try:
+                    if pending:
+                        answers = self._inference_cache.point_batch(
+                            [query.as_dict() for query in pending.values()]
+                        )
+                        precomputed.update(zip(pending.keys(), answers))
+                    if pending_scalars:
+                        # One lowering call for every exactly-lowered scalar plan:
+                        # factors over shared variable sets eliminate once, subsets
+                        # derive from already-eliminated prefixes.
+                        scalar_answers = self._model.bayes_net_evaluator.scalar_exact_batch(
+                            list(pending_scalars.values())
+                        )
+                        precomputed.update(zip(pending_scalars.keys(), scalar_answers))
+                finally:
+                    if tracer.enabled:
+                        engine.tracer = NULL_TRACER
+                bn_passes = engine.elimination_passes - passes_before
+                if tracer.enabled:
+                    span.count(
+                        elimination_passes=bn_passes,
+                        factor_cache_hits=engine.factor_cache_hits - hits_before,
+                        factor_cache_misses=engine.factor_cache_misses - misses_before,
+                    )
+            self._metrics.counter(names.BN_ELIMINATION_PASSES).inc(bn_passes)
+            self._metrics.counter(names.BN_FACTOR_CACHE_HITS).inc(
+                engine.factor_cache_hits - hits_before
+            )
+            self._metrics.counter(names.BN_FACTOR_CACHE_MISSES).inc(
+                engine.factor_cache_misses - misses_before
+            )
             bn_batch_seconds = time.perf_counter() - dispatch_start
         bn_keys = set(pending) | set(pending_scalars)
         # Attribute the shared dispatch evenly across the plans it answered.
@@ -267,24 +357,33 @@ class BatchExecutor:
                     pending_hybrid_joins.setdefault(plan.key, plan)
             if pending_columnar or pending_hybrid_groups or pending_hybrid_joins:
                 dispatch_start = time.perf_counter()
-                if pending_columnar:
-                    answers = self._model.sample_evaluator.engine.execute_batch(
-                        [plan.logical for plan in pending_columnar.values()],
-                        stats=optimizer_stats,
-                    )
-                    precomputed.update(zip(pending_columnar.keys(), answers))
-                if pending_hybrid_groups:
-                    answers = self._model.hybrid_evaluator.group_by_batch(
-                        [plan.logical for plan in pending_hybrid_groups.values()],
-                        stats=optimizer_stats,
-                    )
-                    precomputed.update(zip(pending_hybrid_groups.keys(), answers))
-                if pending_hybrid_joins:
-                    answers = self._model.hybrid_evaluator.join_group_by_batch(
-                        [plan.logical for plan in pending_hybrid_joins.values()],
-                        stats=optimizer_stats,
-                    )
-                    precomputed.update(zip(pending_hybrid_joins.keys(), answers))
+                with tracer.span(
+                    names.STAGE_COLUMNAR,
+                    sample_routed=len(pending_columnar),
+                    hybrid_groups=len(pending_hybrid_groups),
+                    hybrid_joins=len(pending_hybrid_joins),
+                ):
+                    if pending_columnar:
+                        answers = self._model.sample_evaluator.engine.execute_batch(
+                            [plan.logical for plan in pending_columnar.values()],
+                            stats=optimizer_stats,
+                            tracer=tracer,
+                        )
+                        precomputed.update(zip(pending_columnar.keys(), answers))
+                    if pending_hybrid_groups:
+                        answers = self._model.hybrid_evaluator.group_by_batch(
+                            [plan.logical for plan in pending_hybrid_groups.values()],
+                            stats=optimizer_stats,
+                            tracer=tracer,
+                        )
+                        precomputed.update(zip(pending_hybrid_groups.keys(), answers))
+                    if pending_hybrid_joins:
+                        answers = self._model.hybrid_evaluator.join_group_by_batch(
+                            [plan.logical for plan in pending_hybrid_joins.values()],
+                            stats=optimizer_stats,
+                            tracer=tracer,
+                        )
+                        precomputed.update(zip(pending_hybrid_joins.keys(), answers))
                 columnar_seconds = time.perf_counter() - dispatch_start
                 optimized_keys = (
                     set(pending_columnar)
@@ -295,50 +394,85 @@ class BatchExecutor:
 
         outcomes: list[QueryOutcome | None] = [None] * len(plans)
         served: dict[tuple, QueryOutcome] = {}
-        for indices in grouped.values():
-            for index in indices:
-                plan = plans[index]
-                first = served.get(plan.key)
-                if first is not None:
-                    outcomes[index] = QueryOutcome(
-                        index=index,
-                        plan=plan,
-                        result=first.result,
-                        seconds=0.0,
-                        from_result_cache=first.from_result_cache,
-                        deduplicated=True,
-                    )
-                    continue
-                if plan.key in precomputed:
-                    # The batched dispatches bypassed execute_plan, so record
-                    # the result-cache miss they decided on (keeping hit-rate
-                    # statistics identical to per-plan execution).
-                    self._result_cache.lookup(plan.key)
-                    result = precomputed[plan.key]
-                    self._result_cache.store(plan.key, result)
-                    outcome = QueryOutcome(
-                        index=index,
-                        plan=plan,
-                        result=result,
-                        seconds=batched_share
-                        if plan.key in bn_keys
-                        else optimized_share,
-                        from_result_cache=False,
-                        bn_batched=plan.key in bn_keys,
-                        optimized=plan.key in optimized_keys,
-                    )
-                else:
-                    start = time.perf_counter()
-                    result, from_cache = self.execute_plan(plan)
-                    outcome = QueryOutcome(
-                        index=index,
-                        plan=plan,
-                        result=result,
-                        seconds=time.perf_counter() - start,
-                        from_result_cache=from_cache,
-                    )
-                outcomes[index] = outcome
-                served[plan.key] = outcome
+        probe_start = time.perf_counter()
+        with tracer.span(names.STAGE_CACHE_PROBE, queries=len(plans)) as probe_span:
+            if tracer.enabled:
+                result_stats = self._result_cache.statistics.snapshot()
+            for indices in grouped.values():
+                for index in indices:
+                    plan = plans[index]
+                    first = served.get(plan.key)
+                    if first is not None:
+                        outcomes[index] = QueryOutcome(
+                            index=index,
+                            plan=plan,
+                            result=first.result,
+                            seconds=0.0,
+                            from_result_cache=first.from_result_cache,
+                            deduplicated=True,
+                        )
+                        continue
+                    if plan.key in precomputed:
+                        # The batched dispatches bypassed execute_plan, so record
+                        # the result-cache miss they decided on (keeping hit-rate
+                        # statistics identical to per-plan execution).
+                        self._result_cache.lookup(plan.key)
+                        result = precomputed[plan.key]
+                        self._result_cache.store(plan.key, result)
+                        outcome = QueryOutcome(
+                            index=index,
+                            plan=plan,
+                            result=result,
+                            seconds=batched_share
+                            if plan.key in bn_keys
+                            else optimized_share,
+                            from_result_cache=False,
+                            bn_batched=plan.key in bn_keys,
+                            optimized=plan.key in optimized_keys,
+                        )
+                    else:
+                        start = time.perf_counter()
+                        result, from_cache = self.execute_plan(plan)
+                        outcome = QueryOutcome(
+                            index=index,
+                            plan=plan,
+                            result=result,
+                            seconds=time.perf_counter() - start,
+                            from_result_cache=from_cache,
+                        )
+                    outcomes[index] = outcome
+                    served[plan.key] = outcome
+            if tracer.enabled:
+                delta = self._result_cache.statistics.since(result_stats)
+                probe_span.count(
+                    result_cache_hits=delta.hits, result_cache_misses=delta.misses
+                )
+        probe_seconds = time.perf_counter() - probe_start
+
+        # Fold this batch's counters into the shared registry; the batch's
+        # own ``optimizer`` dict is read back as the counters' delta, so it
+        # and the session-lifetime ServingStatistics view always agree.
+        optimizer_view: dict[str, int] | None = None
+        if self._optimize:
+            before = {
+                field: self._metrics.value(names.optimizer_counter(field))
+                for field in names.OPTIMIZER_COUNTERS
+            }
+            for field, value in optimizer_stats.as_dict().items():
+                self._metrics.counter(names.optimizer_counter(field)).inc(value)
+            optimizer_view = {
+                field: self._metrics.value(names.optimizer_counter(field))
+                - before[field]
+                for field in names.OPTIMIZER_COUNTERS
+            }
+        for stage, seconds in (
+            (names.STAGE_COMPILE, compile_seconds),
+            (names.STAGE_WARM_SAMPLES, amortized_seconds),
+            (names.STAGE_BN_DISPATCH, bn_batch_seconds),
+            (names.STAGE_COLUMNAR, columnar_seconds),
+            (names.STAGE_CACHE_PROBE, probe_seconds),
+        ):
+            self._metrics.histogram(names.stage_histogram(stage)).record(seconds)
 
         assert all(outcome is not None for outcome in outcomes)
         return BatchResult(
@@ -348,5 +482,5 @@ class BatchExecutor:
             bn_batch_seconds=bn_batch_seconds,
             bn_elimination_passes=bn_passes,
             columnar_batch_seconds=columnar_seconds,
-            optimizer=optimizer_stats.as_dict() if self._optimize else None,
+            optimizer=optimizer_view,
         )

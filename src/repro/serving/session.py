@@ -14,6 +14,9 @@ import time
 from collections.abc import Sequence
 from typing import TYPE_CHECKING, Any
 
+from ..obs import names
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..query.ast import Query
 from ..sql.engine import QueryResult
 from .cache import InferenceCache, PlanCache, ResultCache
@@ -23,6 +26,44 @@ from .stats import BatchResult, QueryOutcome, ServingStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.themis import Themis
+
+#: Keys in cache-tier statistics that report *current sizes* rather than
+#: monotone counters; window views keep them as-is instead of differencing.
+_GAUGE_KEYS = frozenset(
+    {
+        "entries",
+        "cached_masks",
+        "cached_sides",
+        "cached_factors",
+        "factors",
+        "marginals",
+        "samples_warm",
+        "capacity",
+        "factor_capacity",
+        "generation",
+    }
+)
+
+
+def _window_view(current: dict[str, Any], baseline: dict[str, Any]) -> dict[str, Any]:
+    """Per-window cache statistics: counters differenced, sizes kept current."""
+    view: dict[str, Any] = {}
+    for key, value in current.items():
+        if isinstance(value, dict):
+            view[key] = _window_view(value, baseline.get(key, {}) if isinstance(baseline.get(key), dict) else {})
+        elif key in _GAUGE_KEYS or isinstance(value, bool) or not isinstance(value, (int, float)):
+            view[key] = value
+        elif key == "hit_rate":
+            view[key] = value  # recomputed below from the windowed hits/misses
+        else:
+            base = baseline.get(key, 0)
+            view[key] = value - (base if isinstance(base, (int, float)) else 0)
+    if "hit_rate" in view:
+        hits = view.get("hits", 0)
+        misses = view.get("misses", 0)
+        total = hits + misses
+        view["hit_rate"] = (hits / total) if total else 0.0
+    return view
 
 
 class ServingSession:
@@ -55,6 +96,15 @@ class ServingSession:
         optimized answers are bit-identical to per-plan execution;
         ``Themis.serve(optimize=False)`` is the per-plan escape hatch for
         debugging and for measuring the optimizer's effect.
+    trace:
+        When true, every served query and batch carries a structured span
+        tree (``outcome.trace`` / ``batch.trace``) recording where its
+        latency went — compile, route, BN dispatch, optimized kernel units,
+        cache probes — rendered by ``trace.render()`` and exportable as
+        JSONL.  A fresh :class:`~repro.obs.Tracer` is built per call, so a
+        long-lived tracing session never accumulates old trees.  Off by
+        default: the untraced path runs against a shared no-op recorder
+        whose overhead the ``obs`` benchmark bounds below 3%.
     """
 
     def __init__(
@@ -65,6 +115,7 @@ class ServingSession:
         inference_factor_capacity: int = 128,
         exact_bn_aggregates: bool = False,
         optimize: bool = True,
+        trace: bool = False,
     ):
         self._themis = themis
         self._result_cache = ResultCache(result_cache_size)
@@ -72,10 +123,15 @@ class ServingSession:
         self._inference_factor_capacity = int(inference_factor_capacity)
         self._exact_bn_aggregates = bool(exact_bn_aggregates)
         self._optimize = bool(optimize)
+        self._trace = bool(trace)
         self._inference_cache: InferenceCache | None = None
         self._executor: BatchExecutor | None = None
         self._generation: int | None = None
-        self.statistics = ServingStatistics()
+        self._cache_window: dict[str, Any] | None = None
+        #: One registry per session: the executor folds optimizer/BN/stage
+        #: counters into it, and ``statistics`` reads them back as views.
+        self.metrics = MetricsRegistry()
+        self.statistics = ServingStatistics(self.metrics)
 
     # ------------------------------------------------------------------
     # Model-generation tracking
@@ -99,7 +155,7 @@ class ServingSession:
         # Fitting inside .model bumps the generation; re-read it afterwards.
         generation = self._themis.generation
         if self._executor is not None:
-            self.statistics.invalidations += 1
+            self.statistics.record_invalidation()
         self._result_cache.invalidate(generation)
         self._plan_cache.invalidate()
         if self._inference_cache is None:
@@ -126,6 +182,7 @@ class ServingSession:
             self._plan_cache,
             exact_bn_aggregates=self._exact_bn_aggregates,
             optimize=self._optimize,
+            metrics=self.metrics,
         )
         self._generation = generation
         return self._executor
@@ -138,25 +195,44 @@ class ServingSession:
         return self.execute_with_outcome(query).result
 
     def execute_with_outcome(self, query: Query | str) -> QueryOutcome:
-        """Serve one query and return the full :class:`QueryOutcome`."""
+        """Serve one query and return the full :class:`QueryOutcome`.
+
+        A tracing session (``trace=True``) attaches the query's span tree
+        — ``query`` → ``compile`` + ``execute`` — as ``outcome.trace``.
+        """
         executor = self._ensure_current()
+        tracer = Tracer() if self._trace else NULL_TRACER
         start = time.perf_counter()
-        plan = executor.plan(query)
-        result, from_cache = executor.execute_plan(plan)
+        with tracer.span("query") as root:
+            with tracer.span("compile"):
+                plan = executor.plan(query)
+            if tracer.enabled:
+                root.set(route=plan.route, shape=plan.shape)
+            with tracer.span("execute", route=plan.route) as span:
+                result, from_cache = executor.execute_plan(plan, tracer=tracer)
+                if tracer.enabled:
+                    span.set(from_result_cache=from_cache)
         outcome = QueryOutcome(
             index=0,
             plan=plan,
             result=result,
             seconds=time.perf_counter() - start,
             from_result_cache=from_cache,
+            trace=root if self._trace else None,
         )
         self.statistics.record_outcome(outcome)
         return outcome
 
     def execute_batch(self, queries: Sequence[Query | str]) -> BatchResult:
-        """Serve a batch of SQL strings and/or ASTs in submission order."""
+        """Serve a batch of SQL strings and/or ASTs in submission order.
+
+        A tracing session (``trace=True``) attaches the batch's span tree
+        (compile → route → warm-samples → bn-dispatch → columnar units →
+        cache-probe) as ``batch.trace``.
+        """
         executor = self._ensure_current()
-        batch = executor.execute_batch(queries)
+        tracer = Tracer() if self._trace else NULL_TRACER
+        batch = executor.execute_batch(queries, tracer=tracer)
         self.statistics.record_batch(batch)
         return batch
 
@@ -188,11 +264,20 @@ class ServingSession:
                 self._generation or 0,
             )
 
-    def cache_statistics(self) -> dict[str, Any]:
+    def cache_statistics(self, window: bool = False) -> dict[str, Any]:
         """Hit/miss snapshots of every cache tier, plus size-in-items counts.
 
         Sizes come from the stat-free ``entries()`` probes, so reading the
-        statistics never promotes an entry or perturbs a hit rate.
+        statistics never promotes an entry or perturbs a hit rate.  The
+        lifetime numbers are also mirrored into the session registry's
+        ``cache.<tier>.*`` gauges each time this is called.
+
+        With ``window=True`` the counters (hits/misses/evictions and the
+        BN engine's amortization counters) are reported as deltas since the
+        last :meth:`reset_cache_window` call — and ``hit_rate`` is the
+        *window's* hit rate — while sizes (``entries``, ``cached_*``,
+        ``samples_warm``) stay current values.  Lifetime counters are never
+        disturbed: windows are pure snapshot arithmetic.
         """
         stats = {
             "result_cache": {
@@ -210,12 +295,41 @@ class ServingSession:
                 "entries": self._inference_cache.entries(),
             }
         if self._executor is not None:
-            join_sides = (
-                self._executor.model.sample_evaluator.engine.executor.join_side_cache
-            )
+            engine = self._executor.model.sample_evaluator.engine
+            stats["mask_cache"] = engine.mask_cache.statistics()
             # statistics() already reports the side count as `cached_sides`.
-            stats["join_side_cache"] = join_sides.statistics()
+            stats["join_side_cache"] = engine.executor.join_side_cache.statistics()
+        self._sync_cache_gauges(stats)
+        if window:
+            return _window_view(stats, self._cache_window or {})
         return stats
+
+    def reset_cache_window(self) -> None:
+        """Start a new reporting window for ``cache_statistics(window=True)``.
+
+        Takes a snapshot of every tier's lifetime counters; subsequent
+        window reads subtract it.  Nothing is mutated — ``entries()`` /
+        ``peek()`` probes and the lifetime statistics are untouched.
+        """
+        self._cache_window = self.cache_statistics()
+
+    def _sync_cache_gauges(self, stats: dict[str, Any]) -> None:
+        """Mirror the cache tiers' lifetime numbers into registry gauges."""
+        tiers = {
+            "result_cache": "result",
+            "plan_cache": "plan",
+            "inference_cache": "inference",
+            "mask_cache": "mask",
+            "join_side_cache": "join_side",
+        }
+        for key, tier in tiers.items():
+            tier_stats = stats.get(key)
+            if not tier_stats:
+                continue
+            for metric, value in tier_stats.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                self.metrics.gauge(names.cache_gauge(tier, metric)).set(value)
 
     def describe(self) -> dict[str, Any]:
         """Session statistics plus cache statistics, one printable dict."""

@@ -4,6 +4,13 @@ Every served query produces a :class:`QueryOutcome` (the answer plus where it
 came from and what it cost); a batch bundles them into a :class:`BatchResult`
 with amortized timing; a session accumulates :class:`ServingStatistics`
 across batches.
+
+Since the observability layer landed, :class:`ServingStatistics` is a *view*
+over one :class:`repro.obs.MetricsRegistry` — the same registry the batch
+executor folds its optimizer counters into — so the session-lifetime numbers
+and each batch's ``optimizer`` dict are, by construction, readings of the
+same counters (the old independently-accumulated copies could drift).  Every
+public field keeps its name, type, and bit-identical value.
 """
 
 from __future__ import annotations
@@ -11,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs import names
+from ..obs.metrics import MetricsRegistry
 from ..query.ast import PointQuery
 from ..sql.engine import QueryResult
 from .planner import ROUTE_BAYES_NET, QueryPlan
@@ -42,6 +51,9 @@ class QueryOutcome:
     optimized:
         Whether the answer came out of the batch's optimized columnar
         schedule (sample-routed plans and fused hybrid GROUP BY families).
+    trace:
+        The query's :class:`repro.obs.Span` tree when the serving session
+        was tracing; ``None`` otherwise.
     """
 
     index: int
@@ -52,6 +64,7 @@ class QueryOutcome:
     deduplicated: bool = False
     bn_batched: bool = False
     optimized: bool = False
+    trace: Any = None
 
     @property
     def route(self) -> str:
@@ -88,8 +101,12 @@ class BatchResult:
     columnar_batch_seconds: float = 0.0
     #: Rewrite counters of the batch's optimizer schedules (plans deduped,
     #: predicates pushed down, group-by fusions, masks shared); ``None``
-    #: when the batch ran with ``optimize=False``.
+    #: when the batch ran with ``optimize=False``.  Derived as this batch's
+    #: delta of the executor's ``optimizer.*`` registry counters, so it can
+    #: never drift from :class:`ServingStatistics` over the same registry.
     optimizer: dict[str, int] | None = None
+    #: The batch's :class:`repro.obs.Span` tree when traced; ``None`` otherwise.
+    trace: Any = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -145,72 +162,142 @@ class BatchResult:
         }
 
 
-@dataclass
 class ServingStatistics:
-    """Session-lifetime counters, aggregated over every query and batch."""
+    """Session-lifetime counters: a live view over one metrics registry.
 
-    queries_served: int = 0
-    batches_served: int = 0
-    total_seconds: float = 0.0
-    invalidations: int = 0
-    route_counts: dict[str, int] = field(default_factory=dict)
+    Every field the old accumulator exposed is preserved — same names, same
+    (bit-identical) values — but each is now a read of a named counter in
+    the shared :class:`~repro.obs.MetricsRegistry` (see
+    :mod:`repro.obs.names`).  The batch executor folds its optimizer
+    rewrite counters into the *same* registry and derives each
+    ``BatchResult.optimizer`` dict as that batch's counter delta, which is
+    what makes session-lifetime and per-batch optimizer numbers agree by
+    construction instead of by parallel bookkeeping.
+
+    ``record_outcome`` / ``record_batch`` write the serving-side counters
+    (queries, routes, BN point dispatch) and feed the query/batch latency
+    histograms.  Optimizer counters are *not* folded here — the executor
+    that built the schedule already wrote them.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Counter views (names frozen in repro.obs.names)
+    # ------------------------------------------------------------------
+    @property
+    def queries_served(self) -> int:
+        """Queries served over the session's lifetime."""
+        return self.metrics.value(names.QUERIES_SERVED)
+
+    @property
+    def batches_served(self) -> int:
+        """Batches served over the session's lifetime."""
+        return self.metrics.value(names.BATCHES_SERVED)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock seconds attributed to served queries."""
+        return self.metrics.value(names.TOTAL_SECONDS)
+
+    @property
+    def invalidations(self) -> int:
+        """Executor rebuilds forced by model-generation changes."""
+        return self.metrics.value(names.INVALIDATIONS)
+
+    @property
+    def route_counts(self) -> dict[str, int]:
+        """Served queries per evaluator route, in first-served order."""
+        return self.metrics.counters_with_prefix(names.ROUTE_PREFIX)
+
     #: BN-routed point queries answered through the shared batched dispatch
     #: vs. individually (single-query serving, or cache-refill stragglers).
-    bn_points_batched: int = 0
-    bn_points_single: int = 0
-    #: Queries answered through optimized columnar schedules.
-    plans_optimized: int = 0
+    @property
+    def bn_points_batched(self) -> int:
+        return self.metrics.value(names.BN_POINTS_BATCHED)
+
+    @property
+    def bn_points_single(self) -> int:
+        return self.metrics.value(names.BN_POINTS_SINGLE)
+
+    @property
+    def plans_optimized(self) -> int:
+        """Queries answered through optimized columnar schedules."""
+        return self.metrics.value(names.PLANS_OPTIMIZED)
+
+    def _optimizer_counter(self, field_name: str) -> int:
+        return self.metrics.value(names.optimizer_counter(field_name))
+
     #: Session-lifetime optimizer rewrite counters (see
-    #: :class:`repro.plan.OptimizerStats`): how many plans the batch
-    #: optimizer deduplicated, how many WHERE conjuncts predicate
-    #: normalization eliminated, how many scatter-add passes group-by
-    #: fusion avoided, and how many mask evaluations the shared mask stage
-    #: skipped — the counters benchmarks assert on to prove the rewrites
-    #: actually fired.
-    plans_deduped: int = 0
-    predicates_pushed_down: int = 0
-    groupby_fusions: int = 0
-    masks_shared: int = 0
+    #: :class:`repro.plan.OptimizerStats`), read from the ``optimizer.*``
+    #: registry counters the batch executor folds each schedule into —
+    #: the counters benchmarks assert on to prove the rewrites fired.
+    @property
+    def plans_deduped(self) -> int:
+        return self._optimizer_counter("plans_deduped")
+
+    @property
+    def predicates_pushed_down(self) -> int:
+        return self._optimizer_counter("predicates_pushed_down")
+
+    @property
+    def groupby_fusions(self) -> int:
+        return self._optimizer_counter("groupby_fusions")
+
+    @property
+    def masks_shared(self) -> int:
+        return self._optimizer_counter("masks_shared")
+
     #: Join rewrites: side scatter-add passes avoided by join-side fusion,
     #: scheduled sides answered by the cross-batch join-side cache, and
     #: per-generated-sample evaluator dispatches hybrid family batching
     #: avoided.
-    join_sides_fused: int = 0
-    join_side_cache_hits: int = 0
-    bn_sample_dispatches_saved: int = 0
+    @property
+    def join_sides_fused(self) -> int:
+        return self._optimizer_counter("join_sides_fused")
+
+    @property
+    def join_side_cache_hits(self) -> int:
+        return self._optimizer_counter("join_side_cache_hits")
+
+    @property
+    def bn_sample_dispatches_saved(self) -> int:
+        return self._optimizer_counter("bn_sample_dispatches_saved")
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_invalidation(self) -> None:
+        """Count one executor rebuild (model generation moved)."""
+        self.metrics.counter(names.INVALIDATIONS).inc()
 
     def record_outcome(self, outcome: QueryOutcome) -> None:
         """Fold one served query into the counters."""
-        self.queries_served += 1
-        self.total_seconds += outcome.seconds
-        self.route_counts[outcome.route] = self.route_counts.get(outcome.route, 0) + 1
+        self.metrics.counter(names.QUERIES_SERVED).inc()
+        self.metrics.counter(names.TOTAL_SECONDS).inc(outcome.seconds)
+        self.metrics.counter(names.route_counter(outcome.route)).inc()
+        self.metrics.histogram(names.QUERY_SECONDS).record(outcome.seconds)
         if outcome.optimized:
-            self.plans_optimized += 1
+            self.metrics.counter(names.PLANS_OPTIMIZED).inc()
         if outcome.is_bn_point and not outcome.from_result_cache and not outcome.deduplicated:
             if outcome.bn_batched:
-                self.bn_points_batched += 1
+                self.metrics.counter(names.BN_POINTS_BATCHED).inc()
             else:
-                self.bn_points_single += 1
+                self.metrics.counter(names.BN_POINTS_SINGLE).inc()
 
     def record_batch(self, batch: BatchResult) -> None:
-        """Fold one served batch into the counters."""
-        self.batches_served += 1
+        """Fold one served batch into the counters.
+
+        The batch's optimizer counters are deliberately *not* folded here:
+        the executor that built the schedules already wrote them into the
+        shared registry (``batch.optimizer`` is its per-batch delta), and
+        folding the dict again would double-count.
+        """
+        self.metrics.counter(names.BATCHES_SERVED).inc()
+        self.metrics.histogram(names.BATCH_SECONDS).record(batch.total_seconds)
         for outcome in batch.outcomes:
             self.record_outcome(outcome)
-        if batch.optimizer:
-            self.plans_deduped += batch.optimizer.get("plans_deduped", 0)
-            self.predicates_pushed_down += batch.optimizer.get(
-                "predicates_pushed_down", 0
-            )
-            self.groupby_fusions += batch.optimizer.get("groupby_fusions", 0)
-            self.masks_shared += batch.optimizer.get("masks_shared", 0)
-            self.join_sides_fused += batch.optimizer.get("join_sides_fused", 0)
-            self.join_side_cache_hits += batch.optimizer.get(
-                "join_side_cache_hits", 0
-            )
-            self.bn_sample_dispatches_saved += batch.optimizer.get(
-                "bn_sample_dispatches_saved", 0
-            )
 
     def as_dict(self) -> dict[str, Any]:
         """A plain-dict snapshot of every session-lifetime counter."""

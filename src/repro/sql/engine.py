@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from typing import Any
 
+from ..obs.trace import NULL_TRACER
 from ..query.ast import (
     GroupByQuery,
     JoinGroupByQuery,
@@ -108,11 +109,13 @@ class WeightedQueryEngine:
     # ------------------------------------------------------------------
     # Execution (all shapes share the compiled-plan path)
     # ------------------------------------------------------------------
-    def execute(self, query: Query) -> float | QueryResult:
+    def execute(self, query: Query, tracer=NULL_TRACER) -> float | QueryResult:
         """Evaluate any supported query type (or compiled plan, or SQL)."""
-        return self._executor.execute(query)
+        return self._executor.execute(query, tracer=tracer)
 
-    def execute_batch(self, queries, optimize: bool = True, stats=None) -> list:
+    def execute_batch(
+        self, queries, optimize: bool = True, stats=None, tracer=NULL_TRACER
+    ) -> list:
         """Evaluate a batch through the batch-aware plan optimizer.
 
         Answers come back in submission order and are bit-identical to
@@ -120,7 +123,9 @@ class WeightedQueryEngine:
         per-plan reference loop.  See
         :meth:`repro.plan.ColumnarExecutor.execute_batch`.
         """
-        return self._executor.execute_batch(queries, optimize=optimize, stats=stats)
+        return self._executor.execute_batch(
+            queries, optimize=optimize, stats=stats, tracer=tracer
+        )
 
     def point(self, assignment: Mapping[str, Any]) -> float:
         """``SELECT SUM(weight) WHERE A1=v1 AND ...`` — the weighted COUNT(*)."""
