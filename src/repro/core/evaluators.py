@@ -31,11 +31,14 @@ from ..plan import (
     SHAPE_GROUP_BY,
     SHAPE_POINT,
     SHAPE_SCALAR,
+    SHAPE_TABLE,
     LogicalPlan,
     PlanCompiler,
+    merged_table,
     query_shape,
 )
 from ..query.ast import (
+    AnalyticQuery,
     GroupByQuery,
     JoinGroupByQuery,
     Query,
@@ -67,6 +70,10 @@ class OpenWorldEvaluator:
         """Estimated self-join GROUP BY answer over the population."""
         raise NotImplementedError
 
+    def analytic(self, query: "AnalyticQuery | LogicalPlan"):
+        """Estimated analytic (table-shaped) answer over the population."""
+        raise NotImplementedError
+
     def execute(self, query: Query) -> float | QueryResult:
         """Dispatch on the query shape (one shared shape function, not
         per-evaluator isinstance chains).
@@ -84,6 +91,8 @@ class OpenWorldEvaluator:
             return self.group_by(query)
         if shape == SHAPE_SCALAR:
             return self.scalar(query)
+        if shape == SHAPE_TABLE:
+            return self.analytic(query)
         return self.join_group_by(query)
 
 
@@ -120,6 +129,10 @@ class ReweightedSampleEvaluator(OpenWorldEvaluator):
 
     def join_group_by(self, query: JoinGroupByQuery) -> QueryResult:
         return self._engine.join_group_by(query)
+
+    def analytic(self, query: "AnalyticQuery | LogicalPlan"):
+        """Analytic table straight from the columnar engine's fused pass."""
+        return self._engine.analytic(query)
 
 
 class BayesNetEvaluator(OpenWorldEvaluator):
@@ -295,6 +308,23 @@ class BayesNetEvaluator(OpenWorldEvaluator):
             )
             for index, query in enumerate(queries)
         ]
+
+    def analytic(self, query: "AnalyticQuery | LogicalPlan"):
+        """Analytic table by per-aggregate decomposition over the network.
+
+        Each SELECT-list aggregate runs as one legacy group-by (or scalar)
+        query through the generated-sample machinery unchanged; the
+        per-aggregate answers zip back into group rows and the HAVING /
+        window / ORDER BY / LIMIT pipeline runs over them.
+        """
+        plan = query if isinstance(query, LogicalPlan) else self._compiler().compile(query)
+        per_spec: list[dict[tuple[Any, ...], float]] = []
+        for part in _analytic_parts(plan.query):
+            if isinstance(part, GroupByQuery):
+                per_spec.append(self.group_by(part).as_dict())
+            else:
+                per_spec.append({(): self.scalar(part)})
+        return merged_table(plan, per_spec, self._network.schema)
 
     # ------------------------------------------------------------------
     # Exact lowering of Filter-restricted aggregates (plan-IR extension)
@@ -595,6 +625,94 @@ class HybridEvaluator(OpenWorldEvaluator):
         return _merge_group_by(
             (query.left_group, query.right_group), sample_result, bn_result
         )
+
+    def analytic(self, query: "AnalyticQuery | LogicalPlan"):
+        """Hybrid analytic table; defined as a one-element :meth:`table_batch`
+        so per-query and batched serving answers are identical by
+        construction."""
+        return self.table_batch([query])[0]
+
+    def table_batch(
+        self,
+        queries: Sequence["AnalyticQuery | LogicalPlan"],
+        stats=None,
+        tracer=NULL_TRACER,
+    ) -> list:
+        """Batched hybrid analytic tables with the sample-union-BN merge.
+
+        Every grouped table decomposes into one legacy group-by per
+        SELECT-list aggregate; the flattened family runs through one
+        :meth:`group_by_batch` call — so decomposed aggregates sharing a
+        ``(Scan, Filter, Group)`` prefix fuse on the sample side and the BN
+        side pays one optimized dispatch per generated sample — and the
+        per-aggregate merged answers zip back into group rows before the
+        HAVING / window / ORDER BY / LIMIT pipeline runs.  Group-less
+        tables route per aggregate through the hybrid :meth:`scalar` rule.
+        Window permutations are memoized per ``(group keys, predicates)``
+        family, so tables differing only above the Group share one argsort
+        (counted in ``stats.window_sorts_shared``).
+        """
+        if not queries:
+            return []
+        compiler = self._sample_evaluator.engine.executor.compiler
+        plans = [
+            query if isinstance(query, LogicalPlan) else compiler.compile(query)
+            for query in queries
+        ]
+        results: list = [None] * len(plans)
+        grouped: list[tuple[int, LogicalPlan, int]] = []
+        parts: list[GroupByQuery] = []
+        for index, plan in enumerate(plans):
+            if plan.group_keys:
+                decomposed = _analytic_parts(plan.query)
+                grouped.append((index, plan, len(decomposed)))
+                parts.extend(decomposed)
+            else:
+                per_spec = [
+                    {(): self.scalar(part)} for part in _analytic_parts(plan.query)
+                ]
+                results[index] = merged_table(plan, per_spec, self.sample.schema)
+        if parts:
+            merged = self.group_by_batch(parts, stats=stats, tracer=tracer)
+            memos: dict[tuple, dict] = {}
+            offset = 0
+            for index, plan, width in grouped:
+                per_spec = [
+                    result.as_dict() for result in merged[offset : offset + width]
+                ]
+                offset += width
+                family = (
+                    plan.group_keys,
+                    tuple(predicate.key for predicate in plan.predicates),
+                )
+                results[index] = merged_table(
+                    plan,
+                    per_spec,
+                    self.sample.schema,
+                    sort_memo=memos.setdefault(family, {}),
+                    stats=stats,
+                )
+        return results
+
+
+def _analytic_parts(query: AnalyticQuery) -> list[GroupByQuery | ScalarAggregateQuery]:
+    """The legacy per-aggregate queries an analytic query decomposes into.
+
+    Aliases are stripped so equal aggregates compile to identical canonical
+    plans and dedupe inside the batch optimizer.
+    """
+    from dataclasses import replace
+
+    specs = [replace(spec, alias=None) for spec in query.aggregates]
+    if query.group_by:
+        return [
+            GroupByQuery(query.group_by, aggregate=spec, predicates=query.predicates)
+            for spec in specs
+        ]
+    return [
+        ScalarAggregateQuery(aggregate=spec, predicates=query.predicates)
+        for spec in specs
+    ]
 
 
 def _merge_group_by(

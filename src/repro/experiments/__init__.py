@@ -42,6 +42,7 @@ from .plan_fusion_throughput import plan_fusion_workload, run_plan_fusion
 from .plan_ir_throughput import plan_ir_relation, plan_ir_workload, run_plan_ir
 from .reporting import ExperimentResult, format_table
 from .serving_throughput import run_serving_throughput, serving_workload
+from .sql_surface_throughput import run_sql_surface, sql_surface_workload
 from .table1_motivating import run_table1
 from .table6_reuse_baseline import run_reuse_comparison
 from .table7_table8_timing import run_query_execution_time, run_solver_time
@@ -89,9 +90,11 @@ __all__ = [
     "run_simplification_ablation",
     "run_solver_time",
     "run_sql_queries",
+    "run_sql_surface",
     "run_table1",
     "run_table4_improvement",
     "run_time_accuracy",
     "serving_workload",
+    "sql_surface_workload",
     "table5_queries",
 ]

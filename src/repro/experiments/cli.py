@@ -49,6 +49,7 @@ def _build_registry() -> None:
     from .plan_fusion_throughput import run_plan_fusion
     from .plan_ir_throughput import run_plan_ir
     from .serving_throughput import run_serving_throughput
+    from .sql_surface_throughput import run_sql_surface
     from .table1_motivating import run_table1
     from .table6_reuse_baseline import run_reuse_comparison
     from .table7_table8_timing import run_query_execution_time, run_solver_time
@@ -79,6 +80,7 @@ def _build_registry() -> None:
     _register("plan_fusion", lambda scale: run_plan_fusion(scale))
     _register("join_fusion", lambda scale: run_join_fusion(scale))
     _register("obs", lambda scale: run_obs(scale))
+    _register("sql_surface", lambda scale: run_sql_surface(scale))
 
 
 def available_experiments() -> list[str]:

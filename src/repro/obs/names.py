@@ -46,6 +46,7 @@ OPTIMIZER_COUNTERS: tuple[str, ...] = (
     "join_sides_fused",
     "join_side_cache_hits",
     "bn_sample_dispatches_saved",
+    "window_sorts_shared",
 )
 
 # ---------------------------------------------------------------------------

@@ -32,19 +32,28 @@ from .ir import (
     SHAPE_JOIN_GROUP_BY,
     SHAPE_POINT,
     SHAPE_SCALAR,
+    SHAPE_TABLE,
     Aggregate,
     CanonicalPredicate,
     Filter,
     Group,
+    Having,
+    HavingCondition,
     Join,
+    Limit,
     LogicalPlan,
     PlanKey,
     Route,
     Scan,
+    Sort,
+    Window,
+    WindowOp,
     query_shape,
 )
+from .analytics import execute_table_pipeline, merged_table
 from .kernels import (
     JoinSideCache,
+    fused_group_columns,
     MaskCache,
     fused_group_reduce,
     fused_grouped_weight_totals,
@@ -74,7 +83,10 @@ __all__ = [
     "ColumnarExecutor",
     "Filter",
     "Group",
+    "Having",
+    "HavingCondition",
     "Join",
+    "Limit",
     "JoinSideCache",
     "JoinSideSpec",
     "LogicalPlan",
@@ -90,10 +102,16 @@ __all__ = [
     "SHAPE_JOIN_GROUP_BY",
     "SHAPE_POINT",
     "SHAPE_SCALAR",
+    "SHAPE_TABLE",
     "OptimizerStats",
     "PhysicalSchedule",
     "Scan",
     "ScheduleUnit",
+    "Sort",
+    "Window",
+    "WindowOp",
+    "execute_table_pipeline",
+    "fused_group_columns",
     "fused_group_reduce",
     "fused_grouped_weight_totals",
     "fused_scalar_reduce",
@@ -101,6 +119,7 @@ __all__ = [
     "grouped_weight_totals",
     "masked_weights",
     "merge_join_sides",
+    "merged_table",
     "normalize_plan",
     "normalize_predicates",
     "numeric_column",

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 from ..exceptions import QueryError
 from ..query.ast import (
     AggregateSpec,
+    AnalyticQuery,
     Comparison,
     GroupByQuery,
     JoinGroupByQuery,
@@ -39,15 +40,23 @@ from .ir import (
     SHAPE_JOIN_GROUP_BY,
     SHAPE_POINT,
     SHAPE_SCALAR,
+    SHAPE_TABLE,
     Aggregate,
     CanonicalPredicate,
     Filter,
     Group,
+    Having,
+    HavingCondition,
     Join,
+    Limit,
     LogicalPlan,
+    PipelineChild,
     PlanKey,
     Route,
     Scan,
+    Sort,
+    Window,
+    WindowOp,
     query_shape,
 )
 
@@ -109,6 +118,7 @@ class PlanCompiler:
             shape=plan.shape,
             key=plan.key,
             sql=statement,
+            labels=plan.labels,
         )
 
     def canonical_key(self, query: Query) -> PlanKey:
@@ -130,6 +140,8 @@ class PlanCompiler:
             return self._compile_scalar(query)
         if shape == SHAPE_GROUP_BY:
             return self._compile_group_by(query)
+        if shape == SHAPE_TABLE:
+            return self._compile_table(query)
         return self._compile_join(query)
 
     def _compile_point(self, query: PointQuery) -> LogicalPlan:
@@ -199,6 +211,144 @@ class PlanCompiler:
         )
         return LogicalPlan(
             query=query, root=Route(aggregate), shape=SHAPE_JOIN_GROUP_BY, key=key
+        )
+
+    def _compile_table(self, query: AnalyticQuery) -> LogicalPlan:
+        """Compile an analytic (table-shaped) query.
+
+        Output columns are fixed at compile time — group columns, then
+        aggregates in select-list order, then window aliases — and every
+        HAVING/window/ORDER BY reference is resolved to a column index
+        here, so execution never re-resolves names.
+        """
+        self._require_attributes(tuple(query.group_by))
+        specs = query.aggregates
+        for spec in specs:
+            if spec.attribute is not None:
+                self._require_attributes((spec.attribute,))
+        filter_node = self._compile_filter(query.predicates)
+        child = (
+            Group(filter_node, tuple(query.group_by))
+            if query.group_by
+            else filter_node
+        )
+        first = specs[0]
+        aggregate = Aggregate(
+            child,
+            first.function.value,
+            first.attribute,
+            extras=tuple((s.function.value, s.attribute) for s in specs[1:]),
+        )
+
+        labels = query.labels
+        duplicates = {label for label in labels if labels.count(label) > 1}
+        if duplicates:
+            raise QueryError(
+                f"duplicate output column label(s) {sorted(duplicates)}; use "
+                f"AS aliases to disambiguate"
+            )
+        n_group = len(query.group_by)
+
+        def aggregate_column(target: str) -> int | None:
+            for index, spec in enumerate(specs):
+                if target == spec.label or target == spec.expression:
+                    return n_group + index
+            return None
+
+        def resolve(target: str, *, windows: bool, context: str) -> int:
+            if target in query.group_by:
+                return query.group_by.index(target)
+            column = aggregate_column(target)
+            if column is not None:
+                return column
+            if windows:
+                for index, window in enumerate(query.windows):
+                    if target == window.alias:
+                        return n_group + len(specs) + index
+            available = labels if windows else labels[: n_group + len(specs)]
+            raise QueryError(
+                f"{context} references unknown column {target!r}; available "
+                f"columns are {list(available)}"
+            )
+
+        node: PipelineChild = aggregate
+        having_conditions: tuple[HavingCondition, ...] = ()
+        if query.having:
+            conditions = []
+            for condition in query.having:
+                column = aggregate_column(condition.target)
+                if column is None:
+                    raise QueryError(
+                        f"HAVING references {condition.target!r}, which is not "
+                        f"an aggregate output column; aggregate columns are "
+                        f"{list(labels[n_group:n_group + len(specs)])}"
+                    )
+                conditions.append(
+                    HavingCondition(
+                        column,
+                        condition.comparison,
+                        float(condition.value),
+                        label=labels[column],
+                    )
+                )
+            having_conditions = tuple(conditions)
+            node = Having(node, having_conditions)
+        window_ops: tuple[WindowOp, ...] = ()
+        if query.windows:
+            ops = []
+            for window in query.windows:
+                partition = tuple(
+                    query.group_by.index(name) for name in window.partition_by
+                )
+                order = tuple(
+                    (
+                        resolve(key.target, windows=False, context="window ORDER BY"),
+                        key.descending,
+                    )
+                    for key in window.order_by
+                )
+                source = None
+                if window.target is not None:
+                    source = aggregate_column(window.target)
+                    if source is None:
+                        raise QueryError(
+                            f"window SUM references {window.target!r}, which is "
+                            f"not an aggregate output column; aggregate columns "
+                            f"are {list(labels[n_group:n_group + len(specs)])}"
+                        )
+                ops.append(
+                    WindowOp(
+                        window.function.value, source, partition, order, window.alias
+                    )
+                )
+            window_ops = tuple(ops)
+            node = Window(node, window_ops)
+        sort_keys: tuple[tuple[int, bool], ...] = ()
+        if query.order_by:
+            sort_keys = tuple(
+                (resolve(key.target, windows=True, context="ORDER BY"), key.descending)
+                for key in query.order_by
+            )
+            node = Sort(node, sort_keys)
+        if query.limit is not None:
+            node = Limit(node, int(query.limit))
+
+        key = (
+            "table",
+            tuple(query.group_by),
+            tuple((s.function.value, s.attribute, s.label) for s in specs),
+            filter_node.predicate_keys,
+            tuple(c.key for c in having_conditions),
+            tuple(op.key for op in window_ops),
+            sort_keys,
+            query.limit,
+        )
+        return LogicalPlan(
+            query=query,
+            root=Route(node),
+            shape=SHAPE_TABLE,
+            key=key,
+            labels=labels,
         )
 
     # ------------------------------------------------------------------
@@ -279,7 +429,12 @@ def resolve_route(
         if mask is None or bool(mask.any()):
             return plan.with_route(ROUTE_SAMPLE)
         return plan.with_route(ROUTE_BAYES_NET)
-    if plan.shape == SHAPE_SCALAR:
+    if plan.shape == SHAPE_SCALAR or (
+        plan.shape == SHAPE_TABLE and not plan.group_keys
+    ):
+        # Group-less tables (multi-aggregate scalar selects) follow the
+        # scalar routing rule: the sample answers unless the filter is
+        # empty on it, in which case the BN's generated samples do.
         if not plan.predicates:
             return plan.with_route(ROUTE_SAMPLE)
         cache = mask_cache or model.sample_evaluator.mask_cache

@@ -20,18 +20,20 @@ from ..obs.trace import NULL_TRACER
 from ..query.ast import Comparison, Predicate, Query
 from ..schema import Relation
 from .compiler import PlanCompiler
+from .analytics import execute_table_pipeline
 from .ir import (
     SHAPE_GROUP_BY,
     SHAPE_JOIN_GROUP_BY,
     SHAPE_POINT,
     SHAPE_SCALAR,
+    SHAPE_TABLE,
     CanonicalPredicate,
     LogicalPlan,
 )
 from .kernels import (
     JoinSideCache,
     MaskCache,
-    fused_group_reduce,
+    fused_group_columns,
     fused_grouped_weight_totals,
     fused_scalar_reduce,
     group_reduce,
@@ -138,6 +140,8 @@ class ColumnarExecutor:
             return self.group_by_plan(plan)
         if plan.shape == SHAPE_JOIN_GROUP_BY:
             return self.join_plan(plan)
+        if plan.shape == SHAPE_TABLE:
+            return self.table_plan(plan)
         raise QueryError(f"unsupported plan shape {plan.shape!r}")
 
     def execute_batch(
@@ -201,26 +205,64 @@ class ColumnarExecutor:
         """Execute one schedule unit, filling its slots' results in place."""
         if unit.kind == UNIT_SCALAR:
             mask = self._shared_mask(unit.predicates, tracer)
-            specs = [
-                self._reduction_spec(schedule.slots[slot]) for slot in unit.slots
-            ]
+            slot_spans: list[tuple[int, LogicalPlan, int]] = []
+            specs: list[tuple[str, np.ndarray | None]] = []
+            for slot in unit.slots:
+                plan = schedule.slots[slot]
+                plan_specs = self._plan_specs(plan)
+                slot_spans.append((slot, plan, len(plan_specs)))
+                specs.extend(plan_specs)
             with tracer.span("kernel", kind="fused-scalar-reduce", reductions=len(specs)):
                 values = fused_scalar_reduce(self._relation, mask, specs)
-            for slot, value in zip(unit.slots, values):
-                slot_results[slot] = value
+            offset = 0
+            for slot, plan, width in slot_spans:
+                slot_values = values[offset : offset + width]
+                offset += width
+                if plan.shape == SHAPE_TABLE:
+                    slot_results[slot] = self._scalar_table(plan, slot_values)
+                else:
+                    slot_results[slot] = slot_values[0]
         elif unit.kind == UNIT_GROUP_BY:
             from ..sql.engine import QueryResult
 
             mask = self._shared_mask(unit.predicates, tracer)
-            specs = [
-                self._reduction_spec(schedule.slots[slot]) for slot in unit.slots
-            ]
+            slot_spans = []
+            specs = []
+            for slot in unit.slots:
+                plan = schedule.slots[slot]
+                plan_specs = self._plan_specs(plan)
+                slot_spans.append((slot, plan, len(plan_specs)))
+                specs.extend(plan_specs)
             with tracer.span("kernel", kind="fused-group-reduce", reductions=len(specs)):
-                tables = fused_group_reduce(
+                positive, codes, decoded, per_spec = fused_group_columns(
                     self._relation, unit.group_keys, mask, specs
                 )
-            for slot, table in zip(unit.slots, tables):
-                slot_results[slot] = QueryResult(unit.group_keys, table)
+            # One window-permutation memo per fused family: table plans in
+            # this unit sharing a partition family pay one argsort.
+            sort_memo: dict = {}
+            offset = 0
+            for slot, plan, width in slot_spans:
+                slot_columns = per_spec[offset : offset + width]
+                offset += width
+                if plan.shape == SHAPE_TABLE:
+                    agg_columns = [values[positive] for values in slot_columns]
+                    slot_results[slot] = execute_table_pipeline(
+                        plan,
+                        codes,
+                        decoded,
+                        agg_columns,
+                        sort_memo=sort_memo,
+                        stats=stats,
+                    )
+                else:
+                    values = slot_columns[0]
+                    slot_results[slot] = QueryResult(
+                        unit.group_keys,
+                        {
+                            group: float(values[row])
+                            for group, row in zip(decoded, positive)
+                        },
+                    )
         else:  # the join family: fused shared side totals, then merges
             from ..sql.engine import QueryResult
 
@@ -286,12 +328,44 @@ class ColumnarExecutor:
         assert all(entry is not None for entry in totals)
         return totals  # type: ignore[return-value]
 
-    def _reduction_spec(self, plan: LogicalPlan) -> tuple[str, np.ndarray | None]:
-        """One plan's ``(function, measure column)`` fused-kernel spec."""
-        aggregate = plan.aggregate
-        if aggregate.function == "count":
-            return ("count", None)
-        return (aggregate.function, self._numeric_column(aggregate.attribute))
+    def _plan_specs(self, plan: LogicalPlan) -> list[tuple[str, np.ndarray | None]]:
+        """All of a plan's ``(function, measure column)`` fused-kernel specs.
+
+        Legacy single-aggregate plans yield one spec; table plans yield one
+        per SELECT-list aggregate, in declaration order.
+        """
+        return [
+            ("count", None)
+            if function == "count"
+            else (function, self._numeric_column(attribute))
+            for function, attribute in plan.aggregate.specs
+        ]
+
+    def table_plan(self, plan: LogicalPlan):
+        """Analytic (table-shaped) plan: fused aggregates, then the pipeline.
+
+        Grouped tables run every SELECT-list aggregate through one stacked
+        scatter-add pass (:func:`fused_group_columns` — the same float ops
+        as per-aggregate :func:`fused_group_reduce` calls); group-less
+        tables run one :func:`fused_scalar_reduce`.  HAVING / windows /
+        ORDER BY / LIMIT then run over the group rows.
+        """
+        mask = self._masks.conjunction_mask(plan.predicates)
+        specs = self._plan_specs(plan)
+        if plan.group_keys:
+            positive, codes, decoded, per_spec = fused_group_columns(
+                self._relation, plan.group_keys, mask, specs
+            )
+            agg_columns = [values[positive] for values in per_spec]
+            return execute_table_pipeline(plan, codes, decoded, agg_columns)
+        values = fused_scalar_reduce(self._relation, mask, specs)
+        return self._scalar_table(plan, values)
+
+    def _scalar_table(self, plan: LogicalPlan, values):
+        """Wrap group-less scalar reductions as a one-row table result."""
+        codes = np.zeros((1, 0), dtype=np.int64)
+        agg_columns = [np.asarray([value], dtype=np.float64) for value in values]
+        return execute_table_pipeline(plan, codes, [()], agg_columns)
 
     def point_plan(self, plan: LogicalPlan) -> float:
         """Weighted COUNT(*) of an exact-match conjunction."""

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..exceptions import QueryError
 from ..query.ast import (
+    AnalyticQuery,
     Comparison,
     GroupByQuery,
     JoinGroupByQuery,
@@ -58,6 +59,7 @@ SHAPE_POINT = "point"
 SHAPE_SCALAR = "scalar"
 SHAPE_GROUP_BY = "group-by"
 SHAPE_JOIN_GROUP_BY = "join-group-by"
+SHAPE_TABLE = "table"
 
 
 @dataclass(frozen=True)
@@ -184,11 +186,104 @@ class Join:
 
 @dataclass(frozen=True)
 class Aggregate:
-    """Weighted aggregate (COUNT/SUM/AVG) over the child's tuples or groups."""
+    """Weighted aggregate (COUNT/SUM/AVG) over the child's tuples or groups.
+
+    Table-shaped plans evaluate several aggregates in one pass: ``function``
+    and ``attribute`` describe the first spec, ``extras`` the remaining
+    ``(function, attribute)`` pairs in select-list order.  Legacy shapes
+    always have empty ``extras``.
+    """
 
     child: Union[Filter, Group, Join]
     function: str
     attribute: str | None = None
+    extras: tuple[tuple[str, str | None], ...] = ()
+
+    @property
+    def specs(self) -> tuple[tuple[str, str | None], ...]:
+        """All ``(function, attribute)`` pairs in output-column order."""
+        return ((self.function, self.attribute),) + self.extras
+
+
+@dataclass(frozen=True)
+class HavingCondition:
+    """One compiled HAVING conjunct: aggregate output column vs. a number."""
+
+    column: int
+    comparison: Comparison
+    value: float
+    label: str
+
+    @property
+    def key(self) -> tuple[int, str, float]:
+        """Hashable form used in plan keys."""
+        return (self.column, self.comparison.value, self.value)
+
+
+@dataclass(frozen=True)
+class Having:
+    """Post-aggregate predicate over group rows (conjunction of conditions)."""
+
+    child: "PipelineChild"
+    conditions: tuple[HavingCondition, ...]
+
+
+@dataclass(frozen=True)
+class WindowOp:
+    """One compiled window expression over the surviving group rows.
+
+    ``partition`` holds group-column indexes, ``order`` holds
+    ``(output-column index, descending)`` keys, ``source`` the aggregate
+    column a running SUM reads (``None`` for RANK), ``label`` the output
+    column alias.
+    """
+
+    function: str
+    source: int | None
+    partition: tuple[int, ...]
+    order: tuple[tuple[int, bool], ...]
+    label: str
+
+    @property
+    def key(self) -> tuple:
+        """Hashable form used in plan keys."""
+        return (self.function, self.source, self.partition, self.order, self.label)
+
+    @property
+    def sort_key(self) -> tuple:
+        """The partition-family descriptor: two windows with the same
+        ``sort_key`` (over the same group rows) share one argsort."""
+        return (self.partition, self.order)
+
+
+@dataclass(frozen=True)
+class Window:
+    """Compute one or more window columns over the child's group rows."""
+
+    child: "PipelineChild"
+    ops: tuple[WindowOp, ...]
+
+
+@dataclass(frozen=True)
+class Sort:
+    """Stable ORDER BY over output rows: ``(column index, descending)`` keys."""
+
+    child: "PipelineChild"
+    keys: tuple[tuple[int, bool], ...]
+
+
+@dataclass(frozen=True)
+class Limit:
+    """Keep the first ``count`` output rows."""
+
+    child: "PipelineChild"
+    count: int
+
+
+PipelineChild = Union[Aggregate, Having, Window, Sort, Limit]
+
+#: Post-aggregate pipeline node types, in their fixed execution order.
+PIPELINE_NODE_TYPES = (Having, Window, Sort, Limit)
 
 
 @dataclass(frozen=True)
@@ -201,14 +296,46 @@ class Route:
     ``bn_lowering`` selects how a network-routed aggregate is answered —
     :data:`BN_LOWER_SAMPLED` (generated samples, the default and the paper's
     semantics) or :data:`BN_LOWER_EXACT` (batched conditional inference).
+    Table-shaped plans interpose pipeline nodes (:class:`Having`,
+    :class:`Window`, :class:`Sort`, :class:`Limit`) between the route and
+    the aggregate.
     """
 
-    child: Aggregate
+    child: PipelineChild
     choice: str | None = None
     bn_lowering: str = BN_LOWER_SAMPLED
 
 
-PlanNode = Union[Scan, Filter, Group, Join, Aggregate, Route]
+PlanNode = Union[Scan, Filter, Group, Join, Aggregate, Having, Window, Sort, Limit, Route]
+
+
+def pipeline_nodes(root: Route) -> tuple[PlanNode, ...]:
+    """The post-aggregate nodes under ``root`` in *execution* order
+    (innermost-out: Having, then Window, then Sort, then Limit)."""
+    nodes = []
+    node = root.child
+    while isinstance(node, PIPELINE_NODE_TYPES):
+        nodes.append(node)
+        node = node.child
+    return tuple(reversed(nodes))
+
+
+def rebuild_root(root: Route, aggregate: Aggregate) -> Route:
+    """A copy of ``root`` whose innermost aggregate is replaced.
+
+    Preserves every pipeline node between the route and the aggregate —
+    rewrites that swap the sub-plan under the aggregate (predicate
+    normalization, batch fusion) must not drop HAVING/window/sort stages.
+    """
+    stack = []
+    node = root.child
+    while isinstance(node, PIPELINE_NODE_TYPES):
+        stack.append(node)
+        node = node.child
+    rebuilt: PipelineChild = aggregate
+    for wrapper in reversed(stack):
+        rebuilt = replace(wrapper, child=rebuilt)
+    return replace(root, child=rebuilt)
 
 #: A hashable canonical form of one query; the serving result-cache key.
 PlanKey = tuple
@@ -232,6 +359,9 @@ class LogicalPlan:
         for semantically equivalent queries).
     sql:
         The SQL text the plan was compiled from, when it came in as text.
+    labels:
+        Output column labels of a table-shaped plan (group columns, then
+        aggregates, then window aliases); ``None`` for legacy shapes.
     """
 
     query: Query
@@ -239,14 +369,23 @@ class LogicalPlan:
     shape: str
     key: PlanKey
     sql: str | None = None
+    labels: tuple[str, ...] | None = None
 
     # ------------------------------------------------------------------
     # Tree accessors (every consumer reads the tree through these)
     # ------------------------------------------------------------------
     @property
     def aggregate(self) -> Aggregate:
-        """The plan's aggregate node."""
-        return self.root.child
+        """The plan's aggregate node (skipping any post-aggregate pipeline)."""
+        node = self.root.child
+        while isinstance(node, PIPELINE_NODE_TYPES):
+            node = node.child
+        return node
+
+    @property
+    def pipeline(self) -> tuple[PlanNode, ...]:
+        """Post-aggregate pipeline nodes in execution order (may be empty)."""
+        return pipeline_nodes(self.root)
 
     @property
     def filter(self) -> Filter:
@@ -317,8 +456,9 @@ class LogicalPlan:
         else:
             for name in self.group_keys:
                 seen.setdefault(name, None)
-            if self.aggregate.attribute:
-                seen.setdefault(self.aggregate.attribute, None)
+            for _, attribute in self.aggregate.specs:
+                if attribute:
+                    seen.setdefault(attribute, None)
             for predicate in self.predicates:
                 seen.setdefault(predicate.attribute, None)
         return tuple(seen)
@@ -337,20 +477,44 @@ class LogicalPlan:
                 lines.append(f"{indent * depth}Filter[{preds}]")
             lines.append(f"{indent * (depth + bool(node.predicates))}Scan[{node.child.source}]")
 
+        depth = 1
+        for node in reversed(self.pipeline):
+            if isinstance(node, Limit):
+                lines.append(f"{indent * depth}Limit[{node.count}]")
+            elif isinstance(node, Sort):
+                keys = ", ".join(
+                    f"#{column}{' desc' if descending else ''}"
+                    for column, descending in node.keys
+                )
+                lines.append(f"{indent * depth}Sort[{keys}]")
+            elif isinstance(node, Window):
+                ops = ", ".join(op.label for op in node.ops)
+                lines.append(f"{indent * depth}Window[{ops}]")
+            elif isinstance(node, Having):
+                conds = " AND ".join(
+                    f"{c.label} {c.comparison.value} {c.value!r}"
+                    for c in node.conditions
+                )
+                lines.append(f"{indent * depth}Having[{conds}]")
+            depth += 1
         aggregate = self.aggregate
-        target = aggregate.attribute or "*"
-        lines.append(f"{indent}Aggregate[{aggregate.function}({target})]")
+        rendered = ", ".join(
+            f"{function}({attribute or '*'})" for function, attribute in aggregate.specs
+        )
+        lines.append(f"{indent * depth}Aggregate[{rendered}]")
         child = aggregate.child
         if isinstance(child, Join):
-            lines.append(f"{indent * 2}Join[{child.on[0]} = {child.on[1]}]")
+            lines.append(f"{indent * (depth + 1)}Join[{child.on[0]} = {child.on[1]}]")
             for label, side in (("left", child.left), ("right", child.right)):
-                lines.append(f"{indent * 3}{label}: Group[{', '.join(side.keys)}]")
-                describe_filter(side.child, 4)
+                lines.append(
+                    f"{indent * (depth + 2)}{label}: Group[{', '.join(side.keys)}]"
+                )
+                describe_filter(side.child, depth + 3)
         elif isinstance(child, Group):
-            lines.append(f"{indent * 2}Group[{', '.join(child.keys)}]")
-            describe_filter(child.child, 3)
+            lines.append(f"{indent * (depth + 1)}Group[{', '.join(child.keys)}]")
+            describe_filter(child.child, depth + 2)
         else:
-            describe_filter(child, 2)
+            describe_filter(child, depth + 1)
         return "\n".join(lines)
 
 
@@ -371,6 +535,8 @@ def query_shape(query: Query) -> str:
         return SHAPE_GROUP_BY
     if isinstance(query, JoinGroupByQuery):
         return SHAPE_JOIN_GROUP_BY
+    if isinstance(query, AnalyticQuery):
+        return SHAPE_TABLE
     raise QueryError(
         f"unsupported query type {type(query).__name__}: {query!r}"
     )

@@ -250,21 +250,21 @@ def fused_scalar_reduce(
     return results
 
 
-def fused_group_reduce(
+def fused_group_columns(
     relation: Relation,
     keys: tuple[str, ...],
     mask: np.ndarray | None,
     specs: list[tuple[str, np.ndarray | None]],
-) -> list[dict[tuple[Any, ...], float]]:
-    """Several GROUP BY aggregates over one shared scatter-add pass.
+) -> tuple[np.ndarray, np.ndarray, list[tuple[Any, ...]], list[np.ndarray]]:
+    """The shared scatter-add pass behind every grouped evaluation.
 
-    The fusion kernel behind multi-query group-by fusion: every aggregate in
-    ``specs`` shares the ``(Scan, Filter, Group)`` prefix, so the group-code
-    gather, the masked weight scatter-add, and the per-group key decoding run
-    **once** for the whole family; each member only adds its own stacked
-    reduction column (one extra ``np.bincount`` per distinct measure).
-    Bit-identical to calling :func:`group_reduce` per spec: the shared
-    intermediates are the exact arrays each individual pass would compute.
+    Returns ``(positive, codes, decoded, per_spec)``: the full-bin row
+    indexes of positive-weight groups, their encoded key rows (ascending
+    ``np.unique`` order, one row per surviving group), the decoded group
+    tuples in that same order, and one *full-bin* value array per spec.
+    Both :func:`fused_group_reduce` (dict-shaped results) and the analytic
+    table pipeline index the same arrays, so the two result shapes can
+    never disagree about a group's value.
     """
     group_index, unique_rows = relation.group_codes(keys)
     n_groups = unique_rows.shape[0]
@@ -310,6 +310,28 @@ def fused_group_reduce(
         tuple(domain.decode(code) for domain, code in zip(domains, unique_rows[row]))
         for row in positive
     ]
+    return positive, unique_rows[positive], decoded, per_spec
+
+
+def fused_group_reduce(
+    relation: Relation,
+    keys: tuple[str, ...],
+    mask: np.ndarray | None,
+    specs: list[tuple[str, np.ndarray | None]],
+) -> list[dict[tuple[Any, ...], float]]:
+    """Several GROUP BY aggregates over one shared scatter-add pass.
+
+    The fusion kernel behind multi-query group-by fusion: every aggregate in
+    ``specs`` shares the ``(Scan, Filter, Group)`` prefix, so the group-code
+    gather, the masked weight scatter-add, and the per-group key decoding run
+    **once** for the whole family; each member only adds its own stacked
+    reduction column (one extra ``np.bincount`` per distinct measure).
+    Bit-identical to calling :func:`group_reduce` per spec: the shared
+    intermediates are the exact arrays each individual pass would compute.
+    """
+    positive, _codes, decoded, per_spec = fused_group_columns(
+        relation, keys, mask, specs
+    )
     return [
         {
             group: float(values[row])

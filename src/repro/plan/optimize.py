@@ -54,11 +54,18 @@ from .ir import (
     SHAPE_JOIN_GROUP_BY,
     SHAPE_POINT,
     SHAPE_SCALAR,
+    SHAPE_TABLE,
     CanonicalPredicate,
     Filter,
     Group,
+    Having,
     Join,
+    Limit,
     LogicalPlan,
+    Sort,
+    Window,
+    pipeline_nodes,
+    rebuild_root,
 )
 
 #: Execution-unit kinds a schedule can contain.
@@ -107,6 +114,11 @@ class OptimizerStats:
         Per-generated-sample evaluator dispatches avoided by batching a
         hybrid GROUP BY / join-group-by family across the BN's ``K``
         samples — ``K * (family size - 1)`` per batched family.
+    window_sorts_shared:
+        Window ``np.lexsort`` permutations answered by a fused family's
+        shared sort memo instead of recomputed — table plans in one
+        ``(Scan, Filter, Group)`` family whose windows share a partition
+        family pay one argsort for the whole batch.
     """
 
     batches: int = 0
@@ -118,6 +130,7 @@ class OptimizerStats:
     join_sides_fused: int = 0
     join_side_cache_hits: int = 0
     bn_sample_dispatches_saved: int = 0
+    window_sorts_shared: int = 0
 
     def merge(self, other: "OptimizerStats") -> None:
         """Fold another stats object's counters into this one."""
@@ -130,6 +143,7 @@ class OptimizerStats:
         self.join_sides_fused += other.join_sides_fused
         self.join_side_cache_hits += other.join_side_cache_hits
         self.bn_sample_dispatches_saved += other.bn_sample_dispatches_saved
+        self.window_sorts_shared += other.window_sorts_shared
 
     def as_dict(self) -> dict[str, int]:
         """A plain-dict snapshot of every counter."""
@@ -143,6 +157,7 @@ class OptimizerStats:
             "join_sides_fused": self.join_sides_fused,
             "join_side_cache_hits": self.join_side_cache_hits,
             "bn_sample_dispatches_saved": self.bn_sample_dispatches_saved,
+            "window_sorts_shared": self.window_sorts_shared,
         }
 
 
@@ -301,7 +316,9 @@ def normalize_plan(
         new_child = _normalize_filter(child, stats)
     if new_child is child:
         return plan
-    root = replace(plan.root, child=replace(aggregate, child=new_child))
+    # rebuild_root preserves any post-aggregate pipeline nodes (HAVING,
+    # windows, sort, limit) between the route and the aggregate.
+    root = rebuild_root(plan.root, replace(aggregate, child=new_child))
     return replace(plan, root=root)
 
 
@@ -396,6 +413,19 @@ def _execution_signature(plan: LogicalPlan) -> tuple:
             tuple(p.key for p in join.right.child.predicates),
         )
     predicate_keys = tuple(p.key for p in plan.predicates)
+    if plan.shape == SHAPE_TABLE:
+        # A table's execution identity is its full output: group keys,
+        # every aggregate spec, the column labels (aliases rename output
+        # columns, so differently-labelled tables are different results),
+        # and the whole post-aggregate pipeline.
+        return (
+            "table",
+            plan.group_keys,
+            plan.aggregate.specs,
+            plan.labels,
+            _pipeline_signature(plan),
+            predicate_keys,
+        )
     if plan.shape == SHAPE_GROUP_BY:
         return (
             UNIT_GROUP_BY,
@@ -406,6 +436,21 @@ def _execution_signature(plan: LogicalPlan) -> tuple:
     # Point plans and scalar plans both reduce (function, attribute) over
     # the filter mask; points are always ("count", None).
     return (UNIT_SCALAR, (aggregate.function, aggregate.attribute), predicate_keys)
+
+
+def _pipeline_signature(plan: LogicalPlan) -> tuple:
+    """Hashable identity of a table plan's post-aggregate pipeline."""
+    signature = []
+    for node in pipeline_nodes(plan.root):
+        if isinstance(node, Having):
+            signature.append(("having", tuple(c.key for c in node.conditions)))
+        elif isinstance(node, Window):
+            signature.append(("window", tuple(op.key for op in node.ops)))
+        elif isinstance(node, Sort):
+            signature.append(("sort", node.keys))
+        elif isinstance(node, Limit):
+            signature.append(("limit", node.count))
+    return tuple(signature)
 
 
 def optimize_batch(
@@ -442,7 +487,13 @@ def _optimize_batch(
     for plan in schedule.plans:
         if plan.shape == SHAPE_POINT and not plan.predicates:
             raise QueryError("a point query needs at least one attribute-value pair")
-        if plan.shape not in (SHAPE_POINT, SHAPE_SCALAR, SHAPE_GROUP_BY, SHAPE_JOIN_GROUP_BY):
+        if plan.shape not in (
+            SHAPE_POINT,
+            SHAPE_SCALAR,
+            SHAPE_GROUP_BY,
+            SHAPE_JOIN_GROUP_BY,
+            SHAPE_TABLE,
+        ):
             raise QueryError(f"unsupported plan shape {plan.shape!r}")
         normalized = normalize_plan(plan, schedule.stats)
         signature = _execution_signature(normalized)
@@ -463,7 +514,14 @@ def _optimize_batch(
     for index, plan in enumerate(schedule.slots):
         if plan.shape == SHAPE_JOIN_GROUP_BY:
             join_slots.append(index)
-        elif plan.shape == SHAPE_GROUP_BY:
+        elif plan.shape == SHAPE_GROUP_BY or (
+            plan.shape == SHAPE_TABLE and plan.group_keys
+        ):
+            # Prefix sharing extends to table plans: a grouped table joins
+            # the ``(Scan, Filter, Group)`` family of the plain group-bys
+            # over the same keys and normalized filter — the aggregates
+            # stack into one scatter-add pass and only the post-aggregate
+            # pipeline runs per table.
             families.setdefault(
                 (
                     UNIT_GROUP_BY,
@@ -473,6 +531,8 @@ def _optimize_batch(
                 [],
             ).append(index)
         else:
+            # Point/scalar plans and group-less tables share the masked
+            # scalar-reduction family.
             families.setdefault(
                 (UNIT_SCALAR, tuple(p.key for p in plan.predicates)), []
             ).append(index)

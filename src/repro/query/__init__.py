@@ -3,13 +3,18 @@
 from .ast import (
     AggregateFunction,
     AggregateSpec,
+    AnalyticQuery,
     Comparison,
     GroupByQuery,
+    HavingPredicate,
     JoinGroupByQuery,
+    OrderKey,
     PointQuery,
     Predicate,
     Query,
     ScalarAggregateQuery,
+    WindowFunction,
+    WindowSpec,
 )
 from .workload import (
     HitterKind,
@@ -22,16 +27,21 @@ from .workload import (
 __all__ = [
     "AggregateFunction",
     "AggregateSpec",
+    "AnalyticQuery",
     "Comparison",
     "GroupByQuery",
+    "HavingPredicate",
     "HitterKind",
     "JoinGroupByQuery",
     "MixedQueryWorkload",
     "MixedWorkloadQuery",
+    "OrderKey",
     "PointQuery",
     "PointQueryWorkload",
     "Predicate",
     "Query",
     "ScalarAggregateQuery",
+    "WindowFunction",
+    "WindowSpec",
     "WorkloadQuery",
 ]

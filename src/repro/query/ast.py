@@ -139,10 +139,15 @@ class AggregateFunction(str, Enum):
 
 @dataclass(frozen=True)
 class AggregateSpec:
-    """An aggregate expression such as ``COUNT(*)`` or ``AVG(elapsed_time)``."""
+    """An aggregate expression such as ``COUNT(*)`` or ``AVG(elapsed_time)``.
+
+    ``alias`` records an ``AS`` alias from the SQL select list; it renames the
+    result column of table-shaped queries but never changes query semantics.
+    """
 
     function: AggregateFunction
     attribute: str | None = None
+    alias: str | None = None
 
     def __post_init__(self):
         if self.function is AggregateFunction.COUNT:
@@ -152,7 +157,15 @@ class AggregateSpec:
 
     @property
     def label(self) -> str:
-        """Column label used in query results."""
+        """Column label used in query results (the alias when one was given)."""
+        if self.alias is not None:
+            return self.alias
+        target = "*" if self.attribute is None else self.attribute
+        return f"{self.function.value}({target})"
+
+    @property
+    def expression(self) -> str:
+        """The canonical ``func(target)`` spelling, ignoring any alias."""
         target = "*" if self.attribute is None else self.attribute
         return f"{self.function.value}({target})"
 
@@ -254,4 +267,159 @@ class JoinGroupByQuery:
     aggregate: AggregateSpec = field(default_factory=lambda: AggregateSpec(AggregateFunction.COUNT))
 
 
-Query = PointQuery | GroupByQuery | ScalarAggregateQuery | JoinGroupByQuery
+class WindowFunction(str, Enum):
+    """Window functions supported over group rows."""
+
+    RANK = "rank"
+    SUM = "sum"
+
+
+@dataclass(frozen=True)
+class HavingPredicate:
+    """A post-aggregate filter such as ``HAVING COUNT(*) > 5``.
+
+    ``target`` names an aggregate output column, either by its canonical
+    ``func(attr)`` spelling or by its ``AS`` alias.  Only ordered/equality
+    comparisons are allowed; the value must be numeric because aggregate
+    columns are debiased floats.
+    """
+
+    target: str
+    comparison: Comparison
+    value: float
+
+    def __post_init__(self):
+        if self.comparison is Comparison.IN:
+            raise QueryError("HAVING does not support IN; use ordered comparisons")
+        if isinstance(self.value, bool) or not isinstance(self.value, (int, float)):
+            raise QueryError(
+                f"HAVING compares aggregate values; expected a numeric literal, "
+                f"got {self.value!r}"
+            )
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ``ORDER BY`` key: an output column name plus sort direction.
+
+    Group columns order by their position in the attribute's ordered active
+    domain (consistent with ordered predicates); aggregate and window columns
+    order by numeric value.  Sorts are stable, so ties keep the engine's
+    canonical ascending-group order.
+    """
+
+    target: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A partition-wise window expression over the group rows.
+
+    ``RANK() OVER (PARTITION BY p ORDER BY k DESC) AS r`` assigns SQL rank
+    (ties share a rank, gaps follow) within each partition.  ``SUM(x) OVER
+    (PARTITION BY p ORDER BY k) AS s`` is a running sum with a
+    ``ROWS UNBOUNDED PRECEDING`` frame over the stable sort order; without
+    ``ORDER BY`` it is the partition total.  Both are computed over the
+    *reweighted* aggregate columns, so ranks and running sums reflect
+    debiased weighted totals rather than raw sample counts.
+    """
+
+    function: WindowFunction
+    alias: str
+    target: str | None = None
+    partition_by: tuple[str, ...] = ()
+    order_by: tuple[OrderKey, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "partition_by", tuple(self.partition_by))
+        object.__setattr__(self, "order_by", tuple(self.order_by))
+        if self.function is WindowFunction.RANK:
+            if self.target is not None:
+                raise QueryError("RANK() takes no argument")
+            if not self.order_by:
+                raise QueryError("RANK() requires ORDER BY in its OVER clause")
+        elif self.target is None:
+            raise QueryError("window SUM requires an aggregate column argument")
+
+
+@dataclass(frozen=True)
+class AnalyticQuery:
+    """A table-shaped query: multi-aggregate GROUP BY with an optional
+    post-aggregate pipeline (HAVING, window functions, ORDER BY, LIMIT).
+
+    ``SELECT g, COUNT(*) AS n, AVG(x) AS m FROM R WHERE ... GROUP BY g
+    HAVING n > 5 ORDER BY m DESC LIMIT 3`` parses to this node.  An empty
+    ``group_by`` models multi-aggregate scalar selects (one output row).
+    The pipeline applies in fixed order: HAVING, then windows, then ORDER
+    BY, then LIMIT.
+    """
+
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[AggregateSpec, ...] = field(
+        default_factory=lambda: (AggregateSpec(AggregateFunction.COUNT),)
+    )
+    predicates: tuple[Predicate, ...] = ()
+    having: tuple[HavingPredicate, ...] = ()
+    windows: tuple[WindowSpec, ...] = ()
+    order_by: tuple[OrderKey, ...] = ()
+    limit: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "group_by", tuple(self.group_by))
+        object.__setattr__(self, "aggregates", tuple(self.aggregates))
+        object.__setattr__(self, "predicates", tuple(self.predicates))
+        object.__setattr__(self, "having", tuple(self.having))
+        object.__setattr__(self, "windows", tuple(self.windows))
+        object.__setattr__(self, "order_by", tuple(self.order_by))
+        if not self.aggregates:
+            raise QueryError("analytic queries need at least one aggregate")
+        if self.limit is not None and (
+            isinstance(self.limit, bool) or not isinstance(self.limit, int)
+        ):
+            raise QueryError(f"LIMIT must be an integer, got {self.limit!r}")
+        if self.limit is not None and self.limit < 0:
+            raise QueryError("LIMIT must be non-negative")
+        if (self.windows or self.having) and not self.group_by:
+            raise QueryError(
+                "HAVING and window functions require GROUP BY (they operate "
+                "on group rows)"
+            )
+        for window in self.windows:
+            unknown = [p for p in window.partition_by if p not in self.group_by]
+            if unknown:
+                raise QueryError(
+                    f"window PARTITION BY {unknown} must be a subset of the "
+                    f"GROUP BY columns {list(self.group_by)}"
+                )
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Output column labels: group columns, aggregates, then windows."""
+        return (
+            tuple(self.group_by)
+            + tuple(spec.label for spec in self.aggregates)
+            + tuple(window.alias for window in self.windows)
+        )
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All relation attributes referenced by the query."""
+        names = list(self.group_by)
+        for spec in self.aggregates:
+            if spec.attribute:
+                names.append(spec.attribute)
+        names.extend(predicate.attribute for predicate in self.predicates)
+        seen: dict[str, None] = {}
+        for name in names:
+            seen.setdefault(name, None)
+        return tuple(seen)
+
+
+Query = (
+    PointQuery
+    | GroupByQuery
+    | ScalarAggregateQuery
+    | JoinGroupByQuery
+    | AnalyticQuery
+)

@@ -26,12 +26,17 @@ from ..schema import Relation
 from .ast import (
     AggregateFunction,
     AggregateSpec,
+    AnalyticQuery,
     Comparison,
     GroupByQuery,
+    HavingPredicate,
+    OrderKey,
     PointQuery,
     Predicate,
     Query,
     ScalarAggregateQuery,
+    WindowFunction,
+    WindowSpec,
 )
 
 
@@ -345,15 +350,152 @@ class MixedQueryWorkload:
             )
         return entries
 
+    def analytic_queries(
+        self, n_queries: int, n_predicates: int = 1
+    ) -> list[MixedWorkloadQuery]:
+        """Analytic (table-shaped) queries cycling through the rich surface.
+
+        Five variants rotate per entry: multi-aggregate with ORDER BY/LIMIT,
+        HAVING over an aliased COUNT, a partitioned RANK window, a running
+        SUM window, and a group-less multi-aggregate table.  Every statement
+        parses back to an :class:`AnalyticQuery` whose compiled plan key
+        equals the hand-built AST's key.
+        """
+        names = self._relation.attribute_names
+        numeric = self._numeric_attributes()
+        entries = []
+        for index in range(n_queries):
+            variant = index % 5
+            n_group = 1 + index % min(2, len(names))
+            picked = self._rng.choice(len(names), size=n_group, replace=False)
+            group_by = tuple(names[int(i)] for i in sorted(picked))
+            remaining = [name for name in names if name not in group_by]
+            predicates: tuple[Predicate, ...] = ()
+            if remaining and n_predicates and index % 2:
+                chosen = self._rng.choice(
+                    len(remaining), size=min(n_predicates, len(remaining)), replace=False
+                )
+                predicates = tuple(
+                    self._random_predicates(
+                        [remaining[int(i)] for i in chosen], kind_offset=index
+                    )
+                )
+            where = (
+                " WHERE " + " AND ".join(self._predicate_sql(p) for p in predicates)
+                if predicates
+                else ""
+            )
+            columns = ", ".join(group_by)
+            measure = (
+                numeric[int(self._rng.integers(len(numeric)))] if numeric else None
+            )
+            if variant == 0 and measure is not None:
+                sql = (
+                    f"SELECT {columns}, COUNT(*) AS n, SUM({measure}) AS total "
+                    f"FROM {self._table}{where} GROUP BY {columns} "
+                    f"ORDER BY n DESC, {group_by[0]} LIMIT 3"
+                )
+                query: Query = AnalyticQuery(
+                    group_by=group_by,
+                    aggregates=(
+                        AggregateSpec(AggregateFunction.COUNT, alias="n"),
+                        AggregateSpec(AggregateFunction.SUM, measure, alias="total"),
+                    ),
+                    predicates=predicates,
+                    order_by=(
+                        OrderKey("n", descending=True),
+                        OrderKey(group_by[0]),
+                    ),
+                    limit=3,
+                )
+            elif variant == 1:
+                threshold = float(index % 3)
+                sql = (
+                    f"SELECT {columns}, COUNT(*) AS n FROM {self._table}{where} "
+                    f"GROUP BY {columns} HAVING n > {threshold:g} "
+                    f"ORDER BY {group_by[0]}"
+                )
+                query = AnalyticQuery(
+                    group_by=group_by,
+                    aggregates=(AggregateSpec(AggregateFunction.COUNT, alias="n"),),
+                    predicates=predicates,
+                    having=(HavingPredicate("n", Comparison.GT, threshold),),
+                    order_by=(OrderKey(group_by[0]),),
+                )
+            elif variant == 2:
+                partition = group_by[:1]
+                sql = (
+                    f"SELECT {columns}, COUNT(*) AS n, RANK() OVER "
+                    f"(PARTITION BY {partition[0]} ORDER BY count(*) DESC) AS r "
+                    f"FROM {self._table}{where} GROUP BY {columns} ORDER BY r"
+                )
+                query = AnalyticQuery(
+                    group_by=group_by,
+                    aggregates=(AggregateSpec(AggregateFunction.COUNT, alias="n"),),
+                    predicates=predicates,
+                    windows=(
+                        WindowSpec(
+                            WindowFunction.RANK,
+                            "r",
+                            partition_by=partition,
+                            order_by=(OrderKey("count(*)", descending=True),),
+                        ),
+                    ),
+                    order_by=(OrderKey("r"),),
+                )
+            elif variant == 3:
+                sql = (
+                    f"SELECT {columns}, COUNT(*) AS n, SUM(n) OVER "
+                    f"(ORDER BY {group_by[0]}) AS running "
+                    f"FROM {self._table}{where} GROUP BY {columns}"
+                )
+                query = AnalyticQuery(
+                    group_by=group_by,
+                    aggregates=(AggregateSpec(AggregateFunction.COUNT, alias="n"),),
+                    predicates=predicates,
+                    windows=(
+                        WindowSpec(
+                            WindowFunction.SUM,
+                            "running",
+                            target="n",
+                            order_by=(OrderKey(group_by[0]),),
+                        ),
+                    ),
+                )
+            else:  # group-less multi-aggregate table
+                if measure is not None:
+                    sql = (
+                        f"SELECT COUNT(*) AS n, AVG({measure}) AS mean "
+                        f"FROM {self._table}{where}"
+                    )
+                    query = AnalyticQuery(
+                        aggregates=(
+                            AggregateSpec(AggregateFunction.COUNT, alias="n"),
+                            AggregateSpec(AggregateFunction.AVG, measure, alias="mean"),
+                        ),
+                        predicates=predicates,
+                    )
+                else:
+                    sql = f"SELECT COUNT(*) AS n FROM {self._table}{where} LIMIT 1"
+                    query = AnalyticQuery(
+                        aggregates=(AggregateSpec(AggregateFunction.COUNT, alias="n"),),
+                        predicates=predicates,
+                        limit=1,
+                    )
+            entries.append(MixedWorkloadQuery(sql=sql, query=query, shape="table"))
+        return entries
+
     def generate(
         self,
         n_point: int = 4,
         n_scalar: int = 4,
         n_group_by: int = 4,
+        n_analytic: int = 0,
     ) -> list[MixedWorkloadQuery]:
         """A workload covering every SQL-expressible query shape."""
         return (
             self.point_queries(n_point)
             + self.scalar_queries(n_scalar)
             + self.group_by_queries(n_group_by)
+            + self.analytic_queries(n_analytic)
         )

@@ -34,6 +34,7 @@ from ..plan import (
     SHAPE_GROUP_BY,
     SHAPE_JOIN_GROUP_BY,
     SHAPE_SCALAR,
+    SHAPE_TABLE,
     OptimizerStats,
 )
 from ..query.ast import PointQuery, Query
@@ -342,6 +343,7 @@ class BatchExecutor:
             pending_columnar: dict[tuple, QueryPlan] = {}
             pending_hybrid_groups: dict[tuple, QueryPlan] = {}
             pending_hybrid_joins: dict[tuple, QueryPlan] = {}
+            pending_hybrid_tables: dict[tuple, QueryPlan] = {}
             for plan in plans:
                 if (
                     plan.logical is None
@@ -355,13 +357,21 @@ class BatchExecutor:
                     pending_hybrid_groups.setdefault(plan.key, plan)
                 elif plan.route == ROUTE_HYBRID and plan.shape == SHAPE_JOIN_GROUP_BY:
                     pending_hybrid_joins.setdefault(plan.key, plan)
-            if pending_columnar or pending_hybrid_groups or pending_hybrid_joins:
+                elif plan.route == ROUTE_HYBRID and plan.shape == SHAPE_TABLE:
+                    pending_hybrid_tables.setdefault(plan.key, plan)
+            if (
+                pending_columnar
+                or pending_hybrid_groups
+                or pending_hybrid_joins
+                or pending_hybrid_tables
+            ):
                 dispatch_start = time.perf_counter()
                 with tracer.span(
                     names.STAGE_COLUMNAR,
                     sample_routed=len(pending_columnar),
                     hybrid_groups=len(pending_hybrid_groups),
                     hybrid_joins=len(pending_hybrid_joins),
+                    hybrid_tables=len(pending_hybrid_tables),
                 ):
                     if pending_columnar:
                         answers = self._model.sample_evaluator.engine.execute_batch(
@@ -384,11 +394,19 @@ class BatchExecutor:
                             tracer=tracer,
                         )
                         precomputed.update(zip(pending_hybrid_joins.keys(), answers))
+                    if pending_hybrid_tables:
+                        answers = self._model.hybrid_evaluator.table_batch(
+                            [plan.logical for plan in pending_hybrid_tables.values()],
+                            stats=optimizer_stats,
+                            tracer=tracer,
+                        )
+                        precomputed.update(zip(pending_hybrid_tables.keys(), answers))
                 columnar_seconds = time.perf_counter() - dispatch_start
                 optimized_keys = (
                     set(pending_columnar)
                     | set(pending_hybrid_groups)
                     | set(pending_hybrid_joins)
+                    | set(pending_hybrid_tables)
                 )
                 optimized_share = columnar_seconds / len(optimized_keys)
 

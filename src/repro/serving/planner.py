@@ -37,6 +37,7 @@ from ..plan.ir import (
     SHAPE_JOIN_GROUP_BY,
     SHAPE_POINT,
     SHAPE_SCALAR,
+    SHAPE_TABLE,
 )
 from ..query.ast import Query
 from ..schema import Schema
@@ -192,6 +193,8 @@ class QueryPlanner:
             return ("point", logical.attributes)
         if logical.shape == SHAPE_SCALAR:
             return ("scalar", logical.attributes)
+        if logical.shape == SHAPE_TABLE:
+            return ("table", logical.group_keys)
         return ("other",)
 
     @staticmethod
@@ -199,6 +202,10 @@ class QueryPlanner:
         """Whether serving the plan touches the BN's forward-sampled relations."""
         if logical.shape in (SHAPE_GROUP_BY, SHAPE_JOIN_GROUP_BY):
             return True  # the hybrid merges in BN groups from generated samples
+        if logical.shape == SHAPE_TABLE:
+            # Grouped tables merge in BN groups like any group-by; group-less
+            # tables only touch the generated samples when BN-routed.
+            return bool(logical.group_keys) or route == ROUTE_BAYES_NET
         if logical.shape == SHAPE_SCALAR:
             return route == ROUTE_BAYES_NET
         return False

@@ -21,7 +21,7 @@ from typing import Any
 from ..obs import names
 from ..obs.metrics import MetricsRegistry
 from ..query.ast import PointQuery
-from ..sql.engine import QueryResult
+from ..sql.engine import QueryResult, TableResult
 from .planner import ROUTE_BAYES_NET, QueryPlan
 
 
@@ -58,7 +58,7 @@ class QueryOutcome:
 
     index: int
     plan: QueryPlan
-    result: float | QueryResult
+    result: float | QueryResult | TableResult
     seconds: float = 0.0
     from_result_cache: bool = False
     deduplicated: bool = False
@@ -114,7 +114,7 @@ class BatchResult:
     def __iter__(self):
         return iter(self.outcomes)
 
-    def results(self) -> list[float | QueryResult]:
+    def results(self) -> list[float | QueryResult | TableResult]:
         """The per-query answers, in the order the queries were submitted."""
         return [outcome.result for outcome in self.outcomes]
 
@@ -265,6 +265,11 @@ class ServingStatistics:
     def bn_sample_dispatches_saved(self) -> int:
         return self._optimizer_counter("bn_sample_dispatches_saved")
 
+    @property
+    def window_sorts_shared(self) -> int:
+        """Window ``argsort`` passes shared across a fused table family."""
+        return self._optimizer_counter("window_sorts_shared")
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
@@ -318,5 +323,6 @@ class ServingStatistics:
                 "join_sides_fused": self.join_sides_fused,
                 "join_side_cache_hits": self.join_side_cache_hits,
                 "bn_sample_dispatches_saved": self.bn_sample_dispatches_saved,
+                "window_sorts_shared": self.window_sorts_shared,
             },
         }

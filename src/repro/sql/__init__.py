@@ -1,13 +1,19 @@
 """Closed-world SQL substrate: parser, weighted execution engine, catalog."""
 
 from .database import Database
-from .engine import QueryResult, WeightedQueryEngine, answer_point_query
+from .engine import (
+    QueryResult,
+    TableResult,
+    WeightedQueryEngine,
+    answer_point_query,
+)
 from .parser import ParsedQuery, parse_sql
 
 __all__ = [
     "Database",
     "ParsedQuery",
     "QueryResult",
+    "TableResult",
     "WeightedQueryEngine",
     "answer_point_query",
     "parse_sql",

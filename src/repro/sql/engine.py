@@ -22,6 +22,7 @@ from typing import Any
 
 from ..obs.trace import NULL_TRACER
 from ..query.ast import (
+    AnalyticQuery,
     GroupByQuery,
     JoinGroupByQuery,
     Query,
@@ -52,6 +53,10 @@ class QueryResult:
         return tuple(group) in self._values
 
     def __eq__(self, other: object) -> bool:
+        # ``NotImplemented`` here is the dunder protocol, not an error
+        # sentinel leaking out: Python turns it into ``False`` (or the
+        # reflected comparison) for ``==`` against foreign types.
+        # ``tests/test_sql_surface.py`` pins that behavior.
         if not isinstance(other, QueryResult):
             return NotImplemented
         return self.group_by == other.group_by and self._values == other._values
@@ -73,6 +78,73 @@ class QueryResult:
 
     def __repr__(self) -> str:
         return f"QueryResult(group_by={self.group_by!r}, n_groups={len(self)})"
+
+
+class TableResult:
+    """An ordered, labelled table — the result of analytic (table-shaped)
+    queries: multi-aggregate GROUP BYs, HAVING, window functions, ORDER
+    BY/LIMIT.
+
+    Unlike :class:`QueryResult` (an unordered group→value mapping), row
+    order is part of the result's identity: ORDER BY/LIMIT semantics live
+    in the row sequence.  Two tables are equal iff they have the same
+    column labels, the same grouping attributes, and bit-identical rows in
+    the same order.
+    """
+
+    def __init__(
+        self,
+        columns: tuple[str, ...],
+        rows,
+        group_by: tuple[str, ...] = (),
+    ):
+        self.columns = tuple(columns)
+        self.rows = tuple(tuple(row) for row in rows)
+        self.group_by = tuple(group_by)
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row {row!r} has {len(row)} values but the table has "
+                    f"{len(self.columns)} columns"
+                )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        # Same dunder convention as QueryResult: NotImplemented defers to
+        # Python's fallback for cross-type comparisons.
+        if not isinstance(other, TableResult):
+            return NotImplemented
+        return (
+            self.columns == other.columns
+            and self.group_by == other.group_by
+            and self.rows == other.rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self.group_by, self.rows))
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(
+                f"unknown column {name!r}; table columns are {list(self.columns)}"
+            )
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as label→value dictionaries, in row order."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self) -> str:
+        return (
+            f"TableResult(columns={self.columns!r}, n_rows={len(self.rows)})"
+        )
 
 
 class WeightedQueryEngine:
@@ -138,6 +210,20 @@ class WeightedQueryEngine:
     def group_by(self, query: GroupByQuery) -> QueryResult:
         """Evaluate a filtered GROUP BY aggregate with weighted semantics."""
         return self._executor.group_by_plan(self._executor.compiler.compile(query))
+
+    def analytic(self, query) -> TableResult:
+        """Evaluate a table-shaped query (multi-aggregate / HAVING / windows /
+        ORDER BY / LIMIT) with weighted semantics.
+
+        Accepts an :class:`~repro.query.AnalyticQuery` AST or an
+        already-compiled table-shaped plan.
+        """
+        plan = (
+            query
+            if not isinstance(query, (AnalyticQuery, str))
+            else self._executor.compiler.compile(query)
+        )
+        return self._executor.table_plan(plan)
 
     def join_group_by(
         self, query: JoinGroupByQuery, other: Relation | None = None

@@ -1,13 +1,27 @@
 """A small SQL parser for the query shapes Themis supports.
 
 The data scientist in the motivating example interacts with Themis through
-SQL (Sec. 2).  This parser covers exactly the query shapes the paper uses:
+SQL (Sec. 2).  The parser covers the paper's query shapes plus the richer
+analytic surface layered on top of them:
 
 * point queries — ``SELECT COUNT(*) FROM R WHERE A = v AND B = w``
 * aggregate / GROUP BY queries with ``COUNT(*)``, ``SUM(x)``, ``AVG(x)``,
-  equality / ordered / IN predicates, and an optional GROUP BY clause.
+  equality / ordered / IN predicates, and an optional GROUP BY clause;
+* multi-aggregate select lists, ``AS`` aliases, ``HAVING``, ``ORDER BY ...
+  [ASC|DESC]``, ``LIMIT n``, and window expressions — ``RANK() OVER
+  (PARTITION BY ... ORDER BY ...)`` / ``SUM(x) OVER (...)`` — which lower
+  to :class:`~repro.query.ast.AnalyticQuery`.
 
-It produces the AST objects of :mod:`repro.query.ast`.
+It is a proper tokenizer + recursive-descent parser (the original regex
+grammar could not see through string literals), and it produces the AST
+objects of :mod:`repro.query.ast`.  A statement whose only features are the
+paper's shapes still parses to the legacy AST types — point, scalar, and
+single-aggregate GROUP BY queries are untouched — so every existing caller
+sees exactly the queries it always has.  :class:`AnalyticQuery` is emitted
+only when a *rich* feature appears: two or more aggregates, HAVING, ORDER
+BY, LIMIT, a window expression, or an aggregate alias on a grouped query
+(the alias becomes the output column's label, which only a table-shaped
+result can surface).
 """
 
 from __future__ import annotations
@@ -15,36 +29,23 @@ from __future__ import annotations
 import re
 from typing import Any
 
-from ..exceptions import SQLSyntaxError
+from ..exceptions import QueryError, SQLSyntaxError
 from ..query.ast import (
     AggregateFunction,
     AggregateSpec,
+    AnalyticQuery,
     Comparison,
     GroupByQuery,
+    HavingPredicate,
+    OrderKey,
     PointQuery,
     Predicate,
     ScalarAggregateQuery,
+    WindowFunction,
+    WindowSpec,
 )
 
-_SELECT_RE = re.compile(
-    r"^\s*select\s+(?P<select>.+?)\s+from\s+(?P<table>\w+)"
-    r"(?:\s+where\s+(?P<where>.+?))?"
-    r"(?:\s+group\s+by\s+(?P<group>.+?))?\s*;?\s*$",
-    re.IGNORECASE | re.DOTALL,
-)
-
-_AGGREGATE_RE = re.compile(
-    r"^(?P<func>count|sum|avg)\s*\(\s*(?P<arg>\*|[\w.]+)\s*\)(?:\s+as\s+\w+)?$",
-    re.IGNORECASE,
-)
-
-_CONDITION_RE = re.compile(
-    r"^(?P<attr>[\w.]+)\s*(?P<op><=|>=|!=|<>|=|<|>)\s*(?P<value>.+)$", re.DOTALL
-)
-
-_IN_RE = re.compile(
-    r"^(?P<attr>[\w.]+)\s+in\s*\(\s*(?P<values>.+?)\s*\)$", re.IGNORECASE | re.DOTALL
-)
+_AGGREGATE_NAMES = ("count", "sum", "avg")
 
 
 class ParsedQuery:
@@ -53,92 +54,503 @@ class ParsedQuery:
     def __init__(
         self,
         table: str,
-        query: PointQuery | GroupByQuery | ScalarAggregateQuery,
+        query: "PointQuery | GroupByQuery | ScalarAggregateQuery | AnalyticQuery",
         select_attributes: tuple[str, ...],
         aggregate: AggregateSpec,
     ):
         self.table = table
         self.query = query
         self.select_attributes = select_attributes
+        #: The first (for legacy shapes: only) aggregate in the select list.
         self.aggregate = aggregate
 
     def __repr__(self) -> str:
         return f"ParsedQuery(table={self.table!r}, query={self.query!r})"
 
 
-def _parse_literal(text: str) -> Any:
-    text = text.strip().rstrip(";").strip()
-    if (text.startswith("'") and text.endswith("'")) or (
-        text.startswith('"') and text.endswith('"')
-    ):
-        return text[1:-1]
-    lowered = text.lower()
-    if lowered == "true":
-        return True
-    if lowered == "false":
-        return False
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        pass
-    return text
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9.]*)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),;*\-])
+    """,
+    re.VERBOSE,
+)
+
+_WS_RE = re.compile(r"\s+")
 
 
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind  # "string" | "number" | "ident" | "op" | "punct" | "end"
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        ws = _WS_RE.match(sql, position)
+        if ws:
+            position = ws.end()
+            if position >= length:
+                break
+        match = _TOKEN_RE.match(sql, position)
+        if not match:
+            char = sql[position]
+            if char in "'\"":
+                raise SQLSyntaxError(
+                    f"unterminated string literal starting at position {position}: "
+                    f"{sql[position:position + 20]!r}"
+                )
+            raise SQLSyntaxError(
+                f"unexpected character {char!r} at position {position}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("end", "", length))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Recursive-descent parser
+# ---------------------------------------------------------------------------
 def _strip_alias(name: str) -> str:
     """Drop a leading table alias, e.g. ``t.origin_state`` -> ``origin_state``."""
     return name.split(".")[-1].strip()
 
 
-def _split_conditions(where: str) -> list[str]:
-    """Split a WHERE clause on top-level ANDs (no nested parentheses support)."""
-    parts = re.split(r"\s+and\s+", where, flags=re.IGNORECASE)
-    return [part.strip() for part in parts if part.strip()]
+class _SelectItem:
+    """One parsed select-list entry (column, aggregate, or window)."""
+
+    __slots__ = ("column", "aggregate", "window")
+
+    def __init__(self, column=None, aggregate=None, window=None):
+        self.column = column
+        self.aggregate = aggregate
+        self.window = window
 
 
-def _parse_condition(text: str) -> Predicate:
-    in_match = _IN_RE.match(text)
-    if in_match:
-        attribute = _strip_alias(in_match.group("attr"))
-        raw_values = in_match.group("values")
-        values = tuple(_parse_literal(item) for item in raw_values.split(","))
-        return Predicate(attribute, Comparison.IN, values)
-    match = _CONDITION_RE.match(text)
-    if not match:
-        raise SQLSyntaxError(f"cannot parse condition: {text!r}")
-    attribute = _strip_alias(match.group("attr"))
-    operator = match.group("op")
-    if operator == "<>":
-        operator = "!="
-    value = _parse_literal(match.group("value"))
-    return Predicate(attribute, Comparison(operator), value)
+class _Parser:
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = _tokenize(sql)
+        self._index = 0
 
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
 
-def _parse_select_list(select: str) -> tuple[list[str], AggregateSpec | None]:
-    attributes: list[str] = []
-    aggregate: AggregateSpec | None = None
-    for item in select.split(","):
-        item = item.strip()
-        if not item:
-            continue
-        match = _AGGREGATE_RE.match(item)
-        if match:
-            if aggregate is not None:
-                raise SQLSyntaxError("only one aggregate expression is supported")
-            function = AggregateFunction(match.group("func").lower())
-            argument = match.group("arg")
-            attribute = None if argument == "*" else _strip_alias(argument)
-            # SUM(weight) is how reweighted samples express COUNT(*) (Sec. 4.1).
-            if function is AggregateFunction.SUM and attribute == "weight":
-                aggregate = AggregateSpec(AggregateFunction.COUNT)
-            else:
-                aggregate = AggregateSpec(function, attribute)
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "end":
+            self._index += 1
+        return token
+
+    def _at_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.kind == "ident" and token.text.lower() in words
+
+    def _take_keyword(self, *words: str) -> bool:
+        if self._at_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._advance()
+        if token.kind != "ident" or token.text.lower() != word:
+            raise SQLSyntaxError(
+                f"expected {word.upper()!r} but found {token.text or 'end of input'!r} "
+                f"at position {token.position}"
+            )
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._advance()
+        if token.kind != "punct" or token.text != char:
+            raise SQLSyntaxError(
+                f"expected {char!r} but found {token.text or 'end of input'!r} "
+                f"at position {token.position}"
+            )
+
+    def _expect_ident(self, what: str) -> str:
+        token = self._advance()
+        if token.kind != "ident":
+            raise SQLSyntaxError(
+                f"expected {what} but found {token.text or 'end of input'!r} "
+                f"at position {token.position}"
+            )
+        return token.text
+
+    # -- literals -------------------------------------------------------
+    def _literal(self) -> Any:
+        token = self._advance()
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "punct" and token.text == "-":
+            number = self._advance()
+            if number.kind != "number":
+                raise SQLSyntaxError(
+                    f"expected a number after '-' at position {token.position}"
+                )
+            return -self._number_value(number.text)
+        if token.kind == "number":
+            return self._number_value(token.text)
+        if token.kind == "ident":
+            lowered = token.text.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            # Bare-word literal (legacy behavior): WHERE state = CA.
+            return token.text
+        raise SQLSyntaxError(
+            f"expected a literal but found {token.text or 'end of input'!r} "
+            f"at position {token.position}"
+        )
+
+    @staticmethod
+    def _number_value(text: str) -> int | float:
+        return float(text) if "." in text else int(text)
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("select")
+        items = self._select_list()
+        self._expect_keyword("from")
+        table = self._expect_ident("a table name")
+
+        predicates: tuple[Predicate, ...] = ()
+        group_by: tuple[str, ...] = ()
+        having: tuple[HavingPredicate, ...] = ()
+        order_by: tuple[OrderKey, ...] = ()
+        limit: int | None = None
+        explicit_group = False
+
+        if self._take_keyword("where"):
+            predicates = self._conjunction()
+        if self._at_keyword("group"):
+            self._advance()
+            self._expect_keyword("by")
+            group_by = tuple(self._name_list())
+            explicit_group = True
+        if self._take_keyword("having"):
+            having = self._having_list()
+        if self._at_keyword("order"):
+            self._advance()
+            self._expect_keyword("by")
+            order_by = tuple(self._order_list())
+        if self._take_keyword("limit"):
+            token = self._advance()
+            if token.kind != "number" or "." in token.text:
+                raise SQLSyntaxError(
+                    f"LIMIT expects an integer, found {token.text or 'end of input'!r} "
+                    f"at position {token.position}"
+                )
+            limit = int(token.text)
+        # Optional trailing semicolon, then nothing else.
+        if self._peek().kind == "punct" and self._peek().text == ";":
+            self._advance()
+        tail = self._peek()
+        if tail.kind != "end":
+            hint = ""
+            if tail.kind == "ident" and tail.text.lower() in (
+                "where",
+                "group",
+                "having",
+                "order",
+                "limit",
+            ):
+                hint = f" (duplicate or misplaced {tail.text.upper()} clause?)"
+            raise SQLSyntaxError(
+                f"expected end of statement but found {tail.text!r} "
+                f"at position {tail.position}{hint}"
+            )
+
+        return self._build(
+            table, items, predicates, group_by, explicit_group, having, order_by, limit
+        )
+
+    def _select_list(self) -> list[_SelectItem]:
+        items = [self._select_item()]
+        while self._peek().kind == "punct" and self._peek().text == ",":
+            self._advance()
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> _SelectItem:
+        token = self._peek()
+        if token.kind == "ident" and token.text.lower() == "rank":
+            return self._window_item()
+        if token.kind == "ident" and token.text.lower() in _AGGREGATE_NAMES:
+            # Lookahead: an aggregate name is only an aggregate when followed
+            # by '(' — otherwise it is a plain column named e.g. "count".
+            next_token = self._tokens[self._index + 1]
+            if next_token.kind == "punct" and next_token.text == "(":
+                return self._aggregate_or_window_item()
+        name = self._expect_ident("a column name")
+        self._maybe_alias()  # legacy behavior: plain-column aliases are dropped
+        return _SelectItem(column=_strip_alias(name))
+
+    def _aggregate_or_window_item(self) -> _SelectItem:
+        function_name = self._advance().text.lower()
+        self._expect_punct("(")
+        argument: str | None
+        if self._peek().kind == "punct" and self._peek().text == "*":
+            self._advance()
+            argument = None
+            if function_name != "count":
+                raise SQLSyntaxError(f"{function_name.upper()}(*) is not supported")
         else:
-            attributes.append(_strip_alias(re.sub(r"\s+as\s+\w+$", "", item, flags=re.IGNORECASE)))
-    return attributes, aggregate
+            argument = _strip_alias(self._aggregate_argument())
+        self._expect_punct(")")
+        if self._at_keyword("over"):
+            if function_name != "sum":
+                raise SQLSyntaxError(
+                    f"only SUM(...) OVER and RANK() OVER windows are supported, "
+                    f"not {function_name.upper()}"
+                )
+            assert argument is not None
+            return self._window_tail(WindowFunction.SUM, target=argument)
+        alias = self._maybe_alias()
+        function = AggregateFunction(function_name)
+        # SUM(weight) is how reweighted samples express COUNT(*) (Sec. 4.1).
+        if function is AggregateFunction.SUM and argument == "weight":
+            return _SelectItem(aggregate=AggregateSpec(AggregateFunction.COUNT, alias=alias))
+        return _SelectItem(aggregate=AggregateSpec(function, argument, alias=alias))
+
+    def _aggregate_argument(self) -> str:
+        """An aggregate's argument: a column name, or (for window SUMs over
+        aggregate outputs) a nested canonical expression like ``count(*)``."""
+        token = self._peek()
+        if token.kind == "ident" and token.text.lower() in _AGGREGATE_NAMES:
+            next_token = self._tokens[self._index + 1]
+            if next_token.kind == "punct" and next_token.text == "(":
+                return self._column_reference()
+        return self._expect_ident("a column name")
+
+    def _window_item(self) -> _SelectItem:
+        self._advance()  # RANK
+        self._expect_punct("(")
+        self._expect_punct(")")
+        if not self._at_keyword("over"):
+            raise SQLSyntaxError("RANK() requires an OVER (...) clause")
+        return self._window_tail(WindowFunction.RANK, target=None)
+
+    def _window_tail(self, function: WindowFunction, target: str | None) -> _SelectItem:
+        self._expect_keyword("over")
+        self._expect_punct("(")
+        partition: tuple[str, ...] = ()
+        order: tuple[OrderKey, ...] = ()
+        if self._at_keyword("partition"):
+            self._advance()
+            self._expect_keyword("by")
+            partition = tuple(self._name_list())
+        if self._at_keyword("order"):
+            self._advance()
+            self._expect_keyword("by")
+            order = tuple(self._order_list())
+        self._expect_punct(")")
+        alias = self._maybe_alias()
+        if alias is None:
+            raise SQLSyntaxError(
+                "window expressions need an AS alias naming their output column"
+            )
+        try:
+            window = WindowSpec(
+                function, alias, target=target, partition_by=partition, order_by=order
+            )
+        except QueryError as error:
+            # AST invariants (e.g. RANK() needs ORDER BY) surface as syntax
+            # errors: the defect is in the statement, not the engine.
+            raise SQLSyntaxError(str(error)) from error
+        return _SelectItem(window=window)
+
+    def _maybe_alias(self) -> str | None:
+        if self._take_keyword("as"):
+            return self._expect_ident("an alias after AS")
+        return None
+
+    def _name_list(self) -> list[str]:
+        names = [_strip_alias(self._expect_ident("a column name"))]
+        while self._peek().kind == "punct" and self._peek().text == ",":
+            self._advance()
+            names.append(_strip_alias(self._expect_ident("a column name")))
+        return names
+
+    def _column_reference(self) -> str:
+        """A sort/HAVING target: a column/alias name or a canonical
+        aggregate expression like ``count(*)`` / ``sum(x)``."""
+        token = self._peek()
+        if token.kind == "ident" and token.text.lower() in _AGGREGATE_NAMES:
+            next_token = self._tokens[self._index + 1]
+            if next_token.kind == "punct" and next_token.text == "(":
+                function = self._advance().text.lower()
+                self._advance()  # (
+                if self._peek().kind == "punct" and self._peek().text == "*":
+                    self._advance()
+                    argument = "*"
+                else:
+                    argument = _strip_alias(self._expect_ident("a column name"))
+                self._expect_punct(")")
+                if function == "sum" and argument == "weight":
+                    return "count(*)"
+                return f"{function}({argument})"
+        return _strip_alias(self._expect_ident("a column name"))
+
+    def _order_list(self) -> list[OrderKey]:
+        keys = [self._order_key()]
+        while self._peek().kind == "punct" and self._peek().text == ",":
+            self._advance()
+            keys.append(self._order_key())
+        return keys
+
+    def _order_key(self) -> OrderKey:
+        target = self._column_reference()
+        descending = False
+        if self._take_keyword("desc"):
+            descending = True
+        else:
+            self._take_keyword("asc")
+        return OrderKey(target, descending=descending)
+
+    def _having_list(self) -> tuple[HavingPredicate, ...]:
+        conditions = [self._having_condition()]
+        while self._take_keyword("and"):
+            conditions.append(self._having_condition())
+        return tuple(conditions)
+
+    def _having_condition(self) -> HavingPredicate:
+        target = self._column_reference()
+        token = self._advance()
+        if token.kind != "op":
+            raise SQLSyntaxError(
+                f"expected a comparison operator in HAVING but found "
+                f"{token.text or 'end of input'!r} at position {token.position}"
+            )
+        operator = "!=" if token.text == "<>" else token.text
+        value = self._literal()
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SQLSyntaxError(
+                f"HAVING compares aggregate values and needs a numeric literal, "
+                f"got {value!r}"
+            )
+        return HavingPredicate(target, Comparison(operator), float(value))
+
+    def _conjunction(self) -> tuple[Predicate, ...]:
+        predicates = [self._condition()]
+        while self._take_keyword("and"):
+            predicates.append(self._condition())
+        return tuple(predicates)
+
+    def _condition(self) -> Predicate:
+        attribute = _strip_alias(self._expect_ident("an attribute name"))
+        if self._take_keyword("in"):
+            self._expect_punct("(")
+            if self._peek().kind == "punct" and self._peek().text == ")":
+                raise SQLSyntaxError(
+                    f"IN list for {attribute!r} must contain at least one value"
+                )
+            values = [self._literal()]
+            while self._peek().kind == "punct" and self._peek().text == ",":
+                self._advance()
+                values.append(self._literal())
+            self._expect_punct(")")
+            return Predicate(attribute, Comparison.IN, tuple(values))
+        token = self._advance()
+        if token.kind != "op":
+            raise SQLSyntaxError(
+                f"expected a comparison operator after {attribute!r} but found "
+                f"{token.text or 'end of input'!r} at position {token.position}"
+            )
+        operator = "!=" if token.text == "<>" else token.text
+        return Predicate(attribute, Comparison(operator), self._literal())
+
+    # -- AST construction ----------------------------------------------
+    def _build(
+        self,
+        table: str,
+        items: list[_SelectItem],
+        predicates: tuple[Predicate, ...],
+        group_by: tuple[str, ...],
+        explicit_group: bool,
+        having: tuple[HavingPredicate, ...],
+        order_by: tuple[OrderKey, ...],
+        limit: int | None,
+    ) -> ParsedQuery:
+        columns = [item.column for item in items if item.column is not None]
+        aggregates = tuple(item.aggregate for item in items if item.aggregate is not None)
+        windows = tuple(item.window for item in items if item.window is not None)
+
+        if not explicit_group and columns:
+            # Plain-SQL convention used throughout the paper's Table 5: the
+            # non-aggregate select columns are the grouping columns.
+            group_by = tuple(columns)
+
+        rich = (
+            len(aggregates) > 1
+            or bool(having)
+            or bool(order_by)
+            or limit is not None
+            or bool(windows)
+            or (bool(group_by) and any(spec.alias for spec in aggregates))
+        )
+
+        if not aggregates:
+            aggregates = (AggregateSpec(AggregateFunction.COUNT),)
+        first = aggregates[0]
+
+        query: PointQuery | GroupByQuery | ScalarAggregateQuery | AnalyticQuery
+        try:
+            if rich:
+                query = AnalyticQuery(
+                    group_by=group_by,
+                    aggregates=aggregates,
+                    predicates=predicates,
+                    having=having,
+                    windows=windows,
+                    order_by=order_by,
+                    limit=limit,
+                )
+            elif group_by:
+                query = GroupByQuery(
+                    group_by=group_by, aggregate=first, predicates=predicates
+                )
+            else:
+                all_equalities = bool(predicates) and all(
+                    predicate.comparison is Comparison.EQ for predicate in predicates
+                )
+                if all_equalities and first.function is AggregateFunction.COUNT:
+                    query = PointQuery(
+                        {predicate.attribute: predicate.value for predicate in predicates}
+                    )
+                else:
+                    query = ScalarAggregateQuery(aggregate=first, predicates=predicates)
+        except SQLSyntaxError:
+            raise
+        except QueryError as error:
+            raise SQLSyntaxError(f"invalid query: {error}") from error
+
+        return ParsedQuery(
+            table=table,
+            query=query,
+            select_attributes=tuple(columns),
+            aggregate=first,
+        )
 
 
 def parse_sql(sql: str) -> ParsedQuery:
@@ -147,56 +559,7 @@ def parse_sql(sql: str) -> ParsedQuery:
     Raises
     ------
     SQLSyntaxError
-        If the statement does not match the supported grammar.
+        If the statement does not match the supported grammar.  Messages
+        name the offending token and its character position.
     """
-    match = _SELECT_RE.match(sql)
-    if not match:
-        raise SQLSyntaxError(f"cannot parse SQL statement: {sql!r}")
-    table = match.group("table")
-    select_attributes, aggregate = _parse_select_list(match.group("select"))
-    where = match.group("where")
-    group = match.group("group")
-
-    predicates: list[Predicate] = []
-    if where:
-        predicates = [_parse_condition(part) for part in _split_conditions(where)]
-
-    group_by: list[str] = []
-    if group:
-        group_by = [_strip_alias(item) for item in group.split(",") if item.strip()]
-    elif select_attributes:
-        # Plain-SQL convention used throughout the paper's Table 5: the
-        # non-aggregate select columns are the grouping columns.
-        group_by = list(select_attributes)
-
-    if aggregate is None:
-        aggregate = AggregateSpec(AggregateFunction.COUNT)
-
-    query: PointQuery | GroupByQuery | ScalarAggregateQuery
-    if group_by:
-        query = GroupByQuery(
-            group_by=tuple(group_by),
-            aggregate=aggregate,
-            predicates=tuple(predicates),
-        )
-    else:
-        all_equalities = predicates and all(
-            predicate.comparison is Comparison.EQ for predicate in predicates
-        )
-        is_count = aggregate.function is AggregateFunction.COUNT
-        if all_equalities and is_count:
-            assignment: dict[str, Any] = {
-                predicate.attribute: predicate.value for predicate in predicates
-            }
-            query = PointQuery(assignment)
-        else:
-            query = ScalarAggregateQuery(
-                aggregate=aggregate, predicates=tuple(predicates)
-            )
-
-    return ParsedQuery(
-        table=table,
-        query=query,
-        select_attributes=tuple(select_attributes),
-        aggregate=aggregate,
-    )
+    return _Parser(sql).parse()

@@ -370,7 +370,7 @@ class TestCounterDrift:
 
         # The per-batch optimizer deltas must sum exactly to the
         # session-lifetime optimizer counters: one registry, no drift.
-        for field in names.OPTIMIZER_COUNTERS[2:]:  # the 7 public counters
+        for field in names.OPTIMIZER_COUNTERS[2:]:  # the 8 public counters
             summed = sum(batch.optimizer[field] for batch in batches)
             assert getattr(stats, field) == summed, field
 

@@ -105,10 +105,167 @@ class TestErrors:
         with pytest.raises(SQLSyntaxError):
             parse_sql("DELETE FROM t")
 
-    def test_two_aggregates_rejected(self):
-        with pytest.raises(SQLSyntaxError):
-            parse_sql("SELECT COUNT(*), SUM(x) FROM t")
+    def test_two_aggregates_parse_to_analytic_query(self):
+        from repro.query import AnalyticQuery
+
+        parsed = parse_sql("SELECT COUNT(*), SUM(x) FROM t")
+        assert isinstance(parsed.query, AnalyticQuery)
+        assert [spec.expression for spec in parsed.query.aggregates] == [
+            "count(*)",
+            "sum(x)",
+        ]
 
     def test_bad_condition_rejected(self):
         with pytest.raises(SQLSyntaxError):
             parse_sql("SELECT COUNT(*) FROM t WHERE ???")
+
+class TestAnalyticParsing:
+    def test_full_pipeline_statement(self):
+        from repro.query import AnalyticQuery, WindowFunction
+
+        parsed = parse_sql(
+            "SELECT state, COUNT(*) AS n, AVG(delay) AS mean, "
+            "RANK() OVER (PARTITION BY state ORDER BY n DESC) AS r "
+            "FROM flights WHERE carrier = 'AA' GROUP BY state "
+            "HAVING n > 2 ORDER BY r, state LIMIT 5"
+        )
+        query = parsed.query
+        assert isinstance(query, AnalyticQuery)
+        assert query.group_by == ("state",)
+        assert [spec.label for spec in query.aggregates] == ["n", "mean"]
+        assert query.having[0].target == "n" and query.having[0].value == 2
+        assert query.windows[0].function is WindowFunction.RANK
+        assert query.windows[0].partition_by == ("state",)
+        assert [key.target for key in query.order_by] == ["r", "state"]
+        assert query.limit == 5
+
+    def test_sum_weight_window_is_weighted_count_window(self):
+        from repro.query import AnalyticQuery
+
+        parsed = parse_sql(
+            "SELECT a, COUNT(*) AS n, SUM(n) OVER (ORDER BY a) AS running "
+            "FROM t GROUP BY a"
+        )
+        assert isinstance(parsed.query, AnalyticQuery)
+        window = parsed.query.windows[0]
+        assert window.target == "n" and window.order_by[0].target == "a"
+
+
+class TestMalformedStatements:
+    """Malformed SQL raises SQLSyntaxError with an actionable message."""
+
+    @pytest.mark.parametrize(
+        "sql, fragment",
+        [
+            ("SELECT COUNT(*) FROM t WHERE a = 'CA", "unterminated string"),
+            ("SELECT COUNT(*) FROM t WHERE a IN ()", "at least one value"),
+            (
+                "SELECT a, COUNT(*) FROM t GROUP BY a GROUP BY b",
+                "duplicate or misplaced GROUP clause",
+            ),
+            ("SELECT COUNT(*) FROM", "expected a table name"),
+            (
+                "SELECT a, COUNT(*) AS n, RANK() OVER (ORDER BY n) FROM t GROUP BY a",
+                "need an AS alias",
+            ),
+            (
+                "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING n > 'x'",
+                "numeric literal",
+            ),
+            (
+                "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING n > true",
+                "numeric literal",
+            ),
+            ("SELECT AVG(*) FROM t", "AVG(*)"),
+            (
+                "SELECT a, AVG(x) OVER (ORDER BY a) AS w FROM t GROUP BY a",
+                "only SUM(...) OVER and RANK() OVER",
+            ),
+            (
+                "SELECT a, COUNT(*) AS n, RANK() OVER (PARTITION BY a) AS r "
+                "FROM t GROUP BY a",
+                "requires ORDER BY",
+            ),
+            ("SELECT COUNT(*) FROM t WHERE a = $", "unexpected character '$'"),
+            ("SELECT COUNT(*) FROM t LIMIT x", "LIMIT expects an integer"),
+            ("SELECT COUNT(*) FROM t LIMIT -3", "LIMIT expects an integer"),
+            ("SELECT FROM t", "expected 'FROM'"),
+            ("", "expected 'SELECT'"),
+            ("SELECT RANK() FROM t", "OVER"),
+        ],
+    )
+    def test_rejected_with_message(self, sql, fragment):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            parse_sql(sql)
+        assert fragment in str(excinfo.value)
+
+    def test_semicolon_inside_string_is_data(self):
+        parsed = parse_sql("SELECT COUNT(*) FROM t WHERE a = ';'")
+        assert parsed.query.as_dict() == {"a": ";"}
+
+    def test_unknown_order_target_fails_at_compile_with_columns(self):
+        """Name resolution is the compiler's job; its error lists columns."""
+        from repro.exceptions import QueryError
+        from repro.schema import Attribute, Domain, Relation, Schema
+        from repro.sql import WeightedQueryEngine
+
+        relation = Relation(
+            Schema([Attribute("a", Domain(["x", "y"]))]), {"a": [0, 1]}
+        )
+        parsed = parse_sql("SELECT a, COUNT(*) AS n FROM t GROUP BY a ORDER BY zz")
+        with pytest.raises(QueryError) as excinfo:
+            WeightedQueryEngine(relation).execute(parsed.query)
+        message = str(excinfo.value)
+        assert "zz" in message and "available columns" in message
+
+
+class TestParserFuzz:
+    """Token-level fuzzing: the parser either parses or raises SQLSyntaxError.
+
+    Whatever mutation the statement suffers — dropped, duplicated, or
+    shuffled tokens, injected garbage — the parser must never escape with
+    an internal error (IndexError, AttributeError, ...).  Seeds are in the
+    assertion message for replay.
+    """
+
+    SEED_STATEMENTS = [
+        "SELECT COUNT(*) FROM flights WHERE origin = 'CA' AND delay <= 30",
+        "SELECT state, carrier, COUNT(*) AS n, AVG(delay) AS mean FROM flights "
+        "WHERE dest IN ('NY', 'TX') GROUP BY state, carrier "
+        "HAVING n >= 2 ORDER BY mean DESC, state LIMIT 7",
+        "SELECT state, COUNT(*) AS n, SUM(delay) AS total, "
+        "RANK() OVER (PARTITION BY state ORDER BY n DESC) AS r, "
+        "SUM(n) OVER (ORDER BY state) AS running "
+        "FROM flights GROUP BY state ORDER BY r",
+    ]
+    GARBAGE = ["(", ")", ",", "SELECT", "OVER", "'", "*", ";", "123", "?", "AS"]
+
+    def test_mutated_statements_never_crash(self):
+        import numpy as np
+
+        from repro.exceptions import SQLSyntaxError
+
+        rng = np.random.default_rng(1337)
+        for trial in range(300):
+            tokens = self.SEED_STATEMENTS[trial % len(self.SEED_STATEMENTS)].split()
+            mutation = trial % 4
+            position = int(rng.integers(len(tokens)))
+            if mutation == 0:
+                del tokens[position]
+            elif mutation == 1:
+                tokens.insert(position, self.GARBAGE[int(rng.integers(len(self.GARBAGE)))])
+            elif mutation == 2:
+                other = int(rng.integers(len(tokens)))
+                tokens[position], tokens[other] = tokens[other], tokens[position]
+            else:
+                tokens[position] = tokens[position][: max(0, len(tokens[position]) - 1)]
+            sql = " ".join(tokens)
+            try:
+                parse_sql(sql)
+            except SQLSyntaxError:
+                pass
+            except Exception as error:  # pragma: no cover - the failure path
+                raise AssertionError(
+                    f"trial={trial}: parser escaped with "
+                    f"{type(error).__name__}: {error} on {sql!r}"
+                ) from error
