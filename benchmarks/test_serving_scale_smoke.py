@@ -1,0 +1,64 @@
+"""Benchmark: sharded multi-process serving tier, small-N smoke run.
+
+Not a paper artefact — this drives the ``serving_scale`` experiment (asyncio
+front-end -> micro-batcher -> consistent-hash shard router -> worker
+processes) at a reduced query count and asserts the tier's health:
+
+* every worker count stays **bit-identical** to in-process ``execute_batch``
+  (the experiment itself raises on any divergence);
+* the batched path actually engaged: micro-batch sizes recorded, requests
+  served through the latency histogram, both shards took traffic;
+* on a multi-core host, 2 workers beat 1 worker by >= 1.5x throughput.
+
+The scaling assertion is **skipped on single-core hosts**: two processes
+time-slicing one CPU cannot beat one process, and pretending otherwise
+would make the benchmark red on every 1-core CI runner.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.serving_scale import available_cores, run_serving_scale
+
+
+def test_serving_scale_smoke(run_experiment, scale):
+    result = run_experiment(
+        run_serving_scale,
+        scale,
+        worker_counts=(1, 2),
+        n_clients=4,
+        n_queries=24,
+    )
+    rows = {row["workers"]: row for row in result.rows}
+    assert set(rows) == {0, 1, 2}
+
+    # The sharded rows exist at all => bit-identity held (the experiment
+    # raises AssertionError on any divergence from the in-process oracle).
+    for n_workers in (1, 2):
+        row = rows[n_workers]
+        assert row["phase"] == "sharded-async"
+        # Batched-path counters are live, not zero: micro-batches formed...
+        assert not math.isnan(row["mean_microbatch"])
+        assert row["mean_microbatch"] >= 1.0
+        # ...and request latency percentiles were recorded.
+        assert row["p99_ms"] > 0.0
+        assert row["queries_per_second"] > 0.0
+
+    # Both shards took traffic in the 2-worker run.
+    split = [int(part) for part in rows[2]["shard_split"].split("/")]
+    assert len(split) == 2 and all(part > 0 for part in split)
+    assert sum(split) >= result.parameters["n_queries"]
+
+    cores = result.parameters["cores"]
+    assert cores == available_cores()
+    if cores < 2:
+        pytest.skip(
+            f"host exposes {cores} CPU core(s): two workers time-slice one "
+            "CPU, so the >= 1.5x multi-worker throughput assertion is "
+            "meaningless here (it runs on multi-core CI)"
+        )
+    assert rows[2]["queries_per_second"] >= 1.5 * rows[1]["queries_per_second"], (
+        "2 workers should serve >= 1.5x the throughput of 1 worker on a "
+        f"{cores}-core host"
+    )

@@ -56,6 +56,44 @@ class QueryError(ThemisError):
     """Raised when a query cannot be parsed or evaluated."""
 
 
+class WireFormatError(ThemisError):
+    """Raised when a serialized plan payload cannot be decoded.
+
+    Covers structural problems (unknown node tags, malformed values), format
+    version mismatches, and canonical-key disagreements between the sender's
+    plan and what the receiver's schema compiles the same query to.
+    """
+
+
+class ServingOverloadError(ThemisError):
+    """Raised when the serving tier sheds load instead of queueing forever.
+
+    The asyncio front-end raises it when the micro-batch queue exceeds its
+    bound, and the sharded worker pool raises it when a worker misses the
+    dispatch latency budget.  ``queue_depth`` reports how many requests were
+    waiting at rejection time and ``shard_id`` names the lagging shard when
+    one is identifiable (``None`` for front-end queue overflow, which is not
+    attributable to a single shard).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: int | None = None,
+        shard_id: int | None = None,
+    ):
+        self.queue_depth = queue_depth
+        self.shard_id = shard_id
+        details = []
+        if queue_depth is not None:
+            details.append(f"queue_depth={queue_depth}")
+        if shard_id is not None:
+            details.append(f"shard_id={shard_id}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+
+
 class SQLSyntaxError(QueryError):
     """Raised by the SQL parser on malformed query text."""
 

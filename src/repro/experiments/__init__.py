@@ -41,6 +41,7 @@ from .join_fusion_throughput import join_fusion_workload, run_join_fusion
 from .plan_fusion_throughput import plan_fusion_workload, run_plan_fusion
 from .plan_ir_throughput import plan_ir_relation, plan_ir_workload, run_plan_ir
 from .reporting import ExperimentResult, format_table
+from .serving_scale import available_cores, run_serving_scale
 from .serving_throughput import run_serving_throughput, serving_workload
 from .sql_surface_throughput import run_sql_surface, sql_surface_workload
 from .table1_motivating import run_table1
@@ -55,6 +56,7 @@ __all__ = [
     "PAPER_SCALE",
     "SMALL_SCALE",
     "TINY_SCALE",
+    "available_cores",
     "bn_point_workload",
     "build_aggregates",
     "child_bundle",
@@ -86,6 +88,7 @@ __all__ = [
     "run_query_execution_time",
     "run_reuse_comparison",
     "run_reweighting_comparison",
+    "run_serving_scale",
     "run_serving_throughput",
     "run_simplification_ablation",
     "run_solver_time",

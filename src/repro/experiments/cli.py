@@ -48,6 +48,7 @@ def _build_registry() -> None:
     from .obs_report import run_obs
     from .plan_fusion_throughput import run_plan_fusion
     from .plan_ir_throughput import run_plan_ir
+    from .serving_scale import run_serving_scale
     from .serving_throughput import run_serving_throughput
     from .sql_surface_throughput import run_sql_surface
     from .table1_motivating import run_table1
@@ -75,6 +76,7 @@ def _build_registry() -> None:
     _register("table8", lambda scale: run_solver_time(scale))
     _register("ablation", lambda scale: run_simplification_ablation(scale))
     _register("serving", lambda scale: run_serving_throughput(scale))
+    _register("serving_scale", lambda scale: run_serving_scale(scale))
     _register("bn_batch", lambda scale: run_bn_batch(scale))
     _register("plan_ir", lambda scale: run_plan_ir(scale))
     _register("plan_fusion", lambda scale: run_plan_fusion(scale))

@@ -91,6 +91,35 @@ BATCH_STAGES: tuple[str, ...] = (
 )
 
 
+# ---------------------------------------------------------------------------
+# Scale tier (sharded worker pool + asyncio front-end)
+# ---------------------------------------------------------------------------
+#: Requests accepted by the asyncio front-end.
+SCALE_REQUESTS = "scale.requests"
+#: Requests shed with :class:`~repro.exceptions.ServingOverloadError`.
+SCALE_OVERLOADS = "scale.overloads"
+#: Micro-batches dispatched to the worker pool.
+SCALE_DISPATCHES = "scale.dispatches"
+#: Pool batches executed (one per ``ShardedWorkerPool.execute_batch``).
+SCALE_POOL_BATCHES = "scale.pool.batches"
+#: Generation broadcasts (refit / add_aggregate fan-outs) to workers.
+SCALE_BROADCASTS = "scale.pool.broadcasts"
+#: Instantaneous micro-batch queue depth (gauge, sampled at submit/flush).
+SCALE_QUEUE_DEPTH = "scale.queue_depth"
+#: Number of worker shards in the pool (gauge).
+SCALE_SHARDS = "scale.shards"
+#: Per-shard plan-occupancy counters are ``scale.shard.<shard-id>.plans``.
+SCALE_SHARD_PREFIX = "scale.shard."
+#: Power-of-two micro-batch size bucket bounds: 1, 2, 4, ... 1024.
+MICROBATCH_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(11))
+#: Histogram of micro-batch sizes (uses :data:`MICROBATCH_BUCKETS`).
+MICROBATCH_SIZE = "scale.microbatch_size"
+#: End-to-end front-end request latency histogram (submit -> result).
+SCALE_REQUEST_SECONDS = "latency.scale.request_seconds"
+#: Pool-side batch dispatch latency histogram (serialize -> reassemble).
+SCALE_DISPATCH_SECONDS = "latency.scale.dispatch_seconds"
+
+
 def route_counter(route: str) -> str:
     """The registry counter name for one served route."""
     return ROUTE_PREFIX + route
@@ -109,3 +138,8 @@ def cache_gauge(tier: str, metric: str) -> str:
 def stage_histogram(stage: str) -> str:
     """The registry histogram name for one batch stage."""
     return STAGE_PREFIX + stage
+
+
+def shard_counter(shard_id: int) -> str:
+    """The registry counter name for one shard's plan occupancy."""
+    return f"{SCALE_SHARD_PREFIX}{shard_id}.plans"

@@ -74,6 +74,18 @@ from .optimize import (
     normalize_predicates,
     optimize_batch,
 )
+from .wire import (
+    WIRE_FORMAT_NAME,
+    WIRE_FORMAT_VERSION,
+    deserialize_node,
+    deserialize_plan,
+    deserialize_query,
+    plan_from_json,
+    plan_to_json,
+    serialize_node,
+    serialize_plan,
+    serialize_query,
+)
 
 __all__ = [
     "Aggregate",
@@ -108,8 +120,13 @@ __all__ = [
     "Scan",
     "ScheduleUnit",
     "Sort",
+    "WIRE_FORMAT_NAME",
+    "WIRE_FORMAT_VERSION",
     "Window",
     "WindowOp",
+    "deserialize_node",
+    "deserialize_plan",
+    "deserialize_query",
     "execute_table_pipeline",
     "fused_group_columns",
     "fused_group_reduce",
@@ -124,7 +141,12 @@ __all__ = [
     "normalize_predicates",
     "numeric_column",
     "optimize_batch",
+    "plan_from_json",
+    "plan_to_json",
     "query_shape",
     "resolve_route",
     "scalar_reduce",
+    "serialize_node",
+    "serialize_plan",
+    "serialize_query",
 ]

@@ -10,6 +10,26 @@ ground-truth population relation.
 query shape — point, filtered scalar, and (filtered) GROUP BY — as paired
 ``(sql, query)`` entries, which is what the plan-IR round-trip tests and the
 columnar-kernel benchmarks run over.
+
+**Seed contract.**  Both generators are fully seedable: every random choice
+(attribute sets, literal values, predicate shapes, pool indices) is drawn
+from a single ``numpy.random.Generator`` created once in the constructor
+from the ``seed`` argument.  The contract, relied on by the differential
+tests, the ``serving_scale`` experiment, and CI reproductions, is:
+
+* same ``seed`` + same relation/schema + same sequence of ``generate*``
+  calls (same arguments, same order) => the **identical** workload, across
+  processes, platforms, and ``PYTHONHASHSEED`` values;
+* distinct generator instances never share state: two workloads built with
+  the same seed are identical, and interleaving calls on one instance
+  advances only that instance's stream;
+* ``seed=None`` (the default) seeds from OS entropy — irreproducible, for
+  exploration only.  Pass an explicit int anywhere a run must be replayed;
+  failures in seeded sweeps should report the seed in the assertion message.
+
+(Per-entry shape rotation — aggregate functions, analytic variants — is
+keyed on the entry *index*, not the RNG, so changing ``n_queries`` never
+shifts which shapes earlier entries take.)
 """
 
 from __future__ import annotations

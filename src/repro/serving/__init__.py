@@ -17,7 +17,15 @@ into a reusable query service for high-throughput workloads:
 * :mod:`repro.serving.session` — the long-lived serving front-end returned by
   ``Themis.serve()``;
 * :mod:`repro.serving.stats` — per-query outcomes, batch results, and
-  session statistics.
+  session statistics;
+* :mod:`repro.serving.scale` — the multi-process scale tier: an asyncio
+  front-end (:class:`~repro.serving.scale.AsyncServingFrontend` /
+  :func:`~repro.serving.scale.serve_async`) that micro-batches concurrent
+  arrivals within a latency budget and dispatches them to a
+  :class:`~repro.serving.scale.ShardedWorkerPool` — N worker processes, each
+  owning one ``ServingSession`` and the slice of canonical plan keys a
+  consistent-hash router assigns it, fed through the versioned plan wire
+  format (:mod:`repro.plan.wire`) with coherent ``refit()`` broadcast.
 """
 
 from .cache import CacheStatistics, InferenceCache, LRUCache, PlanCache, ResultCache
@@ -32,9 +40,23 @@ from .planner import (
 )
 from .session import ServingSession
 from .stats import BatchResult, QueryOutcome, ServingStatistics
+from .scale import (
+    AsyncServingFrontend,
+    MicroBatcher,
+    ShardRouter,
+    ShardedWorkerPool,
+    WorkerSpec,
+    serve_async,
+)
 
 __all__ = [
+    "AsyncServingFrontend",
     "BatchExecutor",
+    "MicroBatcher",
+    "ShardRouter",
+    "ShardedWorkerPool",
+    "WorkerSpec",
+    "serve_async",
     "BatchResult",
     "CacheStatistics",
     "InferenceCache",

@@ -1,0 +1,40 @@
+"""The scale tier: sharded multi-process serving behind an asyncio front-end.
+
+Layering, front to back::
+
+    clients --> AsyncServingFrontend.query()          (asyncio coroutines)
+                   |  micro-batches arrivals within a latency budget
+                   v
+                MicroBatcher                          (queue + flusher task)
+                   |  dispatches fused batches off the event loop
+                   v
+                ShardedWorkerPool.execute_batch()     (plan wire format)
+                   |  consistent-hashes plan keys to shards
+                   v
+                worker processes                      (one ServingSession each)
+
+Plans compile **once** in the front-end process, travel as the versioned
+wire format (:mod:`repro.plan.wire`), and are key-verified by each worker's
+own compiler — so a shard's result/mask/inference caches stay hot for
+exactly the key range the router assigns it.  ``refit()`` broadcasts to
+every worker and asserts the generation counters agree afterwards, which is
+what keeps cross-process caches coherent.  Results are bit-identical to
+in-process ``ServingSession.execute_batch`` (asserted by
+``tests/test_serving_scale.py`` via the differential-oracle sweep).
+"""
+
+from .frontend import AsyncServingFrontend, serve_async
+from .microbatch import MicroBatcher
+from .pool import ShardedWorkerPool
+from .shard import ShardRouter, stable_plan_hash
+from .worker import WorkerSpec
+
+__all__ = [
+    "AsyncServingFrontend",
+    "MicroBatcher",
+    "ShardRouter",
+    "ShardedWorkerPool",
+    "WorkerSpec",
+    "serve_async",
+    "stable_plan_hash",
+]

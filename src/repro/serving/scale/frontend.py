@@ -1,0 +1,192 @@
+"""The asyncio front-end: concurrent clients over the sharded pool.
+
+:class:`AsyncServingFrontend` bundles the tier — worker pool, micro-batcher,
+shared metrics registry — behind one awaitable ``query()`` call, and
+:func:`serve_async` puts a minimal newline-delimited-JSON TCP server in
+front of it for out-of-process clients::
+
+    {"id": 1, "sql": "SELECT COUNT(*) FROM R WHERE A = 0"}
+    -> {"id": 1, "ok": true, "kind": "scalar", "value": 421.5}
+
+Results are bit-identical to in-process ``execute_batch`` (same plans, same
+workers, same kernels — the wire only moves them); the JSON surface is a
+lossy *rendering* for external clients, not the identity-bearing format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any
+
+from ...exceptions import ServingOverloadError, ThemisError
+from ...obs.metrics import MetricsRegistry
+from ...query.ast import Query
+from ...sql.engine import QueryResult, TableResult
+from .microbatch import MicroBatcher
+from .pool import ShardedWorkerPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...core import Themis
+
+
+class AsyncServingFrontend:
+    """The whole scale tier behind one object: pool + micro-batcher.
+
+    Parameters
+    ----------
+    themis:
+        The fitted facade to serve (workers rebuild it deterministically).
+    n_workers:
+        Worker-process (shard) count.
+    latency_budget, max_batch_size, max_queue, max_inflight, dispatch_timeout:
+        Micro-batcher knobs (see :class:`MicroBatcher`).
+    session_options:
+        Forwarded to each worker's ``Themis.serve(...)``.
+    """
+
+    def __init__(
+        self,
+        themis: "Themis",
+        n_workers: int = 2,
+        latency_budget: float = 0.002,
+        max_batch_size: int = 64,
+        max_queue: int = 1024,
+        max_inflight: int = 4,
+        dispatch_timeout: float | None = None,
+        session_options: dict[str, Any] | None = None,
+        start_method: str | None = None,
+    ):
+        self.metrics = MetricsRegistry()
+        self.pool = ShardedWorkerPool(
+            themis,
+            n_workers=n_workers,
+            timeout=dispatch_timeout,
+            session_options=session_options,
+            metrics=self.metrics,
+            start_method=start_method,
+        )
+        self.batcher = MicroBatcher(
+            self.pool,
+            latency_budget=latency_budget,
+            max_batch_size=max_batch_size,
+            max_queue=max_queue,
+            max_inflight=max_inflight,
+            dispatch_timeout=dispatch_timeout,
+            metrics=self.metrics,
+        )
+        self._started = False
+
+    async def start(self) -> "AsyncServingFrontend":
+        """Start the micro-batcher (the pool starts in the constructor)."""
+        await self.batcher.start()
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        """Drain the batcher, then shut the worker pool down."""
+        if self._started:
+            await self.batcher.stop()
+            self._started = False
+        self.pool.close()
+
+    async def __aenter__(self) -> "AsyncServingFrontend":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    async def query(self, query: Query | str) -> Any:
+        """Serve one query through the micro-batched sharded path."""
+        return await self.batcher.submit(query)
+
+    def refit(self) -> int:
+        """Coherently refit every shard (see :meth:`ShardedWorkerPool.refit`)."""
+        return self.pool.refit()
+
+    def statistics(self) -> dict[str, Any]:
+        """One snapshot of the tier's registry (queue, shards, latency)."""
+        return self.metrics.snapshot()
+
+
+def encode_result(result: Any) -> dict[str, Any]:
+    """Render one answer as a JSON-safe dict for the socket protocol."""
+    if isinstance(result, QueryResult):
+        return {
+            "kind": "groups",
+            "group_by": list(result.group_by),
+            "groups": sorted(
+                [list(group), value] for group, value in result
+            ),
+        }
+    if isinstance(result, TableResult):
+        return {
+            "kind": "table",
+            "columns": list(result.columns),
+            "group_by": list(result.group_by),
+            "rows": [list(row) for row in result.rows],
+        }
+    if isinstance(result, (int, float)):
+        return {"kind": "scalar", "value": float(result)}
+    raise ThemisError(f"cannot encode result of type {type(result).__name__}")
+
+
+async def _handle_client(
+    frontend: AsyncServingFrontend,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+                statement = request["sql"]
+            except (json.JSONDecodeError, KeyError, TypeError) as error:
+                response: dict[str, Any] = {"ok": False, "error": str(error)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                continue
+            request_id = request.get("id")
+            try:
+                result = await frontend.query(statement)
+                response = {"id": request_id, "ok": True, **encode_result(result)}
+            except ServingOverloadError as error:
+                response = {
+                    "id": request_id,
+                    "ok": False,
+                    "error": str(error),
+                    "overload": True,
+                    "queue_depth": error.queue_depth,
+                    "shard_id": error.shard_id,
+                }
+            except Exception as error:  # noqa: BLE001 - reported to the client
+                response = {"id": request_id, "ok": False, "error": str(error)}
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - client vanished
+            pass
+
+
+async def serve_async(
+    frontend: AsyncServingFrontend,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Open a newline-delimited-JSON TCP server over one started front-end.
+
+    Each line is a request ``{"id": ..., "sql": "..."}`` answered by one
+    response line; overload sheds come back as ``{"ok": false, "overload":
+    true, ...}`` with the queue depth and lagging shard.  Returns the
+    ``asyncio`` server (use ``server.sockets[0].getsockname()`` for the
+    bound port, ``server.close()`` to stop accepting).
+    """
+    return await asyncio.start_server(
+        lambda r, w: _handle_client(frontend, r, w), host=host, port=port
+    )

@@ -1,0 +1,231 @@
+"""Micro-batching: turn single-query arrivals into fusable batches.
+
+The batch optimizer only pays off when it sees several plans at once, but
+interactive clients send one query at a time.  The micro-batcher closes the
+gap: arrivals queue for at most ``latency_budget`` seconds (or until
+``max_batch_size`` accumulate), then the whole batch dispatches to the
+worker pool in one call — so even single-query traffic exercises dedup,
+shared masks, and group-by fusion.
+
+Backpressure is typed, never silent: a full queue rejects the submit with
+:class:`~repro.exceptions.ServingOverloadError` carrying the queue depth,
+and a dispatch that misses its timeout fails that batch's futures with the
+same error (naming the lagging shard when the pool identified one).  Late
+replies from a timed-out worker are discarded by sequence number in the
+pool, so a slow shard can never corrupt a later batch.
+
+Everything observable lands in the registry: queue depth gauge, micro-batch
+size histogram (power-of-two buckets), request latency histogram
+(p50/p95/p99), accepted/shed counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from ...exceptions import ServingOverloadError
+from ...obs import names
+from ...obs.metrics import MetricsRegistry
+from ...query.ast import Query
+from .pool import ShardedWorkerPool
+
+
+class MicroBatcher:
+    """Accumulate concurrent arrivals into latency-bounded pool batches.
+
+    Parameters
+    ----------
+    pool:
+        The sharded worker pool batches dispatch to.
+    latency_budget:
+        Seconds a query may wait for companions before its batch flushes.
+        The knob trades tail latency for fusion opportunity: 0 degenerates
+        to one-query batches, a few milliseconds is usually enough to fuse
+        bursts without a visible latency cost.
+    max_batch_size:
+        Flush immediately once this many queries are waiting.
+    max_queue:
+        Submissions beyond this many waiting queries are shed with
+        :class:`ServingOverloadError` (carrying the depth) instead of
+        queueing unboundedly.
+    max_inflight:
+        Concurrent pool dispatches (each runs on its own executor thread,
+        conversing with disjoint or lock-serialized workers).
+    dispatch_timeout:
+        Per-batch pool timeout in seconds; a miss fails the batch's futures
+        with :class:`ServingOverloadError`.  ``None`` waits forever.
+    metrics:
+        Registry for queue/batch/latency instruments; the pool's registry
+        is used when omitted, so one snapshot shows the whole tier.
+    """
+
+    def __init__(
+        self,
+        pool: ShardedWorkerPool,
+        latency_budget: float = 0.002,
+        max_batch_size: int = 64,
+        max_queue: int = 1024,
+        max_inflight: int = 4,
+        dispatch_timeout: float | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if latency_budget < 0:
+            raise ValueError("latency_budget must be >= 0")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self._pool = pool
+        self.latency_budget = latency_budget
+        self.max_batch_size = max_batch_size
+        self.max_queue = max_queue
+        self.max_inflight = max_inflight
+        self.dispatch_timeout = dispatch_timeout
+        self.metrics = metrics if metrics is not None else pool.metrics
+        self._pending: deque[tuple[Query | str, asyncio.Future, float]] = deque()
+        self._arrival = asyncio.Event()
+        self._running = False
+        self._flusher: asyncio.Task | None = None
+        self._dispatches: set[asyncio.Task] = set()
+        self._inflight: asyncio.Semaphore | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._queue_depth = self.metrics.gauge(names.SCALE_QUEUE_DEPTH)
+        self._batch_sizes = self.metrics.histogram(
+            names.MICROBATCH_SIZE, buckets=names.MICROBATCH_BUCKETS
+        )
+        self._request_seconds = self.metrics.histogram(names.SCALE_REQUEST_SECONDS)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the flusher task (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._inflight = asyncio.Semaphore(self.max_inflight)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight, thread_name_prefix="microbatch"
+        )
+        self._flusher = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Drain the queue, wait for inflight dispatches, stop the flusher."""
+        if not self._running:
+            return
+        self._running = False
+        self._arrival.set()
+        if self._flusher is not None:
+            await self._flusher
+            self._flusher = None
+        if self._dispatches:
+            await asyncio.gather(*tuple(self._dispatches), return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, query: Query | str) -> Any:
+        """Queue one query and await its answer.
+
+        Raises :class:`ServingOverloadError` immediately when the queue is
+        full, and fails with the same error if the batch this query lands
+        in misses the dispatch timeout.
+        """
+        if not self._running:
+            raise RuntimeError("MicroBatcher.submit() before start()")
+        depth = len(self._pending)
+        if depth >= self.max_queue:
+            self.metrics.counter(names.SCALE_OVERLOADS).inc()
+            raise ServingOverloadError(
+                "micro-batch queue is full", queue_depth=depth
+            )
+        self.metrics.counter(names.SCALE_REQUESTS).inc()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append((query, future, time.perf_counter()))
+        self._queue_depth.set(len(self._pending))
+        self._arrival.set()
+        return await future
+
+    # ------------------------------------------------------------------
+    # Flusher
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if not self._running:
+                    break
+                await self._arrival.wait()
+                self._arrival.clear()
+                continue
+            # First query of the batch is in: accumulate companions until
+            # the latency budget runs out or the batch is full.
+            deadline = loop.time() + self.latency_budget
+            while self._running and len(self._pending) < self.max_batch_size:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    await asyncio.wait_for(self._arrival.wait(), remaining)
+                    self._arrival.clear()
+                except (asyncio.TimeoutError, TimeoutError):
+                    break
+            batch: list[tuple[Query | str, asyncio.Future, float]] = []
+            while self._pending and len(batch) < self.max_batch_size:
+                batch.append(self._pending.popleft())
+            self._queue_depth.set(len(self._pending))
+            task = loop.create_task(self._dispatch(batch))
+            self._dispatches.add(task)
+            task.add_done_callback(self._dispatches.discard)
+
+    async def _dispatch(
+        self, batch: list[tuple[Query | str, asyncio.Future, float]]
+    ) -> None:
+        assert self._inflight is not None and self._executor is not None
+        loop = asyncio.get_running_loop()
+        queries = [query for query, _, _ in batch]
+        self._batch_sizes.record(float(len(batch)))
+        self.metrics.counter(names.SCALE_DISPATCHES).inc()
+        async with self._inflight:
+            try:
+                work = loop.run_in_executor(
+                    self._executor,
+                    lambda: self._pool.execute_batch(
+                        queries, timeout=self.dispatch_timeout
+                    ),
+                )
+                if self.dispatch_timeout is not None:
+                    # The pool's own poll() timeout fires first in the common
+                    # case; this guard covers a wedged executor thread.
+                    results = await asyncio.wait_for(
+                        asyncio.shield(work), self.dispatch_timeout * 2
+                    )
+                else:
+                    results = await work
+            except (asyncio.TimeoutError, TimeoutError):
+                error = ServingOverloadError(
+                    "batch dispatch missed the latency budget",
+                    queue_depth=len(batch),
+                )
+                self._fail(batch, error)
+                return
+            except BaseException as error:  # noqa: BLE001 - forwarded to callers
+                self._fail(batch, error)
+                return
+        finished = time.perf_counter()
+        for (_, future, submitted), result in zip(batch, results):
+            if not future.done():
+                self._request_seconds.record(finished - submitted)
+                future.set_result(result)
+
+    def _fail(self, batch: list[tuple[Any, asyncio.Future, float]], error: BaseException) -> None:
+        if isinstance(error, ServingOverloadError):
+            self.metrics.counter(names.SCALE_OVERLOADS).inc(len(batch))
+        for _, future, _ in batch:
+            if not future.done():
+                future.set_exception(error)

@@ -1,0 +1,309 @@
+"""The sharded worker pool: N processes, each owning a slice of plan keys.
+
+The pool compiles every incoming query **once** in the parent process,
+serializes the plan through the wire format, and routes it to the shard
+that consistently owns its canonical key — so each worker's result/mask/
+inference caches see a stable key range and stay hot across batches.
+Workers rebuild the same deterministic model from a :class:`WorkerSpec`
+(same inputs + seed => bit-identical answers), which is what makes pool
+results exactly ``==`` in-process ``execute_batch``.
+
+Coherence: :meth:`ShardedWorkerPool.refit` (and ``add_aggregate``)
+broadcast to every worker and assert that all generation counters agree
+afterwards — a worker that missed an invalidation would otherwise serve
+stale cache entries forever.
+
+Thread safety: each worker pipe is guarded by a lock held for the whole
+send/recv conversation, and multi-worker operations acquire locks in
+ascending shard order, so concurrent dispatch threads (the micro-batcher
+runs several) can never deadlock.  A worker that misses the dispatch
+timeout raises :class:`~repro.exceptions.ServingOverloadError` naming the
+lagging shard; its eventual stale reply is discarded by sequence number.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ...exceptions import ServingOverloadError, ThemisError
+from ...obs import names
+from ...obs.metrics import MetricsRegistry
+from ...plan import PlanCompiler, serialize_plan
+from ...query.ast import Query
+from .shard import ShardRouter
+from .worker import (
+    CMD_ADD_AGGREGATE,
+    CMD_BATCH,
+    CMD_DESCRIBE,
+    CMD_REFIT,
+    CMD_SHUTDOWN,
+    STATUS_OK,
+    WorkerSpec,
+    worker_main,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...aggregates import AggregateQuery
+    from ...core import Themis
+
+
+def _start_method() -> str:
+    """Prefer ``fork`` (cheap, shares the loaded interpreter) when available."""
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class _Worker:
+    """Parent-side handle for one worker process: pipe, lock, sequence."""
+
+    def __init__(self, context, spec: WorkerSpec, shard_id: int):
+        self.shard_id = shard_id
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=worker_main,
+            args=(spec, child_conn, shard_id),
+            name=f"themis-shard-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.lock = threading.Lock()
+        self._seq = 0
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def drain_stale(self, expected_seq: int, timeout: float | None) -> Any:
+        """Receive until the reply for ``expected_seq`` arrives.
+
+        Replies with older sequence numbers are leftovers from a timed-out
+        conversation — discarded, since their futures already failed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServingOverloadError(
+                        "worker missed the dispatch latency budget",
+                        shard_id=self.shard_id,
+                    )
+            if not self.conn.poll(remaining):
+                raise ServingOverloadError(
+                    "worker missed the dispatch latency budget",
+                    shard_id=self.shard_id,
+                )
+            seq, status, body = self.conn.recv()
+            if seq < expected_seq:
+                continue
+            if seq > expected_seq:
+                raise ThemisError(
+                    f"shard {self.shard_id} replied to request {seq} before "
+                    f"{expected_seq}: protocol violation"
+                )
+            return status, body
+
+
+class ShardedWorkerPool:
+    """N worker processes answering plan batches sharded by canonical key.
+
+    Parameters
+    ----------
+    themis:
+        The parent facade.  Its sample/aggregates/config are captured into a
+        :class:`WorkerSpec`; each worker rebuilds and fits its own copy
+        (deterministic, so answers are bit-identical to the parent).
+    n_workers:
+        Shard count.  One ``ServingSession`` per worker.
+    timeout:
+        Default per-conversation dispatch timeout in seconds; ``None`` waits
+        forever.  A miss raises :class:`ServingOverloadError` naming the shard.
+    session_options:
+        Forwarded to each worker's ``Themis.serve(...)``.
+    metrics:
+        Registry for pool counters/gauges/histograms; a private one is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        themis: "Themis",
+        n_workers: int = 2,
+        timeout: float | None = None,
+        session_options: dict[str, Any] | None = None,
+        metrics: MetricsRegistry | None = None,
+        start_method: str | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        self._themis = themis
+        self.n_workers = n_workers
+        self._timeout = timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.router = ShardRouter(n_workers)
+        # The parent compiles/serializes; workers verify keys against their
+        # own schema-bound compilers on the far side of the pipe.
+        self._compiler = PlanCompiler(themis.sample.schema)
+        spec = WorkerSpec.from_themis(themis, **(session_options or {}))
+        context = mp.get_context(start_method or _start_method())
+        self._workers = [
+            _Worker(context, spec, shard_id) for shard_id in range(n_workers)
+        ]
+        self._closed = False
+        self.metrics.gauge(names.SCALE_SHARDS).set(n_workers)
+        self._dispatch_seconds = self.metrics.histogram(names.SCALE_DISPATCH_SECONDS)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self, queries: Sequence[Query | str], timeout: float | None = None
+    ) -> list[Any]:
+        """Serve a batch across the shards; answers in submission order.
+
+        Compiles each query once, serializes the plans through the wire
+        format, routes each to the shard owning its canonical key, runs all
+        shards' sub-batches concurrently (one pipe conversation per shard),
+        and reassembles the answers in submission order — exactly ``==``
+        what in-process ``ServingSession.execute_batch`` returns for the
+        same queries.
+        """
+        if self._closed:
+            raise ThemisError("worker pool is closed")
+        if timeout is None:
+            timeout = self._timeout
+        started = time.perf_counter()
+        plans = [
+            self._compiler.compile_sql(q) if isinstance(q, str)
+            else self._compiler.compile(q)
+            for q in queries
+        ]
+        by_shard: dict[int, list[int]] = {}
+        for index, plan in enumerate(plans):
+            by_shard.setdefault(self.router.shard_for(plan.key), []).append(index)
+
+        results: list[Any] = [None] * len(plans)
+        shard_ids = sorted(by_shard)
+        held: list[_Worker] = []
+        pending: list[tuple[_Worker, int, list[int]]] = []
+        try:
+            # Ascending-order lock acquisition; send everything, then recv
+            # everything, so shards execute their sub-batches concurrently.
+            for shard_id in shard_ids:
+                worker = self._workers[shard_id]
+                worker.lock.acquire()
+                held.append(worker)
+            for shard_id in shard_ids:
+                worker = self._workers[shard_id]
+                indices = by_shard[shard_id]
+                payloads = [serialize_plan(plans[i]) for i in indices]
+                seq = worker.next_seq()
+                worker.conn.send((CMD_BATCH, seq, payloads))
+                pending.append((worker, seq, indices))
+                self.metrics.counter(names.shard_counter(shard_id)).inc(
+                    len(indices)
+                )
+            for worker, seq, indices in pending:
+                status, body = worker.drain_stale(seq, timeout)
+                if status != STATUS_OK:
+                    raise body
+                for position, index in enumerate(indices):
+                    results[index] = body["results"][position]
+                self._fold_worker_stats(body)
+        finally:
+            for worker in held:
+                worker.lock.release()
+        self.metrics.counter(names.SCALE_POOL_BATCHES).inc(1)
+        self._dispatch_seconds.record(time.perf_counter() - started)
+        return results
+
+    def _fold_worker_stats(self, body: dict[str, Any]) -> None:
+        for field_name, value in body.get("optimizer", {}).items():
+            if value:
+                self.metrics.counter(names.optimizer_counter(field_name)).inc(value)
+
+    # ------------------------------------------------------------------
+    # Coherent invalidation
+    # ------------------------------------------------------------------
+    def _broadcast(self, command: str, payload: Any = None) -> list[Any]:
+        """Send one command to every worker; replies in shard order."""
+        bodies: list[Any] = [None] * self.n_workers
+        held: list[_Worker] = []
+        pending: list[tuple[_Worker, int]] = []
+        try:
+            for worker in self._workers:
+                worker.lock.acquire()
+                held.append(worker)
+            for worker in self._workers:
+                seq = worker.next_seq()
+                worker.conn.send((command, seq, payload))
+                pending.append((worker, seq))
+            for worker, seq in pending:
+                status, body = worker.drain_stale(seq, self._timeout)
+                if status != STATUS_OK:
+                    raise body
+                bodies[worker.shard_id] = body
+        finally:
+            for worker in held:
+                worker.lock.release()
+        self.metrics.counter(names.SCALE_BROADCASTS).inc(1)
+        return bodies
+
+    def add_aggregate(self, aggregate: "AggregateQuery") -> None:
+        """Register one aggregate on the parent and every worker."""
+        self._themis.add_aggregate(aggregate)
+        self._broadcast(CMD_ADD_AGGREGATE, aggregate)
+
+    def refit(self) -> int:
+        """Refit the parent and broadcast the refit to every worker.
+
+        Every worker discards its model and rebuilds from its (updated)
+        registered inputs; the returned generation counters must agree
+        across shards — a disagreement means a shard would be serving a
+        different model and is raised loudly rather than tolerated.
+        """
+        self._themis.refit()
+        bodies = self._broadcast(CMD_REFIT)
+        generations = {body["generation"] for body in bodies}
+        if len(generations) != 1:
+            raise ThemisError(
+                f"worker generations diverged after refit broadcast: "
+                f"{sorted(generations)}"
+            )
+        return generations.pop()
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Per-shard state snapshots (generation, served counts, caches)."""
+        return self._broadcast(CMD_DESCRIBE)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            with worker.lock:
+                try:
+                    worker.conn.send((CMD_SHUTDOWN, worker.next_seq(), None))
+                except (OSError, BrokenPipeError):
+                    pass
+        for worker in self._workers:
+            worker.process.join(join_timeout)
+            if worker.process.is_alive():  # pragma: no cover - hung worker
+                worker.process.terminate()
+                worker.process.join(join_timeout)
+            worker.conn.close()
+
+    def __enter__(self) -> "ShardedWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,80 @@
+"""Consistent plan-key sharding.
+
+Plan keys must land on the same shard in every process and every run —
+shard caches only stay hot if the router is a pure function of the key.
+Python's builtin ``hash()`` is salted per process (``PYTHONHASHSEED``), so
+the router hashes the key's **canonical wire encoding** with blake2b
+instead: :func:`stable_plan_hash` is process- and platform-stable.
+
+The ring is a classic consistent hash with virtual nodes: each shard owns
+``replicas`` points on a 64-bit circle and a key belongs to the first point
+clockwise from its hash.  Growing the pool from N to N+1 shards therefore
+moves ~1/(N+1) of the key space instead of rehashing everything — warm
+caches survive resizes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+
+from ...plan.ir import PlanKey
+from ...plan.wire import encode_value
+
+
+def stable_plan_hash(key: PlanKey) -> int:
+    """A 64-bit hash of a canonical plan key, stable across processes.
+
+    The key is first encoded with the wire value codec (tuples tagged, numpy
+    scalars unwrapped) and rendered as canonical JSON, so equal keys hash
+    equal regardless of which process — or which run — computes the hash.
+    """
+    text = json.dumps(encode_value(key), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _ring_point(shard_id: int, replica: int) -> int:
+    token = f"shard:{shard_id}:replica:{replica}".encode("ascii")
+    digest = hashlib.blake2b(token, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Consistent-hash router from plan keys to shard ids.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards (worker processes) in the pool.
+    replicas:
+        Virtual nodes per shard.  More replicas smooth the key-space split
+        (64 keeps the max/min shard load within ~2x for uniform keys).
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 64):
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        if replicas < 1:
+            raise ValueError(f"need at least one replica per shard, got {replicas}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for shard_id in range(n_shards):
+            for replica in range(replicas):
+                points.append((_ring_point(shard_id, replica), shard_id))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def shard_for_hash(self, key_hash: int) -> int:
+        """The shard owning one stable key hash."""
+        index = bisect_right(self._points, key_hash)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def shard_for(self, key: PlanKey) -> int:
+        """The shard owning one canonical plan key."""
+        return self.shard_for_hash(stable_plan_hash(key))

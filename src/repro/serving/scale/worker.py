@@ -1,0 +1,148 @@
+"""Worker-process side of the sharded serving pool.
+
+A worker owns one :class:`~repro.serving.ServingSession` slice: it rebuilds
+a :class:`~repro.core.Themis` facade from a picklable :class:`WorkerSpec`
+(sample + aggregates + config — fitting is deterministic given the same
+inputs and seed, so every worker answers bit-identically to the parent),
+opens a session, and answers command messages over a pipe.
+
+Plans arrive as wire payloads (:mod:`repro.plan.wire`).  The worker decodes
+each with its **own** compiler, which verifies the sender's canonical key
+against what this process compiles the same query to — schema drift between
+front-end and worker is a loud :class:`~repro.exceptions.WireFormatError`,
+never a silently split cache.  Execution then goes through the session's
+normal batch path, so shard caches, the batch optimizer, and the metrics
+registry all behave exactly as in-process serving.
+
+The message protocol is ``(command, seq, payload)`` requests answered by
+``(seq, status, body)`` replies; ``seq`` echoes let the parent discard
+stale replies after a dispatch timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+from ...aggregates import AggregateQuery
+from ...core import Themis, ThemisConfig
+from ...plan.wire import deserialize_plan
+from ...schema import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+#: Commands understood by :func:`worker_main`.
+CMD_BATCH = "batch"
+CMD_REFIT = "refit"
+CMD_ADD_AGGREGATE = "add_aggregate"
+CMD_DESCRIBE = "describe"
+CMD_SHUTDOWN = "shutdown"
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to rebuild the parent's model.
+
+    Ships the *inputs* (sample relation, aggregate set, config), not the
+    fitted model: fitting is deterministic for a fixed seed, so rebuilding
+    from inputs gives bit-identical answers under both the ``fork`` and
+    ``spawn`` start methods, and the spec pickles in kilobytes where a
+    fitted model would ship megabytes of arrays.
+    """
+
+    sample: Relation
+    sample_name: str
+    aggregates: tuple[AggregateQuery, ...]
+    config: ThemisConfig
+    session_options: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_themis(
+        cls, themis: Themis, **session_options: Any
+    ) -> "WorkerSpec":
+        """Capture one facade's inputs as a picklable worker recipe."""
+        return cls(
+            sample=themis.sample,
+            sample_name=themis._sample_name,
+            aggregates=tuple(themis.aggregates),
+            config=replace(themis.config, extra=dict(themis.config.extra)),
+            session_options=dict(session_options),
+        )
+
+    def build_themis(self) -> Themis:
+        """Rebuild and fit a facade from the captured inputs."""
+        themis = Themis(replace(self.config, extra=dict(self.config.extra)))
+        themis.load_sample(self.sample, name=self.sample_name)
+        themis.add_aggregates(self.aggregates)
+        themis.fit()
+        return themis
+
+
+def worker_main(spec: WorkerSpec, conn: "Connection", shard_id: int) -> None:
+    """Entry point of one worker process: serve commands until shutdown.
+
+    Every request is answered — errors travel back as ``(seq, "error",
+    exception)`` instead of killing the worker, so one malformed plan
+    doesn't take down a shard.
+    """
+    themis = spec.build_themis()
+    session = themis.serve(**spec.session_options)
+    executor = session._ensure_current()
+    compiler = executor.model.sample_evaluator.engine.executor.compiler
+
+    while True:
+        try:
+            command, seq, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+
+        try:
+            if command == CMD_BATCH:
+                plans = [deserialize_plan(item, compiler) for item in payload]
+                batch = session.execute_batch([plan.query for plan in plans])
+                body = {
+                    "results": batch.results(),
+                    "generation": session.generation,
+                    "shard_id": shard_id,
+                    "optimizer": dict(batch.optimizer or {}),
+                    "cache_hits": batch.cache_hits,
+                }
+                conn.send((seq, STATUS_OK, body))
+            elif command == CMD_REFIT:
+                themis.refit()
+                session._ensure_current()
+                conn.send((seq, STATUS_OK, {"generation": session.generation}))
+            elif command == CMD_ADD_AGGREGATE:
+                themis.add_aggregate(payload)
+                conn.send((seq, STATUS_OK, {"generation": themis.generation}))
+            elif command == CMD_DESCRIBE:
+                conn.send(
+                    (
+                        seq,
+                        STATUS_OK,
+                        {
+                            "shard_id": shard_id,
+                            "generation": session.generation,
+                            "queries_served": session.statistics.queries_served,
+                            "cache": session.cache_statistics(),
+                        },
+                    )
+                )
+            elif command == CMD_SHUTDOWN:
+                conn.send((seq, STATUS_OK, {"shard_id": shard_id}))
+                break
+            else:
+                conn.send(
+                    (seq, STATUS_ERROR, ValueError(f"unknown command {command!r}"))
+                )
+        except Exception as error:  # noqa: BLE001 - forwarded to the parent
+            try:
+                conn.send((seq, STATUS_ERROR, error))
+            except (OSError, TypeError):
+                # Unpicklable error or closed pipe: nothing more we can do.
+                break
+    conn.close()

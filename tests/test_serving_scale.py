@@ -1,0 +1,383 @@
+"""The scale tier: sharding, worker pool, micro-batching, backpressure.
+
+The load-bearing assertions are exact ``==`` bit-identity between the
+sharded multi-process path and in-process ``execute_batch`` — over a seeded
+``MixedQueryWorkload`` sweep, through the asyncio front-end, through the
+socket server, and **across a mid-stream refit with warm worker caches**
+(the cross-process cache-coherence guarantee, extending the
+``tests/test_sql_differential.py`` pattern through the sharded path).
+Backpressure is typed: queue-full and latency-budget misses raise
+``ServingOverloadError`` carrying the queue depth / lagging shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.aggregates import AggregateQuery
+from repro.exceptions import ServingOverloadError, ThemisError
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
+from repro.plan import PlanCompiler
+from repro.query.workload import MixedQueryWorkload
+from repro.serving.scale import (
+    AsyncServingFrontend,
+    MicroBatcher,
+    ShardRouter,
+    ShardedWorkerPool,
+    WorkerSpec,
+    serve_async,
+)
+from repro.serving.scale.shard import stable_plan_hash
+
+from worlds import build_correlated_population, build_fitted_themis
+
+SWEEP_SEED = 421
+
+
+@pytest.fixture(scope="module")
+def themis():
+    return build_fitted_themis()
+
+
+@pytest.fixture(scope="module")
+def sweep_queries(themis):
+    workload = MixedQueryWorkload(themis.sample, seed=SWEEP_SEED)
+    entries = workload.generate(n_point=6, n_scalar=6, n_group_by=6, n_analytic=6)
+    # Mix ASTs and SQL text: the pool compiles both, and entry.sql compiles
+    # to the same canonical key as entry.query, so both shard identically.
+    return [
+        entry.sql if index % 3 == 0 else entry.query
+        for index, entry in enumerate(entries)
+    ]
+
+
+@pytest.fixture(scope="module")
+def expected(sweep_queries):
+    oracle = build_fitted_themis()
+    return oracle.execute_batch(sweep_queries).results()
+
+
+# ---------------------------------------------------------------------------
+# Shard router
+# ---------------------------------------------------------------------------
+class TestShardRouter:
+    def test_routing_is_deterministic_across_instances(self, themis):
+        compiler = PlanCompiler(themis.sample.schema)
+        workload = MixedQueryWorkload(themis.sample, seed=7)
+        keys = [
+            compiler.compile(entry.query).key
+            for entry in workload.generate(n_point=8, n_scalar=8, n_group_by=8)
+        ]
+        first, second = ShardRouter(4), ShardRouter(4)
+        assert [first.shard_for(k) for k in keys] == [
+            second.shard_for(k) for k in keys
+        ]
+
+    def test_stable_hash_is_pinned(self):
+        # Process-stability tripwire: blake2b over the canonical encoding
+        # must never depend on PYTHONHASHSEED or the process.  If this
+        # moves, every cross-version shard assignment moves with it.
+        assert stable_plan_hash(("point", (("A", 1),))) == 0x10DB667397168BB3
+
+    def test_consistent_resize_moves_few_keys(self):
+        hashes = [stable_plan_hash(("point", (("A", i), ("B", i % 3)))) for i in range(400)]
+        before = ShardRouter(4)
+        after = ShardRouter(5)
+        moved = sum(
+            1
+            for h in hashes
+            if before.shard_for_hash(h) != after.shard_for_hash(h)
+        )
+        # Consistent hashing moves ~1/5 of the space; full rehashing would
+        # move ~4/5.  Allow generous slack over the expectation.
+        assert moved < len(hashes) // 2
+
+    def test_all_shards_reachable(self):
+        router = ShardRouter(4)
+        owners = {
+            router.shard_for_hash(stable_plan_hash(("point", (("A", i),))))
+            for i in range(200)
+        }
+        assert owners == {0, 1, 2, 3}
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+# ---------------------------------------------------------------------------
+# Worker spec
+# ---------------------------------------------------------------------------
+class TestWorkerSpec:
+    def test_spec_pickles_and_rebuilds_deterministically(self, themis):
+        spec = WorkerSpec.from_themis(themis)
+        revived = pickle.loads(pickle.dumps(spec))
+        first = revived.build_themis()
+        second = revived.build_themis()
+        statement = "SELECT A, COUNT(*) FROM R WHERE B <= 1 GROUP BY A"
+        assert first.query(statement) == second.query(statement)
+        assert first.query(statement) == themis.query(statement)
+
+
+# ---------------------------------------------------------------------------
+# Sharded pool: bit-identity and coherence
+# ---------------------------------------------------------------------------
+class TestShardedWorkerPool:
+    def test_batch_is_bit_identical_to_single_process(
+        self, themis, sweep_queries, expected
+    ):
+        with ShardedWorkerPool(themis, n_workers=2) as pool:
+            cold = pool.execute_batch(sweep_queries)
+            warm = pool.execute_batch(sweep_queries)
+        assert cold == expected, f"cold sharded sweep diverged (seed {SWEEP_SEED})"
+        assert warm == expected, f"warm sharded sweep diverged (seed {SWEEP_SEED})"
+
+    def test_shard_occupancy_and_batch_counters(self, themis, sweep_queries):
+        with ShardedWorkerPool(themis, n_workers=2) as pool:
+            pool.execute_batch(sweep_queries)
+            snapshot = pool.metrics.snapshot()
+        occupancy = {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if name.startswith(names.SCALE_SHARD_PREFIX)
+        }
+        assert sum(occupancy.values()) == len(sweep_queries)
+        assert len(occupancy) == 2, f"one shard got everything: {occupancy}"
+        assert snapshot["counters"][names.SCALE_POOL_BATCHES] == 1
+        assert snapshot["gauges"][names.SCALE_SHARDS] == 2
+        assert snapshot["histograms"][names.SCALE_DISPATCH_SECONDS]["count"] == 1
+        # worker optimizer counters folded into the parent registry
+        assert snapshot["counters"][names.optimizer_counter("batches")] >= 1
+
+    def test_refit_mid_stream_with_warm_caches_matches_fresh_session(
+        self, sweep_queries
+    ):
+        """The cross-process cache-coherence guarantee.
+
+        Warm every worker's result cache, then make refit observable (a new
+        aggregate changes the reweighting, as in
+        ``test_differential_survives_refit``), broadcast it, and assert the
+        post-refit sharded answers are bit-identical to a **fresh**
+        single-process session over the same final inputs.
+        """
+        population = build_correlated_population()
+        new_aggregate = AggregateQuery.from_relation(population, ["A", "C"])
+
+        # Own facade: pool.add_aggregate mutates the parent too, and the
+        # module-scoped fixture must stay pristine for later tests.
+        with ShardedWorkerPool(build_fitted_themis(), n_workers=2) as pool:
+            pre = pool.execute_batch(sweep_queries)
+            assert pool.execute_batch(sweep_queries) == pre  # caches warm
+            pool.add_aggregate(new_aggregate)
+            pool.refit()
+            post = pool.execute_batch(sweep_queries)
+            post_again = pool.execute_batch(sweep_queries)
+
+        oracle = build_fitted_themis()
+        oracle.add_aggregate(new_aggregate)
+        oracle.refit()
+        fresh = oracle.execute_batch(sweep_queries).results()
+        assert post == fresh, (
+            f"post-refit sharded answers diverged from a fresh single-process "
+            f"session (seed {SWEEP_SEED})"
+        )
+        assert post_again == fresh
+        assert post != pre, "refit changed no answer: stale caches would hide"
+
+    def test_dispatch_timeout_raises_overload_with_shard_id(self, themis):
+        statement = "SELECT A, COUNT(*) FROM R GROUP BY A"
+        with ShardedWorkerPool(themis, n_workers=1) as pool:
+            with pytest.raises(ServingOverloadError) as excinfo:
+                pool.execute_batch([statement], timeout=1e-6)
+            assert excinfo.value.shard_id == 0
+            # The worker's eventual late reply is discarded by sequence
+            # number: the pool keeps serving correct answers afterwards.
+            time.sleep(0.5)
+            oracle = build_fitted_themis()
+            assert pool.execute_batch([statement]) == [oracle.query(statement)]
+
+    def test_closed_pool_rejects_work(self, themis):
+        pool = ShardedWorkerPool(themis, n_workers=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ThemisError, match="closed"):
+            pool.execute_batch(["SELECT COUNT(*) FROM R WHERE A = 0"])
+
+
+# ---------------------------------------------------------------------------
+# Micro-batcher backpressure (unit tests over a stub pool)
+# ---------------------------------------------------------------------------
+class _StubPool:
+    """Duck-typed pool: echoes query indices, optionally slowly."""
+
+    def __init__(self, delay: float = 0.0):
+        self.metrics = MetricsRegistry()
+        self.delay = delay
+        self.batches: list[list] = []
+
+    def execute_batch(self, queries, timeout=None):
+        if self.delay:
+            time.sleep(self.delay)
+        self.batches.append(list(queries))
+        return [f"answer:{query}" for query in queries]
+
+
+class TestMicroBatcherBackpressure:
+    def test_queue_full_raises_typed_overload(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                _StubPool(delay=0.2), latency_budget=10.0, max_queue=2
+            )
+            await batcher.start()
+            first = asyncio.ensure_future(batcher.submit("q0"))
+            second = asyncio.ensure_future(batcher.submit("q1"))
+            await asyncio.sleep(0)  # let both enqueue
+            with pytest.raises(ServingOverloadError) as excinfo:
+                await batcher.submit("q2")
+            assert excinfo.value.queue_depth == 2
+            assert "queue_depth=2" in str(excinfo.value)
+            assert batcher.metrics.value(names.SCALE_OVERLOADS) == 1
+            # The two accepted submissions still complete on shutdown.
+            await batcher.stop()
+            assert await first == "answer:q0"
+            assert await second == "answer:q1"
+
+        asyncio.run(scenario())
+
+    def test_dispatch_timeout_fails_futures_with_overload(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                _StubPool(delay=0.5),
+                latency_budget=0.0,
+                dispatch_timeout=0.01,
+            )
+            await batcher.start()
+            with pytest.raises(ServingOverloadError):
+                await batcher.submit("slow-query")
+            await batcher.stop()
+            assert batcher.metrics.value(names.SCALE_OVERLOADS) >= 1
+
+        asyncio.run(scenario())
+
+    def test_arrivals_within_budget_share_one_batch(self):
+        async def scenario():
+            pool = _StubPool()
+            batcher = MicroBatcher(pool, latency_budget=0.05, max_batch_size=8)
+            await batcher.start()
+            answers = await asyncio.gather(
+                *(batcher.submit(f"q{i}") for i in range(6))
+            )
+            await batcher.stop()
+            assert answers == [f"answer:q{i}" for i in range(6)]
+            assert len(pool.batches) == 1, pool.batches  # all fused
+            sizes = batcher.metrics.snapshot()["histograms"][names.MICROBATCH_SIZE]
+            assert sizes["count"] == 1 and sizes["max"] == 6
+
+        asyncio.run(scenario())
+
+    def test_zero_budget_still_serves(self):
+        async def scenario():
+            pool = _StubPool()
+            batcher = MicroBatcher(pool, latency_budget=0.0)
+            await batcher.start()
+            assert await batcher.submit("q") == "answer:q"
+            await batcher.stop()
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Asyncio front-end and socket server
+# ---------------------------------------------------------------------------
+class TestAsyncFrontend:
+    def test_concurrent_clients_bit_identical(self, themis, sweep_queries, expected):
+        async def scenario():
+            async with AsyncServingFrontend(
+                themis, n_workers=2, latency_budget=0.01
+            ) as frontend:
+                answers = await asyncio.gather(
+                    *(frontend.query(q) for q in sweep_queries)
+                )
+                snapshot = frontend.statistics()
+            assert list(answers) == expected, (
+                f"async sharded answers diverged (seed {SWEEP_SEED})"
+            )
+            assert snapshot["counters"][names.SCALE_REQUESTS] == len(sweep_queries)
+            assert snapshot["histograms"][names.MICROBATCH_SIZE]["count"] >= 1
+            assert (
+                snapshot["histograms"][names.SCALE_REQUEST_SECONDS]["count"]
+                == len(sweep_queries)
+            )
+
+        asyncio.run(scenario())
+
+    def test_socket_server_round_trip(self, themis):
+        statement = "SELECT A, COUNT(*) FROM R WHERE B <= 1 GROUP BY A"
+        scalar = "SELECT COUNT(*) FROM R WHERE A = 1 AND B = 0"
+        oracle = build_fitted_themis()
+
+        async def scenario():
+            async with AsyncServingFrontend(
+                themis, n_workers=1, latency_budget=0.005
+            ) as frontend:
+                server = await serve_async(frontend, port=0)
+                port = server.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                for request_id, sql in ((1, statement), (2, scalar), (3, "syntax (")):
+                    writer.write(
+                        json.dumps({"id": request_id, "sql": sql}).encode() + b"\n"
+                    )
+                await writer.drain()
+                responses = [
+                    json.loads(await reader.readline()) for _ in range(3)
+                ]
+                writer.close()
+                await writer.wait_closed()
+                server.close()
+                await server.wait_closed()
+            return responses
+
+        groups, scalar_resp, bad = asyncio.run(scenario())
+        assert groups["ok"] and groups["id"] == 1 and groups["kind"] == "groups"
+        expected_groups = oracle.query(statement)
+        assert groups["groups"] == sorted(
+            [list(group), value] for group, value in expected_groups
+        )
+        assert scalar_resp["ok"] and scalar_resp["kind"] == "scalar"
+        assert scalar_resp["value"] == oracle.query(scalar)
+        assert not bad["ok"] and "error" in bad
+
+
+# ---------------------------------------------------------------------------
+# Workload seed contract
+# ---------------------------------------------------------------------------
+class TestWorkloadSeedContract:
+    def test_same_seed_same_workload(self, themis):
+        first = MixedQueryWorkload(themis.sample, seed=99).generate(
+            n_point=5, n_scalar=5, n_group_by=5, n_analytic=5
+        )
+        second = MixedQueryWorkload(themis.sample, seed=99).generate(
+            n_point=5, n_scalar=5, n_group_by=5, n_analytic=5
+        )
+        assert [e.sql for e in first] == [e.sql for e in second]
+        assert [e.query for e in first] == [e.query for e in second]
+
+    def test_different_seeds_differ(self, themis):
+        first = MixedQueryWorkload(themis.sample, seed=1).generate(n_point=8)
+        second = MixedQueryWorkload(themis.sample, seed=2).generate(n_point=8)
+        assert [e.sql for e in first] != [e.sql for e in second]
+
+    def test_instances_do_not_share_state(self, themis):
+        solo = MixedQueryWorkload(themis.sample, seed=5)
+        paired = MixedQueryWorkload(themis.sample, seed=5)
+        interloper = MixedQueryWorkload(themis.sample, seed=6)
+        a = solo.generate(n_point=4)
+        interloper.generate(n_point=4)  # must not advance `paired`
+        b = paired.generate(n_point=4)
+        assert [e.sql for e in a] == [e.sql for e in b]
