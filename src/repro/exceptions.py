@@ -65,6 +65,16 @@ class WireFormatError(ThemisError):
     """
 
 
+class RetryableServingError(ThemisError):
+    """Marker base for serving failures that may succeed on re-submission.
+
+    The fault-tolerant dispatch path retries (with backoff) any failure that
+    derives from this class — a crashed worker, a missed reply deadline — and
+    treats everything else (query errors, schema skew) as fatal: retrying a
+    deterministic error would reproduce it bit-for-bit.
+    """
+
+
 class ServingOverloadError(ThemisError):
     """Raised when the serving tier sheds load instead of queueing forever.
 
@@ -92,6 +102,84 @@ class ServingOverloadError(ThemisError):
         if details:
             message = f"{message} ({', '.join(details)})"
         super().__init__(message)
+
+
+class DispatchTimeoutError(ServingOverloadError, RetryableServingError):
+    """Raised when one worker conversation misses its reply deadline.
+
+    Subclasses :class:`ServingOverloadError` (existing handlers keep
+    working) but is additionally :class:`RetryableServingError`: the worker
+    process was alive when the deadline expired, so the request is merely
+    late — a retry against the same (or a failover) shard can still answer
+    it.  A plain ``ServingOverloadError`` (queue-full shed) stays fatal.
+    """
+
+
+class WorkerCrashedError(RetryableServingError):
+    """Raised when a worker process died mid-conversation.
+
+    Detected by pipe EOF / ``BrokenPipeError``, a non-``None``
+    ``Process.exitcode``, or a missed heartbeat ping.  Retryable: the
+    supervisor respawns the shard (or fails the keys over to the next live
+    shard on the ring), and every worker is deterministic, so a retry
+    returns the same bits the dead worker would have.
+
+    ``shard_id`` names the crashed shard and ``reason`` says how the death
+    was detected (``"pipe-eof"``, ``"exitcode"``, ``"heartbeat"``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: int | None = None,
+        reason: str | None = None,
+    ):
+        self.shard_id = shard_id
+        self.reason = reason
+        details = []
+        if shard_id is not None:
+            details.append(f"shard_id={shard_id}")
+        if reason is not None:
+            details.append(f"reason={reason}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+
+
+class RetryExhaustedError(ThemisError):
+    """Raised when a request's retry budget or deadline ran out.
+
+    Every attempt failed with a retryable error (crash or timeout); the
+    last one is kept in ``last_error`` and the attempt count in
+    ``attempts``.  The request was *not* silently dropped — this error is
+    the typed, loud alternative.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int | None = None,
+        last_error: BaseException | None = None,
+    ):
+        self.attempts = attempts
+        self.last_error = last_error
+        details = []
+        if attempts is not None:
+            details.append(f"attempts={attempts}")
+        if last_error is not None:
+            details.append(f"last_error={last_error!r}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+
+
+class DegradedModeError(ThemisError):
+    """Raised when every shard of a supervised pool is permanently down.
+
+    The supervisor only degrades after exhausting each shard's respawn
+    budget; with ``fallback="in-process"`` it instead serves from a local
+    session (bit-identical, just slower) and this error is never raised.
+    """
 
 
 class SQLSyntaxError(QueryError):

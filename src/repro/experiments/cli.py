@@ -43,6 +43,7 @@ def _build_registry() -> None:
     from .fig13_bn_modes import run_bn_modes
     from .fig14_reweighting import run_reweighting_comparison
     from .fig15_pruning import run_pruning
+    from .fault_tolerance import run_fault_tolerance
     from .fig16_time_accuracy import run_time_accuracy
     from .join_fusion_throughput import run_join_fusion
     from .obs_report import run_obs
@@ -77,6 +78,7 @@ def _build_registry() -> None:
     _register("ablation", lambda scale: run_simplification_ablation(scale))
     _register("serving", lambda scale: run_serving_throughput(scale))
     _register("serving_scale", lambda scale: run_serving_scale(scale))
+    _register("fault_tolerance", lambda scale: run_fault_tolerance(scale))
     _register("bn_batch", lambda scale: run_bn_batch(scale))
     _register("plan_ir", lambda scale: run_plan_ir(scale))
     _register("plan_fusion", lambda scale: run_plan_fusion(scale))

@@ -119,6 +119,29 @@ SCALE_REQUEST_SECONDS = "latency.scale.request_seconds"
 #: Pool-side batch dispatch latency histogram (serialize -> reassemble).
 SCALE_DISPATCH_SECONDS = "latency.scale.dispatch_seconds"
 
+# ---------------------------------------------------------------------------
+# Fault tolerance (supervised pool: crash detection, respawn, retry/failover)
+# ---------------------------------------------------------------------------
+#: Common prefix of every fault-tolerance counter.
+SCALE_FAULTS_PREFIX = "scale.faults."
+#: Worker deaths detected (pipe EOF, exitcode, missed heartbeat).
+SCALE_FAULT_CRASHES = "scale.faults.crashes_detected"
+#: Worker processes respawned by the supervisor.
+SCALE_FAULT_RESPAWNS = "scale.faults.respawns"
+#: Requests re-dispatched after a retryable failure (crash or timeout).
+SCALE_FAULT_RETRIES = "scale.faults.retries"
+#: Requests routed to a non-home shard because the home shard was down.
+SCALE_FAULT_FAILOVERS = "scale.faults.failovers"
+#: refit/add_aggregate log entries replayed into respawned workers.
+SCALE_FAULT_REPLAYED_BROADCASTS = "scale.faults.replayed_broadcasts"
+#: Heartbeat pings that got no reply within the heartbeat timeout.
+SCALE_FAULT_HEARTBEAT_MISSES = "scale.faults.heartbeat_misses"
+#: Requests served by the in-process fallback session (all shards down).
+SCALE_FAULT_DEGRADED_REQUESTS = "scale.faults.degraded_requests"
+#: Respawn latency histogram: crash detection -> warm, generation-coherent
+#: replacement worker (includes the deterministic re-fit and log replay).
+SCALE_RESPAWN_SECONDS = "latency.scale.respawn_seconds"
+
 
 def route_counter(route: str) -> str:
     """The registry counter name for one served route."""

@@ -42,9 +42,11 @@ from .session import ServingSession
 from .stats import BatchResult, QueryOutcome, ServingStatistics
 from .scale import (
     AsyncServingFrontend,
+    FaultInjector,
     MicroBatcher,
     ShardRouter,
     ShardedWorkerPool,
+    SupervisedWorkerPool,
     WorkerSpec,
     serve_async,
 )
@@ -52,9 +54,11 @@ from .scale import (
 __all__ = [
     "AsyncServingFrontend",
     "BatchExecutor",
+    "FaultInjector",
     "MicroBatcher",
     "ShardRouter",
     "ShardedWorkerPool",
+    "SupervisedWorkerPool",
     "WorkerSpec",
     "serve_async",
     "BatchResult",

@@ -21,19 +21,35 @@ every worker and asserts the generation counters agree afterwards, which is
 what keeps cross-process caches coherent.  Results are bit-identical to
 in-process ``ServingSession.execute_batch`` (asserted by
 ``tests/test_serving_scale.py`` via the differential-oracle sweep).
+
+Supervision (:mod:`repro.serving.scale.supervisor`) wraps the pool in a
+crash-recovery layer: dead workers are detected (pipe EOF, exit codes,
+missed heartbeats), respawned from the deterministic
+:class:`~repro.serving.scale.worker.WorkerSpec` with the recorded
+``refit``/``add_aggregate`` broadcast log replayed, and affected requests
+retried with backoff — failing over on the consistent-hash ring while a
+shard is down.  :mod:`repro.serving.scale.faults` makes every failure mode
+a seeded, scheduled event so chaos tests are exactly reproducible.
 """
 
+from .faults import FAULT_EXIT_CODE, FaultEvent, FaultInjector
 from .frontend import AsyncServingFrontend, serve_async
 from .microbatch import MicroBatcher
 from .pool import ShardedWorkerPool
 from .shard import ShardRouter, stable_plan_hash
+from .supervisor import RequestOutcome, SupervisedWorkerPool
 from .worker import WorkerSpec
 
 __all__ = [
     "AsyncServingFrontend",
+    "FAULT_EXIT_CODE",
+    "FaultEvent",
+    "FaultInjector",
     "MicroBatcher",
+    "RequestOutcome",
     "ShardRouter",
     "ShardedWorkerPool",
+    "SupervisedWorkerPool",
     "WorkerSpec",
     "serve_async",
     "stable_plan_hash",

@@ -25,9 +25,11 @@ from ...query.ast import Query
 from ...sql.engine import QueryResult, TableResult
 from .microbatch import MicroBatcher
 from .pool import ShardedWorkerPool
+from .supervisor import SupervisedWorkerPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...core import Themis
+    from .faults import FaultInjector
 
 
 class AsyncServingFrontend:
@@ -43,6 +45,16 @@ class AsyncServingFrontend:
         Micro-batcher knobs (see :class:`MicroBatcher`).
     session_options:
         Forwarded to each worker's ``Themis.serve(...)``.
+    supervised:
+        When true (the default) the tier runs on a
+        :class:`SupervisedWorkerPool`: crashed workers are respawned with
+        replayed state, affected requests retry with backoff, and dead
+        shards fail over on the hash ring.  ``False`` gives the bare
+        :class:`ShardedWorkerPool` (a crash fails the batch).
+    max_retries, request_deadline, heartbeat_interval, fallback, fault_injector:
+        Supervision knobs (see :class:`SupervisedWorkerPool`); ignored when
+        ``supervised=False``.  ``request_deadline`` also bounds micro-batch
+        re-enqueues for the same request.
     """
 
     def __init__(
@@ -56,16 +68,37 @@ class AsyncServingFrontend:
         dispatch_timeout: float | None = None,
         session_options: dict[str, Any] | None = None,
         start_method: str | None = None,
+        supervised: bool = True,
+        max_retries: int = 3,
+        request_deadline: float | None = None,
+        heartbeat_interval: float | None = None,
+        fallback: str = "error",
+        fault_injector: "FaultInjector | None" = None,
     ):
         self.metrics = MetricsRegistry()
-        self.pool = ShardedWorkerPool(
-            themis,
-            n_workers=n_workers,
-            timeout=dispatch_timeout,
-            session_options=session_options,
-            metrics=self.metrics,
-            start_method=start_method,
-        )
+        if supervised:
+            self.pool: ShardedWorkerPool = SupervisedWorkerPool(
+                themis,
+                n_workers=n_workers,
+                timeout=dispatch_timeout,
+                session_options=session_options,
+                metrics=self.metrics,
+                start_method=start_method,
+                fault_injector=fault_injector,
+                max_retries=max_retries,
+                deadline=request_deadline,
+                heartbeat_interval=heartbeat_interval,
+                fallback=fallback,
+            )
+        else:
+            self.pool = ShardedWorkerPool(
+                themis,
+                n_workers=n_workers,
+                timeout=dispatch_timeout,
+                session_options=session_options,
+                metrics=self.metrics,
+                start_method=start_method,
+            )
         self.batcher = MicroBatcher(
             self.pool,
             latency_budget=latency_budget,
@@ -73,6 +106,8 @@ class AsyncServingFrontend:
             max_queue=max_queue,
             max_inflight=max_inflight,
             dispatch_timeout=dispatch_timeout,
+            max_retries=max_retries if supervised else 0,
+            request_deadline=request_deadline,
             metrics=self.metrics,
         )
         self._started = False

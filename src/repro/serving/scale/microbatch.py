@@ -9,10 +9,26 @@ shared masks, and group-by fusion.
 
 Backpressure is typed, never silent: a full queue rejects the submit with
 :class:`~repro.exceptions.ServingOverloadError` carrying the queue depth,
-and a dispatch that misses its timeout fails that batch's futures with the
-same error (naming the lagging shard when the pool identified one).  Late
-replies from a timed-out worker are discarded by sequence number in the
-pool, so a slow shard can never corrupt a later batch.
+and a dispatch that misses its timeout fails **only that batch's** futures
+with a :class:`~repro.exceptions.DispatchTimeoutError` (a retryable
+``ServingOverloadError``) naming the lagging shard when the pool
+identified one.  Late replies from a timed-out worker are discarded by
+sequence number in the pool, so a slow shard can never corrupt a later
+batch.
+
+Retry is deadline-aware: with ``max_retries > 0``, a future hit by a
+*retryable* failure (crash, missed deadline — anything deriving from
+:class:`~repro.exceptions.RetryableServingError`) is re-enqueued at the
+back of the queue instead of failed, as long as its ``request_deadline``
+budget (measured from original submission) has room; budget exhaustion
+fails it with :class:`~repro.exceptions.RetryExhaustedError` carrying the
+attempt count and last error.  Fatal errors (bad SQL, worker-side query
+errors) are never retried — retrying would deterministically reproduce
+them.  When the pool is a
+:class:`~repro.serving.scale.supervisor.SupervisedWorkerPool`, dispatch
+goes through ``execute_batch_outcomes`` so failure is per *request*: one
+crashed shard's sub-batch retries while the rest of the batch's answers
+resolve immediately.
 
 Everything observable lands in the registry: queue depth gauge, micro-batch
 size histogram (power-of-two buckets), request latency histogram
@@ -27,7 +43,12 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
-from ...exceptions import ServingOverloadError
+from ...exceptions import (
+    DispatchTimeoutError,
+    RetryableServingError,
+    RetryExhaustedError,
+    ServingOverloadError,
+)
 from ...obs import names
 from ...obs.metrics import MetricsRegistry
 from ...query.ast import Query
@@ -56,8 +77,16 @@ class MicroBatcher:
         Concurrent pool dispatches (each runs on its own executor thread,
         conversing with disjoint or lock-serialized workers).
     dispatch_timeout:
-        Per-batch pool timeout in seconds; a miss fails the batch's futures
-        with :class:`ServingOverloadError`.  ``None`` waits forever.
+        Per-batch pool timeout in seconds; a miss fails (or, with retries,
+        re-enqueues) only the affected batch's futures with
+        :class:`DispatchTimeoutError`.  ``None`` waits forever.
+    max_retries:
+        Re-enqueues allowed per query on *retryable* failures before it
+        fails with :class:`RetryExhaustedError`.  0 (the default) preserves
+        fail-fast behavior.
+    request_deadline:
+        Wall-clock budget in seconds per query measured from submission;
+        retries never start once it is spent.  ``None`` = no budget.
     metrics:
         Registry for queue/batch/latency instruments; the pool's registry
         is used when omitted, so one snapshot shows the whole tier.
@@ -71,20 +100,27 @@ class MicroBatcher:
         max_queue: int = 1024,
         max_inflight: int = 4,
         dispatch_timeout: float | None = None,
+        max_retries: int = 0,
+        request_deadline: float | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         if latency_budget < 0:
             raise ValueError("latency_budget must be >= 0")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self._pool = pool
         self.latency_budget = latency_budget
         self.max_batch_size = max_batch_size
         self.max_queue = max_queue
         self.max_inflight = max_inflight
         self.dispatch_timeout = dispatch_timeout
+        self.max_retries = max_retries
+        self.request_deadline = request_deadline
         self.metrics = metrics if metrics is not None else pool.metrics
-        self._pending: deque[tuple[Query | str, asyncio.Future, float]] = deque()
+        # Entries are (query, future, submitted_at, retries_so_far).
+        self._pending: deque[tuple[Query | str, asyncio.Future, float, int]] = deque()
         self._arrival = asyncio.Event()
         self._running = False
         self._flusher: asyncio.Task | None = None
@@ -146,7 +182,7 @@ class MicroBatcher:
             )
         self.metrics.counter(names.SCALE_REQUESTS).inc()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending.append((query, future, time.perf_counter()))
+        self._pending.append((query, future, time.perf_counter(), 0))
         self._queue_depth.set(len(self._pending))
         self._arrival.set()
         return await future
@@ -175,7 +211,7 @@ class MicroBatcher:
                     self._arrival.clear()
                 except (asyncio.TimeoutError, TimeoutError):
                     break
-            batch: list[tuple[Query | str, asyncio.Future, float]] = []
+            batch: list[tuple[Query | str, asyncio.Future, float, int]] = []
             while self._pending and len(batch) < self.max_batch_size:
                 batch.append(self._pending.popleft())
             self._queue_depth.set(len(self._pending))
@@ -184,21 +220,32 @@ class MicroBatcher:
             task.add_done_callback(self._dispatches.discard)
 
     async def _dispatch(
-        self, batch: list[tuple[Query | str, asyncio.Future, float]]
+        self, batch: list[tuple[Query | str, asyncio.Future, float, int]]
     ) -> None:
         assert self._inflight is not None and self._executor is not None
         loop = asyncio.get_running_loop()
-        queries = [query for query, _, _ in batch]
+        queries = [query for query, _, _, _ in batch]
         self._batch_sizes.record(float(len(batch)))
         self.metrics.counter(names.SCALE_DISPATCHES).inc()
+        # A supervised pool reports per-request outcomes, so one crashed
+        # shard's sub-batch can retry while the rest of the batch resolves.
+        outcome_mode = hasattr(self._pool, "execute_batch_outcomes")
         async with self._inflight:
             try:
-                work = loop.run_in_executor(
-                    self._executor,
-                    lambda: self._pool.execute_batch(
-                        queries, timeout=self.dispatch_timeout
-                    ),
-                )
+                if outcome_mode:
+                    work = loop.run_in_executor(
+                        self._executor,
+                        lambda: self._pool.execute_batch_outcomes(
+                            queries, timeout=self.dispatch_timeout
+                        ),
+                    )
+                else:
+                    work = loop.run_in_executor(
+                        self._executor,
+                        lambda: self._pool.execute_batch(
+                            queries, timeout=self.dispatch_timeout
+                        ),
+                    )
                 if self.dispatch_timeout is not None:
                     # The pool's own poll() timeout fires first in the common
                     # case; this guard covers a wedged executor thread.
@@ -208,24 +255,79 @@ class MicroBatcher:
                 else:
                     results = await work
             except (asyncio.TimeoutError, TimeoutError):
-                error = ServingOverloadError(
+                error = DispatchTimeoutError(
                     "batch dispatch missed the latency budget",
                     queue_depth=len(batch),
                 )
-                self._fail(batch, error)
+                self._settle_failures(batch, error)
                 return
             except BaseException as error:  # noqa: BLE001 - forwarded to callers
-                self._fail(batch, error)
+                self._settle_failures(batch, error)
                 return
         finished = time.perf_counter()
-        for (_, future, submitted), result in zip(batch, results):
-            if not future.done():
-                self._request_seconds.record(finished - submitted)
-                future.set_result(result)
+        if outcome_mode:
+            for entry, outcome in zip(batch, results):
+                if outcome.ok:
+                    self._resolve(entry, outcome.value, finished)
+                else:
+                    self._settle_one(entry, outcome.error)
+            return
+        for entry, result in zip(batch, results):
+            self._resolve(entry, result, finished)
 
-    def _fail(self, batch: list[tuple[Any, asyncio.Future, float]], error: BaseException) -> None:
+    def _resolve(
+        self,
+        entry: tuple[Query | str, asyncio.Future, float, int],
+        result: Any,
+        finished: float,
+    ) -> None:
+        _, future, submitted, _ = entry
+        if not future.done():
+            self._request_seconds.record(finished - submitted)
+            future.set_result(result)
+
+    def _settle_failures(
+        self,
+        batch: list[tuple[Query | str, asyncio.Future, float, int]],
+        error: BaseException,
+    ) -> None:
+        for entry in batch:
+            self._settle_one(entry, error)
+
+    def _settle_one(
+        self,
+        entry: tuple[Query | str, asyncio.Future, float, int],
+        error: BaseException,
+    ) -> None:
+        """Fail one future — or re-enqueue it if the error is retryable.
+
+        Retry requires all of: a :class:`RetryableServingError`, retry
+        budget left, request deadline not yet spent, and a still-running
+        batcher (re-enqueueing into a stopped flusher would strand the
+        future forever).  A query that retried at least once and still
+        failed surfaces :class:`RetryExhaustedError` so callers can tell
+        "gave up after retrying" from a first-attempt failure.
+        """
+        query, future, submitted, retries = entry
+        if future.done():
+            return
+        retryable = isinstance(error, RetryableServingError)
+        within_deadline = (
+            self.request_deadline is None
+            or time.perf_counter() - submitted < self.request_deadline
+        )
+        if retryable and retries < self.max_retries and within_deadline and self._running:
+            self.metrics.counter(names.SCALE_FAULT_RETRIES).inc()
+            self._pending.append((query, future, submitted, retries + 1))
+            self._queue_depth.set(len(self._pending))
+            self._arrival.set()
+            return
         if isinstance(error, ServingOverloadError):
-            self.metrics.counter(names.SCALE_OVERLOADS).inc(len(batch))
-        for _, future, _ in batch:
-            if not future.done():
-                future.set_exception(error)
+            self.metrics.counter(names.SCALE_OVERLOADS).inc()
+        if retryable and retries > 0:
+            error = RetryExhaustedError(
+                "request abandoned after micro-batch retries",
+                attempts=retries,
+                last_error=error,
+            )
+        future.set_exception(error)

@@ -17,18 +17,35 @@ Thread safety: each worker pipe is guarded by a lock held for the whole
 send/recv conversation, and multi-worker operations acquire locks in
 ascending shard order, so concurrent dispatch threads (the micro-batcher
 runs several) can never deadlock.  A worker that misses the dispatch
-timeout raises :class:`~repro.exceptions.ServingOverloadError` naming the
+timeout raises :class:`~repro.exceptions.DispatchTimeoutError` (a
+retryable :class:`~repro.exceptions.ServingOverloadError`) naming the
 lagging shard; its eventual stale reply is discarded by sequence number.
+A worker whose process died mid-conversation raises
+:class:`~repro.exceptions.WorkerCrashedError` instead of hanging — the
+supervised subclass (:mod:`repro.serving.scale.supervisor`) catches it,
+respawns the shard, and retries.
+
+Lifecycle: ``close()`` escalates ``join`` -> ``terminate`` -> ``kill`` so
+a wedged worker can never outlive the pool, and every open pool is
+registered with an ``atexit`` guard — a crashed test run or an exception
+path that skips ``close()`` still reaps its worker processes instead of
+leaking orphans.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import threading
 import time
+import weakref
 from typing import TYPE_CHECKING, Any, Sequence
 
-from ...exceptions import ServingOverloadError, ThemisError
+from ...exceptions import (
+    DispatchTimeoutError,
+    ThemisError,
+    WorkerCrashedError,
+)
 from ...obs import names
 from ...obs.metrics import MetricsRegistry
 from ...plan import PlanCompiler, serialize_plan
@@ -56,16 +73,38 @@ def _start_method() -> str:
     return "fork" if "fork" in methods else methods[0]
 
 
+#: Every open pool, reaped at interpreter exit if ``close()`` was skipped
+#: (a crashed test run must not leak orphan worker processes).
+_LIVE_POOLS: "weakref.WeakSet[ShardedWorkerPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_leaked_pools() -> None:  # pragma: no cover - exit-path safety net
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close(join_timeout=1.0)
+        except Exception:
+            pass
+
+
 class _Worker:
     """Parent-side handle for one worker process: pipe, lock, sequence."""
 
-    def __init__(self, context, spec: WorkerSpec, shard_id: int):
+    def __init__(
+        self,
+        context,
+        spec: WorkerSpec,
+        shard_id: int,
+        fault_plan: Any = None,
+        incarnation: int = 0,
+    ):
         self.shard_id = shard_id
+        self.incarnation = incarnation
         self.conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
             target=worker_main,
-            args=(spec, child_conn, shard_id),
-            name=f"themis-shard-{shard_id}",
+            args=(spec, child_conn, shard_id, fault_plan, incarnation),
+            name=f"themis-shard-{shard_id}-gen{incarnation}",
             daemon=True,
         )
         self.process.start()
@@ -77,11 +116,28 @@ class _Worker:
         self._seq += 1
         return self._seq
 
+    def send(self, message: Any) -> None:
+        """Send one request, raising typed crash errors on a dead pipe."""
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, ConnectionError, OSError) as error:
+            raise WorkerCrashedError(
+                "worker pipe broke on send",
+                shard_id=self.shard_id,
+                reason="pipe-broken",
+            ) from error
+
     def drain_stale(self, expected_seq: int, timeout: float | None) -> Any:
         """Receive until the reply for ``expected_seq`` arrives.
 
         Replies with older sequence numbers are leftovers from a timed-out
         conversation — discarded, since their futures already failed.
+
+        Failure modes are typed: a dead pipe (EOF) or a reply deadline that
+        expires with the process already dead raise
+        :class:`WorkerCrashedError`; a deadline that expires with the
+        process still alive raises :class:`DispatchTimeoutError` (slow or
+        dropped reply — retryable, not a crash).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
@@ -89,16 +145,17 @@ class _Worker:
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    raise ServingOverloadError(
-                        "worker missed the dispatch latency budget",
-                        shard_id=self.shard_id,
-                    )
+                    raise self._deadline_error()
             if not self.conn.poll(remaining):
-                raise ServingOverloadError(
-                    "worker missed the dispatch latency budget",
+                raise self._deadline_error()
+            try:
+                seq, status, body = self.conn.recv()
+            except (EOFError, ConnectionError, OSError) as error:
+                raise WorkerCrashedError(
+                    "worker pipe reached EOF mid-conversation",
                     shard_id=self.shard_id,
-                )
-            seq, status, body = self.conn.recv()
+                    reason="pipe-eof",
+                ) from error
             if seq < expected_seq:
                 continue
             if seq > expected_seq:
@@ -107,6 +164,32 @@ class _Worker:
                     f"{expected_seq}: protocol violation"
                 )
             return status, body
+
+    def _deadline_error(self) -> ThemisError:
+        if self.process.exitcode is not None:
+            return WorkerCrashedError(
+                "worker process died before replying",
+                shard_id=self.shard_id,
+                reason="exitcode",
+            )
+        return DispatchTimeoutError(
+            "worker missed the dispatch latency budget",
+            shard_id=self.shard_id,
+        )
+
+    def reap(self, join_timeout: float) -> None:
+        """Join the process, escalating ``terminate`` -> ``kill`` if it hangs."""
+        self.process.join(join_timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(join_timeout)
+        if self.process.is_alive():  # pragma: no cover - SIGTERM-proof worker
+            self.process.kill()
+            self.process.join(join_timeout)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
 
 class ShardedWorkerPool:
@@ -122,7 +205,9 @@ class ShardedWorkerPool:
         Shard count.  One ``ServingSession`` per worker.
     timeout:
         Default per-conversation dispatch timeout in seconds; ``None`` waits
-        forever.  A miss raises :class:`ServingOverloadError` naming the shard.
+        forever.  A miss raises :class:`DispatchTimeoutError` naming the
+        shard (a crash detected in its place raises
+        :class:`WorkerCrashedError`).
     session_options:
         Forwarded to each worker's ``Themis.serve(...)``.
     metrics:
@@ -149,14 +234,23 @@ class ShardedWorkerPool:
         # The parent compiles/serializes; workers verify keys against their
         # own schema-bound compilers on the far side of the pipe.
         self._compiler = PlanCompiler(themis.sample.schema)
-        spec = WorkerSpec.from_themis(themis, **(session_options or {}))
-        context = mp.get_context(start_method or _start_method())
+        # The spec and context are kept so a supervisor can respawn crashed
+        # shards from the same deterministic recipe the pool started from.
+        self._spec = WorkerSpec.from_themis(themis, **(session_options or {}))
+        self._context = mp.get_context(start_method or _start_method())
         self._workers = [
-            _Worker(context, spec, shard_id) for shard_id in range(n_workers)
+            self._spawn_worker(shard_id) for shard_id in range(n_workers)
         ]
         self._closed = False
+        _LIVE_POOLS.add(self)
         self.metrics.gauge(names.SCALE_SHARDS).set(n_workers)
         self._dispatch_seconds = self.metrics.histogram(names.SCALE_DISPATCH_SECONDS)
+
+    def _spawn_worker(self, shard_id: int, incarnation: int = 0) -> _Worker:
+        """Start one worker process (the supervisor overrides to add faults)."""
+        return _Worker(
+            self._context, self._spec, shard_id, incarnation=incarnation
+        )
 
     # ------------------------------------------------------------------
     # Serving
@@ -178,11 +272,7 @@ class ShardedWorkerPool:
         if timeout is None:
             timeout = self._timeout
         started = time.perf_counter()
-        plans = [
-            self._compiler.compile_sql(q) if isinstance(q, str)
-            else self._compiler.compile(q)
-            for q in queries
-        ]
+        plans = self.compile_batch(queries)
         by_shard: dict[int, list[int]] = {}
         for index, plan in enumerate(plans):
             by_shard.setdefault(self.router.shard_for(plan.key), []).append(index)
@@ -203,7 +293,7 @@ class ShardedWorkerPool:
                 indices = by_shard[shard_id]
                 payloads = [serialize_plan(plans[i]) for i in indices]
                 seq = worker.next_seq()
-                worker.conn.send((CMD_BATCH, seq, payloads))
+                worker.send((CMD_BATCH, seq, payloads))
                 pending.append((worker, seq, indices))
                 self.metrics.counter(names.shard_counter(shard_id)).inc(
                     len(indices)
@@ -221,6 +311,14 @@ class ShardedWorkerPool:
         self.metrics.counter(names.SCALE_POOL_BATCHES).inc(1)
         self._dispatch_seconds.record(time.perf_counter() - started)
         return results
+
+    def compile_batch(self, queries: Sequence[Query | str]) -> list[Any]:
+        """Compile every query (SQL text or AST) once, in submission order."""
+        return [
+            self._compiler.compile_sql(q) if isinstance(q, str)
+            else self._compiler.compile(q)
+            for q in queries
+        ]
 
     def _fold_worker_stats(self, body: dict[str, Any]) -> None:
         for field_name, value in body.get("optimizer", {}).items():
@@ -241,7 +339,7 @@ class ShardedWorkerPool:
                 held.append(worker)
             for worker in self._workers:
                 seq = worker.next_seq()
-                worker.conn.send((command, seq, payload))
+                worker.send((command, seq, payload))
                 pending.append((worker, seq))
             for worker, seq in pending:
                 status, body = worker.drain_stale(seq, self._timeout)
@@ -285,10 +383,17 @@ class ShardedWorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, join_timeout: float = 5.0) -> None:
-        """Shut every worker down (idempotent)."""
+        """Shut every worker down (idempotent).
+
+        Polite first (a shutdown command), then firm: workers that miss
+        ``join(join_timeout)`` are ``terminate()``d, and workers that
+        survive *that* are ``kill()``ed — a wedged or signal-masked worker
+        cannot leak past ``close()``.
+        """
         if self._closed:
             return
         self._closed = True
+        _LIVE_POOLS.discard(self)
         for worker in self._workers:
             with worker.lock:
                 try:
@@ -296,11 +401,7 @@ class ShardedWorkerPool:
                 except (OSError, BrokenPipeError):
                     pass
         for worker in self._workers:
-            worker.process.join(join_timeout)
-            if worker.process.is_alive():  # pragma: no cover - hung worker
-                worker.process.terminate()
-                worker.process.join(join_timeout)
-            worker.conn.close()
+            worker.reap(join_timeout)
 
     def __enter__(self) -> "ShardedWorkerPool":
         return self

@@ -11,6 +11,11 @@ The ring is a classic consistent hash with virtual nodes: each shard owns
 clockwise from its hash.  Growing the pool from N to N+1 shards therefore
 moves ~1/(N+1) of the key space instead of rehashing everything — warm
 caches survive resizes.
+
+The same walk gives failover for free: with a ``live`` shard set, points
+owned by dead shards are skipped, so a down shard's keys spill onto the
+next live shards around the circle (cold caches, same bits) and return
+home deterministically once the shard is respawned.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 from bisect import bisect_right
+from typing import AbstractSet
 
 from ...plan.ir import PlanKey
 from ...plan.wire import encode_value
@@ -68,13 +74,34 @@ class ShardRouter:
         self._points = [point for point, _ in points]
         self._owners = [owner for _, owner in points]
 
-    def shard_for_hash(self, key_hash: int) -> int:
-        """The shard owning one stable key hash."""
-        index = bisect_right(self._points, key_hash)
-        if index == len(self._points):
-            index = 0
-        return self._owners[index]
+    def shard_for_hash(
+        self, key_hash: int, live: AbstractSet[int] | None = None
+    ) -> int:
+        """The shard owning one stable key hash.
 
-    def shard_for(self, key: PlanKey) -> int:
-        """The shard owning one canonical plan key."""
-        return self.shard_for_hash(stable_plan_hash(key))
+        With a ``live`` set, dead shards are masked out of the ring: the key
+        keeps walking clockwise past ring points owned by dead shards until
+        it reaches one owned by a live shard.  Keys whose home shard is live
+        are unaffected (the walk stops at the first point as before), and a
+        key rerouted while its home shard was down returns home the moment
+        the shard is back in ``live`` — failover is a pure function of
+        ``(key, live set)``, never sticky state.
+
+        Raises :class:`ValueError` when ``live`` is empty (no shard can own
+        anything; the supervised pool degrades before routing).
+        """
+        index = bisect_right(self._points, key_hash)
+        n_points = len(self._points)
+        if live is None:
+            return self._owners[index % n_points]
+        for step in range(n_points):
+            owner = self._owners[(index + step) % n_points]
+            if owner in live:
+                return owner
+        raise ValueError("no live shard on the ring")
+
+    def shard_for(
+        self, key: PlanKey, live: AbstractSet[int] | None = None
+    ) -> int:
+        """The shard owning one canonical plan key (see :meth:`shard_for_hash`)."""
+        return self.shard_for_hash(stable_plan_hash(key), live=live)

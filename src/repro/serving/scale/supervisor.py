@@ -1,0 +1,746 @@
+"""Supervision over the sharded pool: respawn, retry, failover, degrade.
+
+:class:`SupervisedWorkerPool` keeps the sharded tier answering — with the
+exact same bits — while worker processes die and come back:
+
+* **Crash detection.**  Every pipe conversation classifies its failure:
+  EOF / broken pipe, a reply deadline that expires with the process's
+  ``exitcode`` already set, or a missed heartbeat ping all become a typed
+  :class:`~repro.exceptions.WorkerCrashedError` instead of a hang.
+
+* **Deterministic respawn.**  A crashed shard is rebuilt from the pool's
+  stored :class:`~repro.serving.scale.worker.WorkerSpec` — fitting is
+  deterministic, so the replacement computes the same model — and then the
+  recorded ``refit()``/``add_aggregate()`` broadcast log is replayed into
+  it, landing it on the **same generation** as the surviving workers
+  (asserted against the supervisor's expected-generation counter, the same
+  all-workers-agree invariant ``refit()`` enforces).
+
+* **Retry + failover.**  Requests hit by a retryable failure (crash,
+  missed deadline, dropped reply) are re-dispatched with exponential
+  backoff and seeded jitter, bounded by a retry budget and an optional
+  per-batch deadline.  While a shard is down its consistent-hash keys walk
+  clockwise to the next *live* shard on the ring (cold caches, same bits)
+  and return home automatically after the respawn — routing is a pure
+  function of ``(key, live set)``.
+
+* **Graceful degradation.**  Only when *every* shard has exhausted its
+  respawn budget does the pool degrade: ``fallback="in-process"`` serves
+  the remaining requests from a local session rebuilt from the same spec
+  and log (bit-identical, just slower); ``fallback="error"`` raises a
+  typed :class:`~repro.exceptions.DegradedModeError`.
+
+Failure granularity is per *request*, not per batch: one crashed shard
+fails over only its own sub-batch while the other shards' answers stand —
+a crash mid-batch no longer poisons the whole dispatch.
+
+Every recovery path is observable (``scale.faults.*`` counters, respawn
+latency histogram) and deterministic under test via
+:class:`~repro.serving.scale.faults.FaultInjector` schedules.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ...exceptions import (
+    DegradedModeError,
+    DispatchTimeoutError,
+    RetryExhaustedError,
+    ThemisError,
+    WorkerCrashedError,
+)
+from ...obs import names
+from ...obs.metrics import MetricsRegistry
+from ...plan import serialize_plan
+from ...query.ast import Query
+from .faults import FaultInjector
+from .pool import ShardedWorkerPool, _Worker
+from .worker import (
+    CMD_ADD_AGGREGATE,
+    CMD_BATCH,
+    CMD_DESCRIBE,
+    CMD_PING,
+    CMD_REFIT,
+    STATUS_OK,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...aggregates import AggregateQuery
+    from ...core import Themis
+
+#: ``fallback`` values: raise DegradedModeError vs. serve locally.
+FALLBACK_ERROR = "error"
+FALLBACK_IN_PROCESS = "in-process"
+
+
+@dataclass
+class RequestOutcome:
+    """One request's fate under supervision: an answer or a typed error.
+
+    ``ok`` outcomes carry the bit-identical ``value``; failures carry the
+    typed ``error`` (:class:`RetryExhaustedError`,
+    :class:`DegradedModeError`, or the fatal query error itself).  The
+    micro-batcher consumes these to fail only the affected futures.
+    """
+
+    ok: bool
+    value: Any = None
+    error: BaseException | None = None
+
+
+class SupervisedWorkerPool(ShardedWorkerPool):
+    """A :class:`ShardedWorkerPool` that survives worker crashes.
+
+    Parameters (beyond the base pool's)
+    -----------------------------------
+    fault_injector:
+        Optional deterministic :class:`FaultInjector` schedule threaded
+        into every worker incarnation (tests and chaos experiments only).
+    max_retries:
+        Retryable-failure re-dispatches allowed per ``execute_batch`` call
+        before the affected requests fail with :class:`RetryExhaustedError`.
+    deadline:
+        Default per-call wall-clock budget in seconds (``None`` = no
+        budget).  Retries never start once the budget would be overrun.
+    backoff_base, backoff_cap, backoff_jitter, retry_seed:
+        Exponential backoff between retries: attempt *k* sleeps
+        ``min(cap, base * 2**(k-1))`` scaled by ``1 + jitter * u`` with
+        ``u`` drawn from a ``random.Random(retry_seed)`` stream — jittered
+        but reproducible.
+    max_respawns:
+        Respawn budget per shard; a shard that exhausts it is permanently
+        dead (the all-dead case degrades per ``fallback``).
+    respawn_timeout:
+        Reply deadline for replaying the broadcast log into a respawn.
+    heartbeat_interval / heartbeat_timeout / heartbeat_misses_to_kill:
+        Liveness probing: every ``interval`` seconds each idle shard is
+        pinged; ``misses_to_kill`` consecutive unanswered pings (each
+        waiting ``timeout`` seconds) get the worker terminated and
+        respawned.  ``interval=None`` (default) disables the prober —
+        crashes are still detected at dispatch time.
+    fallback:
+        ``"error"`` (default) or ``"in-process"`` — what to do when every
+        shard is permanently down.
+    """
+
+    def __init__(
+        self,
+        themis: "Themis",
+        n_workers: int = 2,
+        timeout: float | None = None,
+        session_options: dict[str, Any] | None = None,
+        metrics: MetricsRegistry | None = None,
+        start_method: str | None = None,
+        fault_injector: FaultInjector | None = None,
+        max_retries: int = 3,
+        deadline: float | None = None,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        backoff_jitter: float = 0.25,
+        retry_seed: int = 0,
+        max_respawns: int = 3,
+        respawn_timeout: float | None = 60.0,
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float = 1.0,
+        heartbeat_misses_to_kill: int = 3,
+        fallback: str = FALLBACK_ERROR,
+    ):
+        if fallback not in (FALLBACK_ERROR, FALLBACK_IN_PROCESS):
+            raise ValueError(
+                f"fallback must be {FALLBACK_ERROR!r} or {FALLBACK_IN_PROCESS!r}, "
+                f"got {fallback!r}"
+            )
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        # Attributes _spawn_worker reads must exist before the base
+        # constructor forks the initial incarnations.
+        self._fault_injector = fault_injector
+        self.max_retries = max_retries
+        self.deadline = deadline
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.max_respawns = max_respawns
+        self.respawn_timeout = respawn_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_misses_to_kill = heartbeat_misses_to_kill
+        self.fallback = fallback
+        self._rng = random.Random(retry_seed)
+        self._supervision_lock = threading.RLock()
+        self._incarnations: dict[int, int] = {}
+        self._respawn_counts: dict[int, int] = {}
+        self._heartbeat_misses: dict[int, int] = {}
+        self._broadcast_log: list[tuple[str, Any]] = []
+        self._fallback_session: Any = None
+
+        super().__init__(
+            themis,
+            n_workers=n_workers,
+            timeout=timeout,
+            session_options=session_options,
+            metrics=metrics,
+            start_method=start_method,
+        )
+
+        self._live: set[int] = set(range(n_workers))
+        self._dead: set[int] = set()
+        # Baseline coherence: every initial worker rebuilt the same model,
+        # so their generations agree; that agreed value (plus one per
+        # logged broadcast) is what every respawn must land back on.
+        generations = {
+            body["generation"] for body in ShardedWorkerPool.describe(self)
+        }
+        if len(generations) != 1:  # pragma: no cover - deterministic build
+            raise ThemisError(
+                f"initial worker generations diverged: {sorted(generations)}"
+            )
+        self._expected_generation = generations.pop()
+
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
+        if heartbeat_interval is not None:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="themis-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, shard_id: int, incarnation: int = 0) -> _Worker:
+        self._incarnations[shard_id] = incarnation
+        fault_plan = (
+            self._fault_injector.plan_for(shard_id, incarnation)
+            if self._fault_injector is not None
+            else None
+        )
+        return _Worker(
+            self._context,
+            self._spec,
+            shard_id,
+            fault_plan=fault_plan,
+            incarnation=incarnation,
+        )
+
+    # ------------------------------------------------------------------
+    # Liveness bookkeeping
+    # ------------------------------------------------------------------
+    def live_shards(self) -> set[int]:
+        """Shards currently accepting dispatches."""
+        with self._supervision_lock:
+            return set(self._live)
+
+    def dead_shards(self) -> set[int]:
+        """Shards that exhausted their respawn budget (permanently down)."""
+        with self._supervision_lock:
+            return set(self._dead)
+
+    def _handle_crash(self, worker: _Worker, error: WorkerCrashedError) -> None:
+        """Record one worker death and respawn its shard (idempotent).
+
+        Called only while *no* worker lock is held: respawning converses
+        with the (unpublished) replacement and takes the supervision lock,
+        and mixing those with held conversation locks could deadlock with
+        the heartbeat thread.
+        """
+        with self._supervision_lock:
+            shard_id = worker.shard_id
+            if self._workers[shard_id] is not worker or shard_id in self._dead:
+                return  # another thread already handled this incarnation
+            self.metrics.counter(names.SCALE_FAULT_CRASHES).inc()
+            self._live.discard(shard_id)
+            self._heartbeat_misses.pop(shard_id, None)
+            worker.reap(0.5)
+            self._respawn_locked(shard_id)
+
+    def _respawn_locked(self, shard_id: int) -> bool:
+        """Respawn one shard, replaying the broadcast log; False = budget out."""
+        while self._respawn_counts.get(shard_id, 0) < self.max_respawns:
+            self._respawn_counts[shard_id] = self._respawn_counts.get(shard_id, 0) + 1
+            started = time.perf_counter()
+            incarnation = self._incarnations[shard_id] + 1
+            worker = self._spawn_worker(shard_id, incarnation)
+            try:
+                for command, payload in self._broadcast_log:
+                    self._converse(worker, command, payload, self.respawn_timeout)
+                    self.metrics.counter(
+                        names.SCALE_FAULT_REPLAYED_BROADCASTS
+                    ).inc()
+                body = self._converse(
+                    worker, CMD_DESCRIBE, None, self.respawn_timeout
+                )
+            except WorkerCrashedError:
+                # Died again during replay (e.g. a crash-during-refit
+                # schedule): reap it and burn another respawn credit.
+                worker.reap(0.5)
+                continue
+            if body["generation"] != self._expected_generation:
+                worker.reap(0.5)
+                raise ThemisError(
+                    f"respawned shard {shard_id} landed on generation "
+                    f"{body['generation']}, expected {self._expected_generation}: "
+                    f"broadcast-log replay lost coherence"
+                )
+            self._workers[shard_id] = worker
+            self._live.add(shard_id)
+            self.metrics.counter(names.SCALE_FAULT_RESPAWNS).inc()
+            self.metrics.histogram(names.SCALE_RESPAWN_SECONDS).record(
+                time.perf_counter() - started
+            )
+            return True
+        self._dead.add(shard_id)
+        return False
+
+    @staticmethod
+    def _converse(
+        worker: _Worker, command: str, payload: Any, timeout: float | None
+    ) -> Any:
+        """One request/reply on a worker the caller has exclusive use of."""
+        seq = worker.next_seq()
+        worker.send((command, seq, payload))
+        status, body = worker.drain_stale(seq, timeout)
+        if status != STATUS_OK:
+            raise body
+        return body
+
+    # ------------------------------------------------------------------
+    # Serving with retry / failover
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        queries: Sequence[Query | str],
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> list[Any]:
+        """Serve a batch, recovering from crashes; raises on any failed request.
+
+        Answers stay in submission order and exactly ``==`` the in-process
+        oracle.  Per-request failure detail (so one bad request does not
+        mask the others' answers) is available from
+        :meth:`execute_batch_outcomes`.
+        """
+        outcomes = self.execute_batch_outcomes(
+            queries, timeout=timeout, deadline=deadline
+        )
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise outcome.error
+        return [outcome.value for outcome in outcomes]
+
+    def execute_batch_outcomes(
+        self,
+        queries: Sequence[Query | str],
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> list[RequestOutcome]:
+        """Serve a batch, returning one :class:`RequestOutcome` per query.
+
+        The retry loop: route the still-pending requests over the *live*
+        shards (failover for keys whose home shard is down), dispatch all
+        sub-batches concurrently, classify each shard's failure, respawn
+        crashed shards, back off, and go again — until everything is
+        answered, the retry/deadline budget runs out
+        (:class:`RetryExhaustedError`), or no shard is left
+        (:class:`DegradedModeError` or the in-process fallback).
+        """
+        if self._closed:
+            raise ThemisError("worker pool is closed")
+        if timeout is None:
+            timeout = self._timeout
+        if deadline is None:
+            deadline = self.deadline
+        deadline_ts = None if deadline is None else time.monotonic() + deadline
+        started = time.perf_counter()
+        plans = self.compile_batch(queries)
+        outcomes: list[RequestOutcome | None] = [None] * len(plans)
+        pending = list(range(len(plans)))
+        attempt = 0
+        last_error: BaseException | None = None
+        while pending:
+            live = self.live_shards()
+            if not live:
+                self._serve_degraded(pending, queries, outcomes)
+                break
+
+            effective_timeout = timeout
+            if deadline_ts is not None:
+                remaining = deadline_ts - time.monotonic()
+                if remaining <= 0:
+                    self._fail_exhausted(
+                        pending, outcomes, attempt, last_error, "deadline budget"
+                    )
+                    break
+                effective_timeout = (
+                    remaining if timeout is None else min(timeout, remaining)
+                )
+
+            by_shard: dict[int, list[int]] = {}
+            for index in pending:
+                key = plans[index].key
+                shard_id = self.router.shard_for(key, live=live)
+                if shard_id != self.router.shard_for(key):
+                    self.metrics.counter(names.SCALE_FAULT_FAILOVERS).inc()
+                by_shard.setdefault(shard_id, []).append(index)
+
+            retryable = self._dispatch_once(
+                by_shard, plans, outcomes, effective_timeout
+            )
+            pending = [index for indices, _ in retryable for index in indices]
+            if not pending:
+                break
+            last_error = retryable[-1][1]
+            attempt += 1
+            backoff = min(
+                self.backoff_cap, self.backoff_base * (2 ** (attempt - 1))
+            )
+            backoff *= 1.0 + self.backoff_jitter * self._rng.random()
+            if attempt > self.max_retries:
+                self._fail_exhausted(
+                    pending, outcomes, attempt, last_error, "retry budget"
+                )
+                break
+            if deadline_ts is not None and (
+                time.monotonic() + backoff >= deadline_ts
+            ):
+                self._fail_exhausted(
+                    pending, outcomes, attempt, last_error, "deadline budget"
+                )
+                break
+            self.metrics.counter(names.SCALE_FAULT_RETRIES).inc(len(pending))
+            if backoff > 0:
+                time.sleep(backoff)
+
+        self.metrics.counter(names.SCALE_POOL_BATCHES).inc(1)
+        self._dispatch_seconds.record(time.perf_counter() - started)
+        return outcomes  # type: ignore[return-value]  # every slot is filled
+
+    def _dispatch_once(
+        self,
+        by_shard: dict[int, list[int]],
+        plans: list[Any],
+        outcomes: list[RequestOutcome | None],
+        timeout: float | None,
+    ) -> list[tuple[list[int], BaseException]]:
+        """One concurrent dispatch round; returns the retryable sub-batches.
+
+        Successful sub-batches fill ``outcomes``; fatal worker-side errors
+        (query errors — deterministic, retrying reproduces them) fail their
+        requests in place.  Crashes and missed deadlines are *retryable*:
+        crashed shards are respawned (outside the conversation locks) and
+        their indices returned for the caller's retry loop.
+        """
+        shard_ids = sorted(by_shard)
+        workers = {shard_id: self._workers[shard_id] for shard_id in shard_ids}
+        held: list[_Worker] = []
+        conversations: list[tuple[_Worker, int, list[int]]] = []
+        crashes: list[tuple[_Worker, list[int], WorkerCrashedError]] = []
+        retryable: list[tuple[list[int], BaseException]] = []
+        try:
+            for shard_id in shard_ids:
+                workers[shard_id].lock.acquire()
+                held.append(workers[shard_id])
+            for shard_id in shard_ids:
+                worker = workers[shard_id]
+                indices = by_shard[shard_id]
+                payloads = [serialize_plan(plans[i]) for i in indices]
+                try:
+                    seq = worker.next_seq()
+                    worker.send((CMD_BATCH, seq, payloads))
+                except WorkerCrashedError as error:
+                    crashes.append((worker, indices, error))
+                    continue
+                conversations.append((worker, seq, indices))
+                self.metrics.counter(names.shard_counter(shard_id)).inc(
+                    len(indices)
+                )
+            for worker, seq, indices in conversations:
+                try:
+                    status, body = worker.drain_stale(seq, timeout)
+                except WorkerCrashedError as error:
+                    crashes.append((worker, indices, error))
+                    continue
+                except DispatchTimeoutError as error:
+                    retryable.append((indices, error))
+                    continue
+                if status != STATUS_OK:
+                    for index in indices:
+                        outcomes[index] = RequestOutcome(ok=False, error=body)
+                    continue
+                for position, index in enumerate(indices):
+                    outcomes[index] = RequestOutcome(
+                        ok=True, value=body["results"][position]
+                    )
+                self._fold_worker_stats(body)
+        finally:
+            for worker in held:
+                worker.lock.release()
+        # Respawns happen strictly after every conversation lock is released.
+        for worker, indices, error in crashes:
+            self._handle_crash(worker, error)
+            retryable.append((indices, error))
+        return retryable
+
+    def _fail_exhausted(
+        self,
+        pending: list[int],
+        outcomes: list[RequestOutcome | None],
+        attempts: int,
+        last_error: BaseException | None,
+        budget: str,
+    ) -> None:
+        if attempts <= 1 and last_error is not None:
+            # Nothing was ever retried (max_retries=0 or an instantly spent
+            # deadline): surface the single attempt's own typed error.
+            error: BaseException = last_error
+        else:
+            error = RetryExhaustedError(
+                f"request abandoned: {budget} exhausted",
+                attempts=attempts,
+                last_error=last_error,
+            )
+        for index in pending:
+            outcomes[index] = RequestOutcome(ok=False, error=error)
+
+    def _serve_degraded(
+        self,
+        pending: list[int],
+        queries: Sequence[Query | str],
+        outcomes: list[RequestOutcome | None],
+    ) -> None:
+        """Every shard is permanently down: fallback session or typed error."""
+        if self.fallback == FALLBACK_IN_PROCESS:
+            session = self._ensure_fallback_session()
+            batch = session.execute_batch([queries[i] for i in pending])
+            answers = batch.results()
+            for position, index in enumerate(pending):
+                outcomes[index] = RequestOutcome(ok=True, value=answers[position])
+            self.metrics.counter(names.SCALE_FAULT_DEGRADED_REQUESTS).inc(
+                len(pending)
+            )
+            return
+        error = DegradedModeError(
+            f"all {self.n_workers} shards are permanently down "
+            f"(respawn budget {self.max_respawns} exhausted on every shard)"
+        )
+        for index in pending:
+            outcomes[index] = RequestOutcome(ok=False, error=error)
+
+    def _ensure_fallback_session(self) -> Any:
+        """A local session rebuilt from the spec + log (bit-identical answers)."""
+        with self._supervision_lock:
+            if self._fallback_session is None:
+                themis = self._spec.build_themis()
+                for command, payload in self._broadcast_log:
+                    if command == CMD_ADD_AGGREGATE:
+                        themis.add_aggregate(payload)
+                    elif command == CMD_REFIT:
+                        themis.refit()
+                self._fallback_session = themis.serve(
+                    **self._spec.session_options
+                )
+            return self._fallback_session
+
+    # ------------------------------------------------------------------
+    # Coherent invalidation under supervision
+    # ------------------------------------------------------------------
+    def add_aggregate(self, aggregate: "AggregateQuery") -> None:
+        """Register one aggregate everywhere; logged for respawn replay."""
+        self._themis.add_aggregate(aggregate)
+        with self._supervision_lock:
+            self._broadcast_log.append((CMD_ADD_AGGREGATE, aggregate))
+            self._expected_generation += 1
+            self._fallback_session = None
+        self._broadcast_supervised(CMD_ADD_AGGREGATE, aggregate, logged=True)
+
+    def refit(self) -> int:
+        """Refit everywhere, surviving crash-during-refit, and assert coherence.
+
+        A worker that dies mid-broadcast is respawned with the refit already
+        in its replay log, so it lands on the same generation; the
+        all-workers-agree assertion then runs over live + respawned workers
+        alike.
+        """
+        self._themis.refit()
+        with self._supervision_lock:
+            self._broadcast_log.append((CMD_REFIT, None))
+            self._expected_generation += 1
+            self._fallback_session = None
+            expected = self._expected_generation
+        bodies = self._broadcast_supervised(CMD_REFIT, None, logged=True)
+        generations = {
+            body["generation"] for body in bodies if body is not None
+        }
+        if not generations:
+            if self.fallback == FALLBACK_IN_PROCESS:
+                return expected  # the fallback session rebuilds lazily
+            raise DegradedModeError(
+                "refit broadcast found no live shard to acknowledge it"
+            )
+        if generations != {expected}:
+            raise ThemisError(
+                f"worker generations diverged after refit broadcast: "
+                f"{sorted(generations)} != expected {expected}"
+            )
+        return expected
+
+    def describe(self) -> list[dict[str, Any] | None]:
+        """Per-shard snapshots; ``None`` for permanently dead shards."""
+        return self._broadcast_supervised(CMD_DESCRIBE, None, logged=False)
+
+    def _broadcast_supervised(
+        self, command: str, payload: Any, logged: bool
+    ) -> list[Any]:
+        """Broadcast to every live shard, recovering crashed ones.
+
+        ``logged`` commands are already in the replay log when this runs,
+        so a shard that crashes mid-broadcast must **not** be re-sent the
+        command after its respawn (the replay applied it); its reply body
+        is synthesized from a describe instead.  Unlogged commands
+        (describe, ping) are simply re-sent to the replacement.
+        """
+        bodies: list[Any] = [None] * self.n_workers
+        with self._supervision_lock:
+            shard_ids = sorted(self._live)
+        workers = {shard_id: self._workers[shard_id] for shard_id in shard_ids}
+        held: list[_Worker] = []
+        conversations: list[tuple[_Worker, int]] = []
+        crashes: list[tuple[_Worker, WorkerCrashedError]] = []
+        try:
+            for shard_id in shard_ids:
+                workers[shard_id].lock.acquire()
+                held.append(workers[shard_id])
+            for shard_id in shard_ids:
+                worker = workers[shard_id]
+                try:
+                    seq = worker.next_seq()
+                    worker.send((command, seq, payload))
+                except WorkerCrashedError as error:
+                    crashes.append((worker, error))
+                    continue
+                conversations.append((worker, seq))
+            for worker, seq in conversations:
+                try:
+                    status, body = worker.drain_stale(seq, self._timeout)
+                except WorkerCrashedError as error:
+                    crashes.append((worker, error))
+                    continue
+                except DispatchTimeoutError as error:
+                    # A broadcast is cheap; missing its deadline means the
+                    # worker is wedged — treat it like a death.
+                    crashes.append(
+                        (
+                            worker,
+                            WorkerCrashedError(
+                                "worker unresponsive during broadcast",
+                                shard_id=worker.shard_id,
+                                reason="broadcast-timeout",
+                            ),
+                        )
+                    )
+                    continue
+                if status != STATUS_OK:
+                    raise body
+                bodies[worker.shard_id] = body
+        finally:
+            for worker in held:
+                worker.lock.release()
+        for worker, error in crashes:
+            self._handle_crash(worker, error)
+            shard_id = worker.shard_id
+            if shard_id not in self.live_shards():
+                continue  # permanently dead: bodies[shard_id] stays None
+            replacement = self._workers[shard_id]
+            with replacement.lock:
+                if logged:
+                    # The replay already applied the command; fetch the
+                    # resulting state instead of applying it twice.
+                    bodies[shard_id] = self._converse(
+                        replacement, CMD_DESCRIBE, None, self.respawn_timeout
+                    )
+                else:
+                    bodies[shard_id] = self._converse(
+                        replacement, command, payload, self.respawn_timeout
+                    )
+        self.metrics.counter(names.SCALE_BROADCASTS).inc(1)
+        return bodies
+
+    # ------------------------------------------------------------------
+    # Heartbeat
+    # ------------------------------------------------------------------
+    def check_heartbeats(self) -> None:
+        """One liveness pass: ping every idle live shard, respawn the dead.
+
+        Shards whose conversation lock is busy are skipped (an active
+        dispatch proves the pipe is alive).  ``heartbeat_misses_to_kill``
+        consecutive silent pings escalate to terminate + respawn.  The
+        background prober calls this on its interval; tests may call it
+        directly for deterministic coverage.
+        """
+        with self._supervision_lock:
+            shard_ids = sorted(self._live)
+        for shard_id in shard_ids:
+            worker = self._workers[shard_id]
+            crashed: WorkerCrashedError | None = None
+            if worker.process.exitcode is not None:
+                crashed = WorkerCrashedError(
+                    "heartbeat found worker process dead",
+                    shard_id=shard_id,
+                    reason="heartbeat-exitcode",
+                )
+            else:
+                if not worker.lock.acquire(blocking=False):
+                    continue
+                try:
+                    self._converse(
+                        worker, CMD_PING, None, self.heartbeat_timeout
+                    )
+                    self._heartbeat_misses[shard_id] = 0
+                except DispatchTimeoutError:
+                    misses = self._heartbeat_misses.get(shard_id, 0) + 1
+                    self._heartbeat_misses[shard_id] = misses
+                    self.metrics.counter(
+                        names.SCALE_FAULT_HEARTBEAT_MISSES
+                    ).inc()
+                    if misses >= self.heartbeat_misses_to_kill:
+                        crashed = WorkerCrashedError(
+                            f"worker missed {misses} heartbeat ping(s)",
+                            shard_id=shard_id,
+                            reason="heartbeat",
+                        )
+                except WorkerCrashedError as error:
+                    crashed = error
+                finally:
+                    worker.lock.release()
+            if crashed is not None:
+                self._handle_crash(worker, crashed)
+
+    def _heartbeat_loop(self) -> None:  # pragma: no cover - timing-dependent
+        while not self._heartbeat_stop.wait(self.heartbeat_interval):
+            if self._closed:
+                break
+            try:
+                self.check_heartbeats()
+            except Exception:
+                # The prober must outlive any single bad pass; dispatch-time
+                # detection still covers whatever it missed.
+                pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, join_timeout: float = 5.0) -> None:
+        self._heartbeat_stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=join_timeout)
+            self._heartbeat_thread = None
+        super().close(join_timeout)

@@ -37,6 +37,7 @@ CMD_BATCH = "batch"
 CMD_REFIT = "refit"
 CMD_ADD_AGGREGATE = "add_aggregate"
 CMD_DESCRIBE = "describe"
+CMD_PING = "ping"
 CMD_SHUTDOWN = "shutdown"
 
 STATUS_OK = "ok"
@@ -82,17 +83,41 @@ class WorkerSpec:
         return themis
 
 
-def worker_main(spec: WorkerSpec, conn: "Connection", shard_id: int) -> None:
+def worker_main(
+    spec: WorkerSpec,
+    conn: "Connection",
+    shard_id: int,
+    fault_plan: Any = None,
+    incarnation: int = 0,
+) -> None:
     """Entry point of one worker process: serve commands until shutdown.
 
     Every request is answered — errors travel back as ``(seq, "error",
     exception)`` instead of killing the worker, so one malformed plan
     doesn't take down a shard.
+
+    ``fault_plan`` is this incarnation's slice of a deterministic
+    :class:`~repro.serving.scale.faults.FaultInjector` schedule (``None``
+    in production).  Scheduled kills leave through ``os._exit`` so no
+    ``finally``/``atexit`` machinery softens the crash — the parent sees
+    exactly what a segfault or OOM kill would look like: a dead pipe and a
+    non-zero exitcode.
     """
+    import os
+    import time as _time
+
+    from .faults import (
+        FAULT_EXIT_CODE,
+        KIND_DELAY_REPLY,
+        KIND_DROP_REPLY,
+        KIND_KILL_AT_BATCH,
+    )
+
     themis = spec.build_themis()
     session = themis.serve(**spec.session_options)
     executor = session._ensure_current()
     compiler = executor.model.sample_evaluator.engine.executor.compiler
+    batch_count = refit_count = ping_count = 0
 
     while True:
         try:
@@ -102,6 +127,10 @@ def worker_main(spec: WorkerSpec, conn: "Connection", shard_id: int) -> None:
 
         try:
             if command == CMD_BATCH:
+                batch_count += 1
+                fault = fault_plan.on_batch(batch_count) if fault_plan else None
+                if fault is not None and fault.kind == KIND_KILL_AT_BATCH:
+                    os._exit(FAULT_EXIT_CODE)
                 plans = [deserialize_plan(item, compiler) for item in payload]
                 batch = session.execute_batch([plan.query for plan in plans])
                 body = {
@@ -111,9 +140,18 @@ def worker_main(spec: WorkerSpec, conn: "Connection", shard_id: int) -> None:
                     "optimizer": dict(batch.optimizer or {}),
                     "cache_hits": batch.cache_hits,
                 }
+                if fault is not None and fault.kind == KIND_DELAY_REPLY:
+                    _time.sleep(fault.delay_seconds)
+                if fault is not None and fault.kind == KIND_DROP_REPLY:
+                    continue  # computed, never sent: the parent's deadline fires
                 conn.send((seq, STATUS_OK, body))
             elif command == CMD_REFIT:
+                refit_count += 1
                 themis.refit()
+                if fault_plan and fault_plan.on_refit(refit_count):
+                    # Die mid-refit: the model was rebuilt but the reply (and
+                    # the generation acknowledgement) never leaves.
+                    os._exit(FAULT_EXIT_CODE)
                 session._ensure_current()
                 conn.send((seq, STATUS_OK, {"generation": session.generation}))
             elif command == CMD_ADD_AGGREGATE:
@@ -127,8 +165,24 @@ def worker_main(spec: WorkerSpec, conn: "Connection", shard_id: int) -> None:
                         {
                             "shard_id": shard_id,
                             "generation": session.generation,
+                            "incarnation": incarnation,
                             "queries_served": session.statistics.queries_served,
                             "cache": session.cache_statistics(),
+                        },
+                    )
+                )
+            elif command == CMD_PING:
+                ping_count += 1
+                if fault_plan and fault_plan.on_ping(ping_count):
+                    continue  # alive but unresponsive: a heartbeat miss
+                conn.send(
+                    (
+                        seq,
+                        STATUS_OK,
+                        {
+                            "shard_id": shard_id,
+                            "generation": session.generation,
+                            "incarnation": incarnation,
                         },
                     )
                 )

@@ -270,6 +270,16 @@ class ServingStatistics:
         """Window ``argsort`` passes shared across a fused table family."""
         return self._optimizer_counter("window_sorts_shared")
 
+    @property
+    def dispatch_retries(self) -> int:
+        """Requests re-dispatched after a retryable serving failure.
+
+        Written by the scale tier (the supervised pool's retry loop and the
+        micro-batcher's re-enqueue path share the counter); always 0 for
+        in-process sessions, which have no crash/timeout retry path.
+        """
+        return self.metrics.value(names.SCALE_FAULT_RETRIES)
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
@@ -315,6 +325,7 @@ class ServingStatistics:
             "bn_points_batched": self.bn_points_batched,
             "bn_points_single": self.bn_points_single,
             "plans_optimized": self.plans_optimized,
+            "dispatch_retries": self.dispatch_retries,
             "optimizer": {
                 "plans_deduped": self.plans_deduped,
                 "predicates_pushed_down": self.predicates_pushed_down,
