@@ -133,6 +133,30 @@ class BatchedInference:
         return len(self._factors)
 
     @property
+    def cached_factor_bytes(self) -> int:
+        """Measured bytes of every cached factor table (exact + derived)."""
+        return sum(
+            int(factor.table.nbytes) + 96
+            for store in (self._factors, self._derived)
+            for factor in store.values()
+        )
+
+    def evict_factors(self, n: int) -> int:
+        """Evict up to ``n`` least-recently-used factors; bytes freed.
+
+        Derived factors go first (they are re-derivable from cheaper
+        marginalizations), then exact eliminated factors in LRU order.
+        """
+        freed = 0
+        evicted = 0
+        for store in (self._derived, self._factors):
+            while evicted < n and store:
+                _, factor = store.popitem(last=False)
+                freed += int(factor.table.nbytes) + 96
+                evicted += 1
+        return freed
+
+    @property
     def factor_cache_capacity(self) -> int:
         """Maximum number of eliminated factors kept (LRU beyond that)."""
         return self._capacity
@@ -255,7 +279,9 @@ class BatchedInference:
     # Batched queries
     # ------------------------------------------------------------------
     def probability_batch(
-        self, assignments: Sequence[Mapping[str, Any]]
+        self,
+        assignments: Sequence[Mapping[str, Any]],
+        cancel: "Any | None" = None,
     ) -> np.ndarray:
         """``Pr(X_J = a_J)`` for every assignment, sharing elimination work.
 
@@ -288,6 +314,10 @@ class BatchedInference:
             elif all(code >= 0 for code in codes.values()):
                 groups.setdefault(signature_of(codes), []).append(index)
         for signature, indices in groups.items():
+            # Chunk-boundary cancellation poll: one elimination pass per
+            # signature is the unit of work an expired deadline can skip.
+            if cancel is not None:
+                cancel.poll()
             factor = self.eliminated_factor(signature)
             results[indices] = self._restrict_many(
                 factor, [encoded[index] for index in indices]
@@ -451,7 +481,9 @@ class BatchedInference:
         return rows
 
     def probability_or_zero_batch(
-        self, assignments: Sequence[Mapping[str, Any]]
+        self,
+        assignments: Sequence[Mapping[str, Any]],
+        cancel: "Any | None" = None,
     ) -> np.ndarray:
         """Like :meth:`probability_batch` but unknown attributes yield 0.0."""
         in_schema: list[Mapping[str, Any]] = []
@@ -462,7 +494,7 @@ class BatchedInference:
                 keep.append(index)
         results = np.zeros(len(assignments), dtype=float)
         if in_schema:
-            results[keep] = self.probability_batch(in_schema)
+            results[keep] = self.probability_batch(in_schema, cancel=cancel)
         return results
 
     # ------------------------------------------------------------------

@@ -206,15 +206,20 @@ class BayesNetEvaluator(OpenWorldEvaluator):
         probability = self._inference.probability_or_zero(dict(assignment))
         return self._population_size * probability
 
-    def point_batch(self, assignments: Sequence[Mapping[str, Any]]) -> list[float]:
+    def point_batch(
+        self,
+        assignments: Sequence[Mapping[str, Any]],
+        cancel: "Any | None" = None,
+    ) -> list[float]:
         """Batched :meth:`point`: one elimination pass per evidence signature.
 
         Answers are bit-identical to calling :meth:`point` per assignment;
         the batched engine merely shares the variable-elimination work among
-        assignments fixing the same set of attributes.
+        assignments fixing the same set of attributes.  ``cancel`` is an
+        optional cancellation token polled between signature groups.
         """
         probabilities = self._inference.batched.probability_or_zero_batch(
-            [dict(assignment) for assignment in assignments]
+            [dict(assignment) for assignment in assignments], cancel=cancel
         )
         return [
             float(self._population_size * probability)
@@ -495,13 +500,18 @@ class HybridEvaluator(OpenWorldEvaluator):
             return self._sample_evaluator.point(assignment)
         return self._bn_evaluator.point(assignment)
 
-    def point_batch(self, assignments: Sequence[Mapping[str, Any]]) -> list[float]:
+    def point_batch(
+        self,
+        assignments: Sequence[Mapping[str, Any]],
+        cancel: "Any | None" = None,
+    ) -> list[float]:
         """Batched :meth:`point` with the hybrid's per-tuple routing.
 
         In-sample tuples are answered from the reweighted sample one by one
         (cheap mask evaluations); all out-of-sample tuples are answered in
         one batched BN inference call sharing elimination passes.  Answers
         are bit-identical to calling :meth:`point` per assignment.
+        ``cancel`` is polled between signature groups on the BN side.
         """
         results: list[float] = [0.0] * len(assignments)
         missing_indices: list[int] = []
@@ -512,7 +522,7 @@ class HybridEvaluator(OpenWorldEvaluator):
                 missing_indices.append(index)
         if missing_indices:
             answers = self._bn_evaluator.point_batch(
-                [assignments[index] for index in missing_indices]
+                [assignments[index] for index in missing_indices], cancel=cancel
             )
             for index, answer in zip(missing_indices, answers):
                 results[index] = answer

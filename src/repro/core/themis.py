@@ -404,7 +404,10 @@ class Themis:
         return self._run_plan(self.plan(statement))
 
     def query(
-        self, statement: str | Query, explain: bool | str = False
+        self,
+        statement: str | Query,
+        explain: bool | str = False,
+        deadline: float | None = None,
     ) -> float | QueryResult | "ExplainedResult":
         """Answer a SQL string or an AST query (the uniform entry point).
 
@@ -418,7 +421,17 @@ class Themis:
         span tree as ``.trace`` — compile and execute stages with wall-time,
         kernel/mask/cache counters — rendered by :meth:`ExplainedResult
         .explain_analyze`.
+
+        ``deadline`` (seconds) bounds the call cooperatively: the budget is
+        checked at the compile/execute boundaries and an expired one raises
+        a typed :class:`~repro.exceptions.DeadlineExceededError` (batch and
+        serving paths poll deeper, per execution chunk).
         """
+        token = None
+        if deadline is not None:
+            from ..serving.governance import resolve_cancel_token
+
+            token = resolve_cancel_token(None, deadline)
         if explain == "analyze":
             from ..obs.trace import Tracer
 
@@ -427,12 +440,16 @@ class Themis:
                 with tracer.span("compile"):
                     plan = self.plan(statement)
                 root.set(route=plan.route, shape=plan.shape)
+                if token is not None:
+                    token.poll()
                 with tracer.span("execute", route=plan.route):
                     result = self._run_plan(plan, tracer=tracer)
             return ExplainedResult(
                 result=result, plan=plan.logical, route=plan.route, trace=root
             )
         plan = self.plan(statement)
+        if token is not None:
+            token.poll()
         result = self._run_plan(plan)
         if not explain:
             return result
@@ -462,7 +479,9 @@ class Themis:
 
         return ServingSession(self, **session_options)
 
-    def execute_batch(self, queries: Sequence[str | Query]) -> "BatchResult":
+    def execute_batch(
+        self, queries: Sequence[str | Query], deadline: float | None = None
+    ) -> "BatchResult":
         """Serve a batch of SQL strings and/or ASTs through a shared session.
 
         The session (and its caches) persists across calls and survives until
@@ -481,4 +500,4 @@ class Themis:
         """
         if self._serving_session is None:
             self._serving_session = self.serve()
-        return self._serving_session.execute_batch(queries)
+        return self._serving_session.execute_batch(queries, deadline=deadline)

@@ -65,6 +65,53 @@ class WireFormatError(ThemisError):
     """
 
 
+class QueryCancelledError(ThemisError):
+    """Raised when a query's cancellation token fired mid-execution.
+
+    Cooperative: executors poll the token at chunk boundaries (per schedule
+    unit, per evidence-signature group, per batch stage), so cancellation
+    lands between kernels and never leaves a cache or sibling result in a
+    half-written state.  Terminal — retrying a cancelled request without a
+    new token would be cancelled again.
+    """
+
+    def __init__(self, message: str, reason: str | None = None):
+        self.reason = reason
+        if reason is not None:
+            message = f"{message} (reason={reason})"
+        super().__init__(message)
+
+
+class DeadlineExceededError(QueryCancelledError):
+    """Raised when a query's deadline budget expired mid-execution.
+
+    A :class:`QueryCancelledError` whose reason is time: ``budget`` is the
+    total seconds the request was given and ``elapsed`` how many had passed
+    when a chunk-boundary poll noticed.  Terminal for the request that
+    carried the deadline; the caller may resubmit with a fresh one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget: float | None = None,
+        elapsed: float | None = None,
+    ):
+        self.budget = budget
+        self.elapsed = elapsed
+        details = []
+        if budget is not None:
+            details.append(f"budget={budget:.3f}s")
+        if elapsed is not None:
+            details.append(f"elapsed={elapsed:.3f}s")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        # Skip QueryCancelledError's reason-formatting __init__; the detail
+        # string above already says why.
+        ThemisError.__init__(self, message)
+        self.reason = "deadline"
+
+
 class RetryableServingError(ThemisError):
     """Marker base for serving failures that may succeed on re-submission.
 
@@ -102,6 +149,57 @@ class ServingOverloadError(ThemisError):
         if details:
             message = f"{message} ({', '.join(details)})"
         super().__init__(message)
+
+
+class AdmissionRejectedError(ServingOverloadError):
+    """Raised when admission control sheds a request before it queues.
+
+    The front-end's priority-aware admission controller rejects the
+    lowest-priority work first when the queue or token bucket runs out of
+    headroom.  Terminal for this submission — but ``retry_after_hint``
+    (seconds) tells a well-behaved client when capacity should exist again,
+    and ``priority`` names the class the request was submitted under.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        priority: str | None = None,
+        retry_after_hint: float | None = None,
+        queue_depth: int | None = None,
+    ):
+        self.priority = priority
+        self.retry_after_hint = retry_after_hint
+        details = []
+        if priority is not None:
+            details.append(f"priority={priority}")
+        if retry_after_hint is not None:
+            details.append(f"retry_after_hint={retry_after_hint:.3f}s")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message, queue_depth=queue_depth)
+
+
+class CircuitOpenError(ServingOverloadError, RetryableServingError):
+    """Raised when a shard's circuit breaker is open and rejects dispatch.
+
+    The breaker opened because the shard's recent error rate crossed its
+    threshold; traffic is rejected *before* burning a dispatch timeout on a
+    sick-but-not-dead worker.  Retryable: after ``retry_after_hint`` seconds
+    the breaker admits a half-open probe, and other shards may already be
+    healthy.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: int | None = None,
+        retry_after_hint: float | None = None,
+    ):
+        self.retry_after_hint = retry_after_hint
+        if retry_after_hint is not None:
+            message = f"{message} (retry_after_hint={retry_after_hint:.3f}s)"
+        super().__init__(message, shard_id=shard_id)
 
 
 class DispatchTimeoutError(ServingOverloadError, RetryableServingError):

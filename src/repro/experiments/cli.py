@@ -45,6 +45,7 @@ def _build_registry() -> None:
     from .fig15_pruning import run_pruning
     from .fault_tolerance import run_fault_tolerance
     from .fig16_time_accuracy import run_time_accuracy
+    from .governance import run_governance
     from .join_fusion_throughput import run_join_fusion
     from .obs_report import run_obs
     from .plan_fusion_throughput import run_plan_fusion
@@ -79,6 +80,7 @@ def _build_registry() -> None:
     _register("serving", lambda scale: run_serving_throughput(scale))
     _register("serving_scale", lambda scale: run_serving_scale(scale))
     _register("fault_tolerance", lambda scale: run_fault_tolerance(scale))
+    _register("governance", lambda scale: run_governance(scale))
     _register("bn_batch", lambda scale: run_bn_batch(scale))
     _register("plan_ir", lambda scale: run_plan_ir(scale))
     _register("plan_fusion", lambda scale: run_plan_fusion(scale))

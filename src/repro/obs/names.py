@@ -143,6 +143,47 @@ SCALE_FAULT_DEGRADED_REQUESTS = "scale.faults.degraded_requests"
 SCALE_RESPAWN_SECONDS = "latency.scale.respawn_seconds"
 
 
+# ---------------------------------------------------------------------------
+# Resource governance (memory governor, admission control, circuit breakers)
+# ---------------------------------------------------------------------------
+#: Common prefix of every governance metric.
+GOVERNANCE_PREFIX = "governance."
+#: Total governed cache bytes (gauge, sampled at every ``maintain()``).
+GOVERNANCE_CACHE_BYTES = "governance.cache_bytes"
+#: Highest total governed cache bytes ever observed (gauge).
+GOVERNANCE_CACHE_BYTES_HIGH_WATER = "governance.cache_bytes_high_water"
+#: The configured memory budget in bytes (gauge, set once).
+GOVERNANCE_BUDGET_BYTES = "governance.budget_bytes"
+#: Current pressure tier as an integer level: ok=0 soft=1 hard=2 critical=3.
+GOVERNANCE_PRESSURE_LEVEL = "governance.pressure_level"
+#: Entries evicted by the governor's pressure-relief passes.
+GOVERNANCE_EVICTIONS = "governance.evictions"
+#: Measured bytes freed by governor evictions and flushes.
+GOVERNANCE_EVICTED_BYTES = "governance.evicted_bytes"
+#: Critical-tier flush events (every governed cache dropped at once).
+GOVERNANCE_FLUSHES = "governance.flushes"
+#: Cache insertions refused because the governor denied admission.
+GOVERNANCE_CACHE_ADMISSION_REJECTIONS = "governance.cache_admission_rejections"
+#: Requests admitted by the front-end admission controller.
+GOVERNANCE_REQUESTS_ADMITTED = "governance.requests_admitted"
+#: Requests shed by the admission controller (all priorities).
+GOVERNANCE_REQUESTS_REJECTED = "governance.requests_rejected"
+#: Per-priority shed counters are ``governance.rejected.<priority>``.
+GOVERNANCE_REJECTED_PREFIX = "governance.rejected."
+#: Queries cancelled via an explicit CancelToken.
+GOVERNANCE_CANCELLED = "governance.cancelled"
+#: Queries that died on an expired deadline mid-execution.
+GOVERNANCE_DEADLINE_EXCEEDED = "governance.deadline_exceeded"
+#: Per-shard circuit breakers transitioning closed -> open.
+GOVERNANCE_BREAKER_OPENED = "governance.breaker.opened"
+#: Dispatches refused because a breaker was open.
+GOVERNANCE_BREAKER_REJECTIONS = "governance.breaker.rejections"
+#: Half-open probe dispatches admitted through an open breaker.
+GOVERNANCE_BREAKER_PROBES = "governance.breaker.half_open_probes"
+#: Per-cache governed byte gauges are ``governance.cache.<name>.bytes``.
+GOVERNANCE_CACHE_GAUGE_PREFIX = "governance.cache."
+
+
 def route_counter(route: str) -> str:
     """The registry counter name for one served route."""
     return ROUTE_PREFIX + route
@@ -166,3 +207,13 @@ def stage_histogram(stage: str) -> str:
 def shard_counter(shard_id: int) -> str:
     """The registry counter name for one shard's plan occupancy."""
     return f"{SCALE_SHARD_PREFIX}{shard_id}.plans"
+
+
+def governed_cache_gauge(cache: str) -> str:
+    """The registry gauge name for one governed cache's byte size."""
+    return f"{GOVERNANCE_CACHE_GAUGE_PREFIX}{cache}.bytes"
+
+
+def rejected_counter(priority: str) -> str:
+    """The registry counter name for one priority class's shed requests."""
+    return GOVERNANCE_REJECTED_PREFIX + priority

@@ -150,6 +150,7 @@ class ColumnarExecutor:
         optimize: bool = True,
         stats: OptimizerStats | None = None,
         tracer=NULL_TRACER,
+        cancel=None,
     ) -> list:
         """Execute a batch of plans through the batch-aware optimizer.
 
@@ -168,7 +169,10 @@ class ColumnarExecutor:
         compile/optimize/unit span tree: one span per execution unit with
         mask and kernel children, plus one structural ``slot`` child per
         scheduled plan (deduplicated inputs appear as ``fan-out``
-        grandchildren).
+        grandchildren).  ``cancel`` is an optional
+        :class:`~repro.serving.governance.CancelToken` polled between
+        execution units (and between plans on the unoptimized path); an
+        expired deadline raises mid-batch without corrupting sibling state.
         """
         if tracer.enabled:
             with tracer.span("compile", queries=len(queries)):
@@ -184,10 +188,22 @@ class ColumnarExecutor:
                 for query in queries
             ]
         if not optimize:
-            return [self.execute(plan, tracer) for plan in plans]
+            results = []
+            for plan in plans:
+                if cancel is not None:
+                    cancel.poll()
+                results.append(self.execute(plan, tracer))
+            return results
         schedule = optimize_batch(plans, stats, tracer=tracer)
         slot_results: list = [None] * len(schedule.slots)
         for unit in schedule.units:
+            # Chunk-boundary cancellation poll: a schedule unit (one fused
+            # scatter-add family / one shared-mask scalar pass) is the unit
+            # of work an expired deadline abandons.  Polling *between* units
+            # means a cancelled batch never leaves a unit half-executed, so
+            # sibling results and caches stay coherent.
+            if cancel is not None:
+                cancel.poll()
             with tracer.span(f"unit:{unit.kind}", slots=len(unit.slots)) as span:
                 self._run_unit(unit, schedule, slot_results, stats, tracer)
                 if tracer.enabled:

@@ -51,6 +51,8 @@ class MaskCache:
         self._generation = int(generation)
         self._capacity = int(capacity)
         self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self.governor: "object | None" = None
         self.hits = 0
         self.misses = 0
 
@@ -58,6 +60,20 @@ class MaskCache:
     def relation(self) -> Relation:
         """The relation masks are evaluated over."""
         return self._relation
+
+    @property
+    def byte_size(self) -> int:
+        """Measured bytes of every cached mask buffer."""
+        return self._bytes
+
+    def evict_entries(self, n: int) -> int:
+        """Evict up to ``n`` least-recently-used masks; bytes freed."""
+        freed = 0
+        for _ in range(min(n, len(self._store))):
+            _, mask = self._store.popitem(last=False)
+            freed += int(mask.nbytes) + 96
+        self._bytes -= freed
+        return freed
 
     @property
     def generation(self) -> int:
@@ -81,9 +97,15 @@ class MaskCache:
 
     def _insert(self, key: tuple, mask: np.ndarray) -> np.ndarray:
         self.misses += 1
+        nbytes = int(mask.nbytes) + 96
+        governor = self.governor
+        if governor is not None and not governor.admit(nbytes):
+            return mask
         self._store[key] = mask
+        self._bytes += nbytes
         if len(self._store) > self._capacity:
-            self._store.popitem(last=False)
+            _, evicted = self._store.popitem(last=False)
+            self._bytes -= int(evicted.nbytes) + 96
         return mask
 
     def predicate_mask(self, predicate: CanonicalPredicate) -> np.ndarray:
@@ -118,6 +140,7 @@ class MaskCache:
     def invalidate(self, generation: int | None = None) -> None:
         """Drop every mask (and optionally move to a new generation)."""
         self._store.clear()
+        self._bytes = 0
         if generation is not None:
             self._generation = int(generation)
         else:
@@ -446,6 +469,9 @@ class JoinSideCache:
             raise ValueError("join-side cache capacity must be positive")
         self._capacity = int(capacity)
         self._store: OrderedDict[tuple, dict] = OrderedDict()
+        self._sizes: dict[tuple, int] = {}
+        self._bytes = 0
+        self.governor: "object | None" = None
         self.hits = 0
         self.misses = 0
 
@@ -453,6 +479,20 @@ class JoinSideCache:
     def capacity(self) -> int:
         """Maximum number of cached sides (LRU eviction beyond that)."""
         return self._capacity
+
+    @property
+    def byte_size(self) -> int:
+        """Measured bytes of every cached side-totals dict."""
+        return self._bytes
+
+    def evict_entries(self, n: int) -> int:
+        """Evict up to ``n`` least-recently-used sides; bytes freed."""
+        freed = 0
+        for _ in range(min(n, len(self._store))):
+            key, _ = self._store.popitem(last=False)
+            freed += self._sizes.pop(key, 0)
+        self._bytes -= freed
+        return freed
 
     def __len__(self) -> int:
         return len(self._store)
@@ -469,10 +509,24 @@ class JoinSideCache:
 
     def put(self, key: tuple, totals: dict[tuple[Any, ...], float]) -> None:
         """Cache one side's totals, evicting the least recently used entry."""
+        # Flat per-entry estimate: key tuples are short; each totals entry is
+        # a (group-key tuple, float) pair.  Cheaper than a deep measure and
+        # monotone in the real footprint, which is all the governor needs.
+        nbytes = 128 + 96 * len(totals)
+        governor = self.governor
+        if governor is not None and not governor.admit(nbytes):
+            self._store.pop(key, None)
+            self._bytes -= self._sizes.pop(key, 0)
+            return
+        if key in self._store:
+            self._bytes -= self._sizes.pop(key, 0)
         self._store[key] = totals
+        self._sizes[key] = nbytes
+        self._bytes += nbytes
         self._store.move_to_end(key)
         if len(self._store) > self._capacity:
-            self._store.popitem(last=False)
+            evicted, _ = self._store.popitem(last=False)
+            self._bytes -= self._sizes.pop(evicted, 0)
 
     def entries(self) -> list[tuple]:
         """The cached side signatures, least to most recently used.
@@ -485,6 +539,8 @@ class JoinSideCache:
     def invalidate(self) -> None:
         """Drop every cached side (statistics are kept)."""
         self._store.clear()
+        self._sizes.clear()
+        self._bytes = 0
 
     def statistics(self) -> dict[str, int | float]:
         """Hit/miss counters plus the number of cached sides."""

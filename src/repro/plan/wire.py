@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from ..exceptions import WireFormatError
+from ..exceptions import QueryError, ThemisError, WireFormatError
 from ..query.ast import (
     AggregateFunction,
     AggregateSpec,
@@ -372,7 +372,7 @@ def deserialize_node(payload: dict[str, Any]) -> Any:
         raise WireFormatError(f"unknown plan node tag {tag!r}")
     try:
         return deserializer(payload)
-    except (KeyError, TypeError, ValueError) as error:
+    except (KeyError, TypeError, ValueError, QueryError) as error:
         raise WireFormatError(
             f"malformed {tag!r} node payload: {error}"
         ) from error
@@ -559,7 +559,10 @@ def deserialize_query(payload: dict[str, Any]) -> Query:
                 ),
                 limit=payload["limit"],
             )
-    except (KeyError, TypeError, ValueError) as error:
+    except (KeyError, TypeError, ValueError, QueryError) as error:
+        # QueryError included: the AST constructors validate their own
+        # invariants (non-empty GROUP BY, integer LIMIT, ...), and a payload
+        # that decodes into an invalid AST is a malformed payload.
         raise WireFormatError(f"malformed {tag!r} query payload: {error}") from error
     raise WireFormatError(f"unknown query tag {tag!r}")
 
@@ -633,7 +636,15 @@ def deserialize_plan(
             query=query, root=root, shape=shape, key=key, sql=sql, labels=labels
         )
 
-    recompiled = compiler.compile(query)
+    try:
+        recompiled = compiler.compile(query)
+    except ThemisError as error:
+        # The decoded AST is well-formed but this process cannot compile it
+        # (unknown attribute, incompatible domain, ...): the sender and
+        # receiver disagree about the schema, which is a wire-level error.
+        raise WireFormatError(
+            f"decoded query does not compile against the receiver schema: {error}"
+        ) from error
     if recompiled.key != key:
         raise WireFormatError(
             f"canonical plan key mismatch: sender serialized {key!r} but this "

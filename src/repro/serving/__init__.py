@@ -25,11 +25,34 @@ into a reusable query service for high-throughput workloads:
   :class:`~repro.serving.scale.ShardedWorkerPool` — N worker processes, each
   owning one ``ServingSession`` and the slice of canonical plan keys a
   consistent-hash router assigns it, fed through the versioned plan wire
-  format (:mod:`repro.plan.wire`) with coherent ``refit()`` broadcast.
+  format (:mod:`repro.plan.wire`) with coherent ``refit()`` broadcast;
+* :mod:`repro.serving.governance` — end-to-end resource governance:
+  deadline propagation and cooperative cancellation
+  (:class:`~repro.serving.governance.Deadline` /
+  :class:`~repro.serving.governance.CancelToken`), memory-budgeted caches
+  with pressure-tiered eviction
+  (:class:`~repro.serving.governance.MemoryGovernor`), priority-aware
+  admission control
+  (:class:`~repro.serving.governance.AdmissionController`), and per-shard
+  circuit breaking (:class:`~repro.serving.governance.CircuitBreaker`).
 """
 
 from .cache import CacheStatistics, InferenceCache, LRUCache, PlanCache, ResultCache
 from .executor import BatchExecutor
+from .governance import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    AdmissionController,
+    CancelToken,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    Deadline,
+    GovernedCache,
+    MemoryGovernor,
+    TokenBucket,
+    measured_bytes,
+)
 from .planner import (
     ROUTE_BAYES_NET,
     ROUTE_HYBRID,
@@ -52,9 +75,21 @@ from .scale import (
 )
 
 __all__ = [
+    "AdmissionController",
     "AsyncServingFrontend",
     "BatchExecutor",
+    "CancelToken",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "Deadline",
     "FaultInjector",
+    "GovernedCache",
+    "MemoryGovernor",
+    "PRIORITY_BACKGROUND",
+    "PRIORITY_BATCH",
+    "PRIORITY_INTERACTIVE",
+    "TokenBucket",
+    "measured_bytes",
     "MicroBatcher",
     "ShardRouter",
     "ShardedWorkerPool",

@@ -87,14 +87,30 @@ class CacheStatistics:
 
 
 class LRUCache:
-    """A small least-recently-used cache with hit/miss accounting."""
+    """A small least-recently-used cache with hit/miss and byte accounting.
+
+    Every stored value is measured (:func:`~repro.serving.governance
+    .measured_bytes`) at insertion so the cache can report a byte size to a
+    :class:`~repro.serving.governance.MemoryGovernor`.  When a ``governor``
+    is attached, insertions consult ``governor.admit(nbytes)`` first — a
+    rejected admission simply skips caching (the value was already computed;
+    only the memo is shed).
+    """
 
     def __init__(self, capacity: int = 256):
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = int(capacity)
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self._bytes = 0
+        self.governor: Any | None = None
         self.statistics = CacheStatistics()
+
+    @property
+    def byte_size(self) -> int:
+        """Measured bytes of every stored value (an RSS proxy, not exact)."""
+        return self._bytes
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -124,13 +140,43 @@ class LRUCache:
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert ``key``, evicting the least recently used entry if full."""
+        """Insert ``key``, evicting the least recently used entry if full.
+
+        With a governor attached, the measured entry is first offered for
+        admission; a refusal skips the insert (and drops any stale value
+        already stored under the key, so a rejected overwrite cannot leave
+        an outdated memo behind).
+        """
+        from .governance import measured_bytes
+
+        nbytes = measured_bytes(value)
+        if self.governor is not None and not self.governor.admit(nbytes):
+            self._drop(key)
+            return
         if key in self._entries:
-            self._entries.move_to_end(key)
+            self._drop(key)
         self._entries[key] = value
+        self._sizes[key] = nbytes
+        self._bytes += nbytes
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._bytes -= self._sizes.pop(evicted, 0)
             self.statistics.evictions += 1
+
+    def _drop(self, key: Hashable) -> None:
+        if key in self._entries:
+            del self._entries[key]
+            self._bytes -= self._sizes.pop(key, 0)
+
+    def evict_entries(self, n: int) -> int:
+        """Evict up to ``n`` least-recently-used entries; bytes freed."""
+        freed = 0
+        for _ in range(min(n, len(self._entries))):
+            key, _ = self._entries.popitem(last=False)
+            freed += self._sizes.pop(key, 0)
+            self.statistics.evictions += 1
+        self._bytes -= freed
+        return freed
 
     def keys(self) -> list[Hashable]:
         """Keys from least to most recently used."""
@@ -148,6 +194,8 @@ class LRUCache:
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._entries.clear()
+        self._sizes.clear()
+        self._bytes = 0
 
 
 class ResultCache:
@@ -161,6 +209,23 @@ class ResultCache:
     def statistics(self) -> CacheStatistics:
         """Hit/miss counters of the underlying LRU."""
         return self._cache.statistics
+
+    @property
+    def byte_size(self) -> int:
+        """Measured bytes of every cached answer."""
+        return self._cache.byte_size
+
+    @property
+    def governor(self) -> Any | None:
+        return self._cache.governor
+
+    @governor.setter
+    def governor(self, governor: Any | None) -> None:
+        self._cache.governor = governor
+
+    def evict_entries(self, n: int) -> int:
+        """Evict up to ``n`` cold answers (LRU order); bytes freed."""
+        return self._cache.evict_entries(n)
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -292,21 +357,41 @@ class InferenceCache:
         """``n * Pr(X = x)`` by exact inference over a cached joint factor."""
         return self.point_batch([assignment])[0]
 
-    def point_batch(self, assignments: Sequence[Mapping[str, Any]]) -> list[float]:
+    def point_batch(
+        self,
+        assignments: Sequence[Mapping[str, Any]],
+        cancel: "Any | None" = None,
+    ) -> list[float]:
         """Batched point answers: one elimination pass per evidence signature.
 
         Bit-identical to calling ``evaluator.point()`` per assignment — the
         batched engine is the same code path with the per-assignment factor
         restriction vectorized.  Factor-cache hits/misses observed during
-        the call are folded into :attr:`statistics`.
+        the call are folded into :attr:`statistics`.  ``cancel`` is a
+        :class:`~repro.serving.governance.CancelToken` polled by the engine
+        between evidence-signature groups.
         """
         engine = self.engine
         hits_before = engine.factor_cache_hits
         misses_before = engine.factor_cache_misses
-        values = self.evaluator.point_batch(assignments)
-        self.statistics.hits += engine.factor_cache_hits - hits_before
-        self.statistics.misses += engine.factor_cache_misses - misses_before
+        try:
+            values = self.evaluator.point_batch(assignments, cancel=cancel)
+        finally:
+            self.statistics.hits += engine.factor_cache_hits - hits_before
+            self.statistics.misses += engine.factor_cache_misses - misses_before
         return values
+
+    @property
+    def byte_size(self) -> int:
+        """Measured bytes of the engine's cached eliminated factors."""
+        return self.engine.cached_factor_bytes
+
+    def evict_entries(self, n: int) -> int:
+        """Evict up to ``n`` cold eliminated factors; bytes freed."""
+        before = self.engine.cached_factor_count
+        freed = self.engine.evict_factors(n)
+        self.statistics.evictions += before - self.engine.cached_factor_count
+        return freed
 
     def marginal(self, node: str):
         """Memoized exact marginal distribution of one BN node."""

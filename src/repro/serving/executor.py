@@ -26,6 +26,7 @@ from collections.abc import Sequence
 from dataclasses import replace
 
 from ..core.model import ThemisModel
+from ..exceptions import DeadlineExceededError, QueryCancelledError
 from ..obs import names
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER
@@ -197,9 +198,20 @@ class BatchExecutor:
     # Batch execution
     # ------------------------------------------------------------------
     def execute_batch(
-        self, queries: Sequence[Query | str], tracer=NULL_TRACER
+        self, queries: Sequence[Query | str], tracer=NULL_TRACER, cancel=None
     ) -> BatchResult:
         """Plan, group, and serve a batch, returning answers in input order.
+
+        ``cancel`` governs the batch cooperatively: a single
+        :class:`~repro.serving.governance.CancelToken` covers the whole
+        batch — polled at every stage boundary and threaded into the
+        columnar schedule (per execution unit) and the batched BN dispatch
+        (per evidence signature), so an expired deadline raises a typed
+        :class:`~repro.exceptions.DeadlineExceededError` mid-execution.  A
+        *sequence* of tokens (one per query, ``None`` for ungoverned slots)
+        instead cancels per query: fired tokens get error outcomes
+        (``QueryOutcome.cancelled``) while their fused siblings execute
+        normally and stay bit-identical to an uncancelled run.
 
         Plans are bucketed by group signature so queries over the same
         columns run consecutively; if any plan in the batch touches the BN's
@@ -221,15 +233,53 @@ class BatchExecutor:
         registry's ``latency.stage.*`` histograms whether or not the batch
         is traced.
         """
-        with tracer.span("batch", n_queries=len(queries)) as root:
-            batch = self._execute_batch(queries, tracer)
+        try:
+            with tracer.span("batch", n_queries=len(queries)) as root:
+                batch = self._execute_batch(queries, tracer, cancel)
+        except DeadlineExceededError:
+            self._metrics.counter(names.GOVERNANCE_DEADLINE_EXCEEDED).inc()
+            raise
+        except QueryCancelledError:
+            self._metrics.counter(names.GOVERNANCE_CANCELLED).inc()
+            raise
         if tracer.enabled:
             batch.trace = root
         return batch
 
+    def _cancelled_outcome(self, index: int, plan: QueryPlan, token) -> QueryOutcome:
+        """An error outcome for one per-query token that already fired."""
+        try:
+            token.poll()
+            error: BaseException = QueryCancelledError("query cancelled")
+        except (DeadlineExceededError, QueryCancelledError) as fired:
+            error = fired
+        name = (
+            names.GOVERNANCE_DEADLINE_EXCEEDED
+            if isinstance(error, DeadlineExceededError)
+            else names.GOVERNANCE_CANCELLED
+        )
+        self._metrics.counter(name).inc()
+        return QueryOutcome(
+            index=index, plan=plan, result=None, error=error, cancelled=True
+        )
+
     def _execute_batch(
-        self, queries: Sequence[Query | str], tracer=NULL_TRACER
+        self, queries: Sequence[Query | str], tracer=NULL_TRACER, cancel=None
     ) -> BatchResult:
+        # Normalize the cancellation argument: one token for the whole
+        # batch, or one (possibly None) token per query.
+        batch_token = None
+        per_query: Sequence | None = None
+        if cancel is not None:
+            if isinstance(cancel, (list, tuple)):
+                if len(cancel) != len(queries):
+                    raise ValueError(
+                        f"got {len(cancel)} cancel tokens for "
+                        f"{len(queries)} queries"
+                    )
+                per_query = cancel
+            else:
+                batch_token = cancel
         batch_start = time.perf_counter()
         with tracer.span(names.STAGE_COMPILE, queries=len(queries)) as span:
             if tracer.enabled:
@@ -239,6 +289,24 @@ class BatchExecutor:
                 delta = self._plan_cache.statistics.since(plan_stats)
                 span.count(plan_cache_hits=delta.hits, plan_cache_misses=delta.misses)
         compile_seconds = time.perf_counter() - batch_start
+
+        # Stage boundary: an expired batch deadline aborts before any
+        # dispatch work; fired per-query tokens drop out of the batch here
+        # (their fused siblings keep executing, results untouched).
+        if batch_token is not None:
+            batch_token.poll()
+        cancelled_outcomes: dict[int, QueryOutcome] = {}
+        if per_query is not None:
+            for index, token in enumerate(per_query):
+                if token is not None and token.cancelled:
+                    cancelled_outcomes[index] = self._cancelled_outcome(
+                        index, plans[index], token
+                    )
+        live_keys = {
+            plan.key
+            for index, plan in enumerate(plans)
+            if index not in cancelled_outcomes
+        }
 
         # Group plan indices by signature, preserving first-appearance order.
         with tracer.span(names.STAGE_ROUTE):
@@ -250,7 +318,13 @@ class BatchExecutor:
         # (Exactly-lowered BN scalars never touch the generated samples, so
         # they do not trigger the warm-up in exact mode.)
         amortized_seconds = 0.0
-        if any(self._plan_needs_samples(plan) for plan in plans):
+        if any(
+            self._plan_needs_samples(plan)
+            for index, plan in enumerate(plans)
+            if index not in cancelled_outcomes
+        ):
+            if batch_token is not None:
+                batch_token.poll()
             warm_start = time.perf_counter()
             with tracer.span(names.STAGE_WARM_SAMPLES):
                 self._inference_cache.warm_samples()
@@ -262,7 +336,11 @@ class BatchExecutor:
         pending: dict[tuple, Query] = {}
         pending_scalars: dict[tuple, object] = {}  # Query or compiled LogicalPlan
         for plan in plans:
-            if plan.route != ROUTE_BAYES_NET or self._result_cache.peek(plan.key) is not None:
+            if (
+                plan.route != ROUTE_BAYES_NET
+                or plan.key not in live_keys
+                or self._result_cache.peek(plan.key) is not None
+            ):
                 continue
             if isinstance(plan.query, PointQuery):
                 pending.setdefault(plan.key, plan.query)
@@ -277,6 +355,8 @@ class BatchExecutor:
         bn_batch_seconds = 0.0
         bn_passes = 0
         if pending or pending_scalars:
+            if batch_token is not None:
+                batch_token.poll()
             dispatch_start = time.perf_counter()
             engine = self._inference_cache.engine
             passes_before = engine.elimination_passes
@@ -293,10 +373,13 @@ class BatchExecutor:
                 try:
                     if pending:
                         answers = self._inference_cache.point_batch(
-                            [query.as_dict() for query in pending.values()]
+                            [query.as_dict() for query in pending.values()],
+                            cancel=batch_token,
                         )
                         precomputed.update(zip(pending.keys(), answers))
                     if pending_scalars:
+                        if batch_token is not None:
+                            batch_token.poll()
                         # One lowering call for every exactly-lowered scalar plan:
                         # factors over shared variable sets eliminate once, subsets
                         # derive from already-eliminated prefixes.
@@ -347,6 +430,7 @@ class BatchExecutor:
             for plan in plans:
                 if (
                     plan.logical is None
+                    or plan.key not in live_keys
                     or plan.key in precomputed
                     or self._result_cache.peek(plan.key) is not None
                 ):
@@ -365,6 +449,8 @@ class BatchExecutor:
                 or pending_hybrid_joins
                 or pending_hybrid_tables
             ):
+                if batch_token is not None:
+                    batch_token.poll()
                 dispatch_start = time.perf_counter()
                 with tracer.span(
                     names.STAGE_COLUMNAR,
@@ -378,9 +464,12 @@ class BatchExecutor:
                             [plan.logical for plan in pending_columnar.values()],
                             stats=optimizer_stats,
                             tracer=tracer,
+                            cancel=batch_token,
                         )
                         precomputed.update(zip(pending_columnar.keys(), answers))
                     if pending_hybrid_groups:
+                        if batch_token is not None:
+                            batch_token.poll()
                         answers = self._model.hybrid_evaluator.group_by_batch(
                             [plan.logical for plan in pending_hybrid_groups.values()],
                             stats=optimizer_stats,
@@ -388,6 +477,8 @@ class BatchExecutor:
                         )
                         precomputed.update(zip(pending_hybrid_groups.keys(), answers))
                     if pending_hybrid_joins:
+                        if batch_token is not None:
+                            batch_token.poll()
                         answers = self._model.hybrid_evaluator.join_group_by_batch(
                             [plan.logical for plan in pending_hybrid_joins.values()],
                             stats=optimizer_stats,
@@ -395,6 +486,8 @@ class BatchExecutor:
                         )
                         precomputed.update(zip(pending_hybrid_joins.keys(), answers))
                     if pending_hybrid_tables:
+                        if batch_token is not None:
+                            batch_token.poll()
                         answers = self._model.hybrid_evaluator.table_batch(
                             [plan.logical for plan in pending_hybrid_tables.values()],
                             stats=optimizer_stats,
@@ -419,6 +512,9 @@ class BatchExecutor:
             for indices in grouped.values():
                 for index in indices:
                     plan = plans[index]
+                    if index in cancelled_outcomes:
+                        outcomes[index] = cancelled_outcomes[index]
+                        continue
                     first = served.get(plan.key)
                     if first is not None:
                         outcomes[index] = QueryOutcome(
@@ -449,6 +545,8 @@ class BatchExecutor:
                             optimized=plan.key in optimized_keys,
                         )
                     else:
+                        if batch_token is not None:
+                            batch_token.poll()
                         start = time.perf_counter()
                         result, from_cache = self.execute_plan(plan)
                         outcome = QueryOutcome(

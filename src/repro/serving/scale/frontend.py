@@ -19,10 +19,21 @@ import asyncio
 import json
 from typing import TYPE_CHECKING, Any
 
-from ...exceptions import ServingOverloadError, ThemisError
+from ...exceptions import (
+    AdmissionRejectedError,
+    CircuitOpenError,
+    QueryCancelledError,
+    ServingOverloadError,
+    ThemisError,
+)
 from ...obs.metrics import MetricsRegistry
 from ...query.ast import Query
 from ...sql.engine import QueryResult, TableResult
+from ..governance import (
+    PRIORITY_INTERACTIVE,
+    AdmissionController,
+    CircuitBreakerConfig,
+)
 from .microbatch import MicroBatcher
 from .pool import ShardedWorkerPool
 from .supervisor import SupervisedWorkerPool
@@ -53,8 +64,22 @@ class AsyncServingFrontend:
         :class:`ShardedWorkerPool` (a crash fails the batch).
     max_retries, request_deadline, heartbeat_interval, fallback, fault_injector:
         Supervision knobs (see :class:`SupervisedWorkerPool`); ignored when
-        ``supervised=False``.  ``request_deadline`` also bounds micro-batch
-        re-enqueues for the same request.
+        ``supervised=False``.  ``request_deadline`` is the default
+        per-request deadline budget: it bounds micro-batch re-enqueues *and*
+        propagates into worker dispatches as a cooperative cancellation
+        deadline (``query(deadline=...)`` overrides it per request).
+    admission:
+        Optional :class:`~repro.serving.governance.AdmissionController`
+        enabling priority-aware load shedding at submission time (see
+        :class:`MicroBatcher`).
+    circuit_breaker:
+        Per-shard circuit breaking on the supervised pool (``True`` or a
+        :class:`~repro.serving.governance.CircuitBreakerConfig`); ignored
+        when ``supervised=False``.
+    memory_budget_bytes:
+        Per-worker cache memory budget in bytes, forwarded into every
+        worker's session options so each shard runs a
+        :class:`~repro.serving.governance.MemoryGovernor` over its caches.
     """
 
     def __init__(
@@ -74,8 +99,14 @@ class AsyncServingFrontend:
         heartbeat_interval: float | None = None,
         fallback: str = "error",
         fault_injector: "FaultInjector | None" = None,
+        admission: AdmissionController | None = None,
+        circuit_breaker: "CircuitBreakerConfig | bool | None" = None,
+        memory_budget_bytes: int | None = None,
     ):
         self.metrics = MetricsRegistry()
+        session_options = dict(session_options or {})
+        if memory_budget_bytes is not None:
+            session_options.setdefault("memory_budget_bytes", memory_budget_bytes)
         if supervised:
             self.pool: ShardedWorkerPool = SupervisedWorkerPool(
                 themis,
@@ -89,6 +120,7 @@ class AsyncServingFrontend:
                 deadline=request_deadline,
                 heartbeat_interval=heartbeat_interval,
                 fallback=fallback,
+                circuit_breaker=circuit_breaker,
             )
         else:
             self.pool = ShardedWorkerPool(
@@ -108,6 +140,7 @@ class AsyncServingFrontend:
             dispatch_timeout=dispatch_timeout,
             max_retries=max_retries if supervised else 0,
             request_deadline=request_deadline,
+            admission=admission,
             metrics=self.metrics,
         )
         self._started = False
@@ -131,9 +164,22 @@ class AsyncServingFrontend:
     async def __aexit__(self, *exc_info: Any) -> None:
         await self.stop()
 
-    async def query(self, query: Query | str) -> Any:
-        """Serve one query through the micro-batched sharded path."""
-        return await self.batcher.submit(query)
+    async def query(
+        self,
+        query: Query | str,
+        priority: str = PRIORITY_INTERACTIVE,
+        deadline: float | None = None,
+    ) -> Any:
+        """Serve one query through the micro-batched sharded path.
+
+        ``priority`` is this request's admission class; ``deadline`` is its
+        wall-clock budget in seconds (default: the front-end's
+        ``request_deadline``), propagated to the worker as a cooperative
+        cancellation deadline.
+        """
+        return await self.batcher.submit(
+            query, priority=priority, deadline=deadline
+        )
 
     def refit(self) -> int:
         """Coherently refit every shard (see :meth:`ShardedWorkerPool.refit`)."""
@@ -185,9 +231,32 @@ async def _handle_client(
                 await writer.drain()
                 continue
             request_id = request.get("id")
+            priority = request.get("priority", PRIORITY_INTERACTIVE)
+            deadline = request.get("deadline")
             try:
-                result = await frontend.query(statement)
+                result = await frontend.query(
+                    statement, priority=priority, deadline=deadline
+                )
                 response = {"id": request_id, "ok": True, **encode_result(result)}
+            except AdmissionRejectedError as error:
+                response = {
+                    "id": request_id,
+                    "ok": False,
+                    "error": str(error),
+                    "rejected": True,
+                    "priority": error.priority,
+                    "retry_after": error.retry_after_hint,
+                    "queue_depth": error.queue_depth,
+                }
+            except CircuitOpenError as error:
+                response = {
+                    "id": request_id,
+                    "ok": False,
+                    "error": str(error),
+                    "overload": True,
+                    "retry_after": error.retry_after_hint,
+                    "shard_id": error.shard_id,
+                }
             except ServingOverloadError as error:
                 response = {
                     "id": request_id,
@@ -196,6 +265,15 @@ async def _handle_client(
                     "overload": True,
                     "queue_depth": error.queue_depth,
                     "shard_id": error.shard_id,
+                }
+            except QueryCancelledError as error:
+                # DeadlineExceededError included: reason says which.
+                response = {
+                    "id": request_id,
+                    "ok": False,
+                    "error": str(error),
+                    "cancelled": True,
+                    "reason": error.reason,
                 }
             except Exception as error:  # noqa: BLE001 - reported to the client
                 response = {"id": request_id, "ok": False, "error": str(error)}
@@ -216,11 +294,15 @@ async def serve_async(
 ) -> asyncio.AbstractServer:
     """Open a newline-delimited-JSON TCP server over one started front-end.
 
-    Each line is a request ``{"id": ..., "sql": "..."}`` answered by one
-    response line; overload sheds come back as ``{"ok": false, "overload":
-    true, ...}`` with the queue depth and lagging shard.  Returns the
-    ``asyncio`` server (use ``server.sockets[0].getsockname()`` for the
-    bound port, ``server.close()`` to stop accepting).
+    Each line is a request ``{"id": ..., "sql": "...", "priority":
+    "interactive", "deadline": 0.5}`` (priority and deadline optional)
+    answered by one response line.  Overload sheds come back as ``{"ok":
+    false, "overload": true, ...}`` with the queue depth and lagging shard;
+    admission rejections as ``{"ok": false, "rejected": true, "retry_after":
+    ...}``; cancellations/deadline expiries as ``{"ok": false, "cancelled":
+    true, "reason": ...}``.  Returns the ``asyncio`` server (use
+    ``server.sockets[0].getsockname()`` for the bound port,
+    ``server.close()`` to stop accepting).
     """
     return await asyncio.start_server(
         lambda r, w: _handle_client(frontend, r, w), host=host, port=port

@@ -7,24 +7,42 @@ gap: arrivals queue for at most ``latency_budget`` seconds (or until
 worker pool in one call — so even single-query traffic exercises dedup,
 shared masks, and group-by fusion.
 
-Backpressure is typed, never silent: a full queue rejects the submit with
-:class:`~repro.exceptions.ServingOverloadError` carrying the queue depth,
-and a dispatch that misses its timeout fails **only that batch's** futures
-with a :class:`~repro.exceptions.DispatchTimeoutError` (a retryable
+Backpressure is typed, never silent.  Without an admission controller a
+full queue rejects the submit with
+:class:`~repro.exceptions.ServingOverloadError` carrying the queue depth.
+With one (:class:`~repro.serving.governance.AdmissionController`), shedding
+is *priority-aware*: each request carries a priority class
+(``interactive`` / ``batch`` / ``background``), lower classes hit their
+queue-share and token-bucket limits first, and a shed request fails with
+:class:`~repro.exceptions.AdmissionRejectedError` carrying a
+``retry_after_hint`` — background work is turned away while interactive
+traffic still admits.  A dispatch that misses its timeout fails **only
+that batch's** futures with a
+:class:`~repro.exceptions.DispatchTimeoutError` (a retryable
 ``ServingOverloadError``) naming the lagging shard when the pool
 identified one.  Late replies from a timed-out worker are discarded by
 sequence number in the pool, so a slow shard can never corrupt a later
 batch.
 
+Deadlines propagate end to end: each request's remaining budget (from its
+``deadline`` argument or the batcher-wide ``request_deadline`` default)
+rides into the pool dispatch, where workers arm cooperative cancellation
+tokens — an overrunning query dies mid-execution with a typed
+:class:`~repro.exceptions.DeadlineExceededError`, not a socket timeout.
+Requests already expired when their batch forms are failed immediately
+without wasting a dispatch.  When the backlog exceeds one batch, pending
+requests are stable-sorted by priority class so interactive work dispatches
+first (FIFO within a class).
+
 Retry is deadline-aware: with ``max_retries > 0``, a future hit by a
 *retryable* failure (crash, missed deadline — anything deriving from
 :class:`~repro.exceptions.RetryableServingError`) is re-enqueued at the
-back of the queue instead of failed, as long as its ``request_deadline``
-budget (measured from original submission) has room; budget exhaustion
-fails it with :class:`~repro.exceptions.RetryExhaustedError` carrying the
-attempt count and last error.  Fatal errors (bad SQL, worker-side query
-errors) are never retried — retrying would deterministically reproduce
-them.  When the pool is a
+back of the queue instead of failed, as long as its deadline budget has
+room; budget exhaustion fails it with
+:class:`~repro.exceptions.RetryExhaustedError` carrying the attempt count
+and last error.  Fatal errors (bad SQL, worker-side query errors,
+cancellations) are never retried — retrying would deterministically
+reproduce them.  When the pool is a
 :class:`~repro.serving.scale.supervisor.SupervisedWorkerPool`, dispatch
 goes through ``execute_batch_outcomes`` so failure is per *request*: one
 crashed shard's sub-batch retries while the rest of the batch's answers
@@ -32,7 +50,8 @@ resolve immediately.
 
 Everything observable lands in the registry: queue depth gauge, micro-batch
 size histogram (power-of-two buckets), request latency histogram
-(p50/p95/p99), accepted/shed counters.
+(p50/p95/p99), accepted/shed counters, and the ``governance.*`` admission
+counters when a controller is attached.
 """
 
 from __future__ import annotations
@@ -41,9 +60,11 @@ import asyncio
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Any
 
 from ...exceptions import (
+    DeadlineExceededError,
     DispatchTimeoutError,
     RetryableServingError,
     RetryExhaustedError,
@@ -52,7 +73,35 @@ from ...exceptions import (
 from ...obs import names
 from ...obs.metrics import MetricsRegistry
 from ...query.ast import Query
+from ..governance import (
+    PRIORITY_INTERACTIVE,
+    PRIORITY_LEVELS,
+    AdmissionController,
+)
 from .pool import ShardedWorkerPool
+
+
+@dataclass
+class _PendingRequest:
+    """One queued query: its future plus the governance state that rides along.
+
+    ``deadline_ts`` is an absolute ``time.monotonic`` timestamp (``None`` =
+    no budget); ``submitted_at`` is the ``time.perf_counter`` instant used
+    for the latency histogram.
+    """
+
+    query: Query | str
+    future: asyncio.Future
+    submitted_at: float
+    priority: str = PRIORITY_INTERACTIVE
+    deadline_ts: float | None = None
+    retries: int = 0
+
+    def remaining(self, now: float) -> float | None:
+        """Seconds of deadline budget left at ``now`` (monotonic)."""
+        if self.deadline_ts is None:
+            return None
+        return self.deadline_ts - now
 
 
 class MicroBatcher:
@@ -72,7 +121,8 @@ class MicroBatcher:
     max_queue:
         Submissions beyond this many waiting queries are shed with
         :class:`ServingOverloadError` (carrying the depth) instead of
-        queueing unboundedly.
+        queueing unboundedly.  Ignored when ``admission`` is given — the
+        controller's own queue shares apply instead.
     max_inflight:
         Concurrent pool dispatches (each runs on its own executor thread,
         conversing with disjoint or lock-serialized workers).
@@ -85,8 +135,17 @@ class MicroBatcher:
         fails with :class:`RetryExhaustedError`.  0 (the default) preserves
         fail-fast behavior.
     request_deadline:
-        Wall-clock budget in seconds per query measured from submission;
-        retries never start once it is spent.  ``None`` = no budget.
+        Default wall-clock budget in seconds per query measured from
+        submission (overridable per request via ``submit(deadline=...)``).
+        The remaining budget propagates into the pool dispatch so workers
+        cancel cooperatively; expiry also stops retries.  ``None`` = no
+        budget.
+    admission:
+        Optional :class:`~repro.serving.governance.AdmissionController`.
+        When given, ``submit`` runs priority-aware admission (queue shares
+        + token bucket, lowest priority shed first, typed
+        :class:`~repro.exceptions.AdmissionRejectedError`) instead of the
+        bare ``max_queue`` check.
     metrics:
         Registry for queue/batch/latency instruments; the pool's registry
         is used when omitted, so one snapshot shows the whole tier.
@@ -102,6 +161,7 @@ class MicroBatcher:
         dispatch_timeout: float | None = None,
         max_retries: int = 0,
         request_deadline: float | None = None,
+        admission: AdmissionController | None = None,
         metrics: MetricsRegistry | None = None,
     ):
         if latency_budget < 0:
@@ -118,9 +178,13 @@ class MicroBatcher:
         self.dispatch_timeout = dispatch_timeout
         self.max_retries = max_retries
         self.request_deadline = request_deadline
+        self.admission = admission
         self.metrics = metrics if metrics is not None else pool.metrics
-        # Entries are (query, future, submitted_at, retries_so_far).
-        self._pending: deque[tuple[Query | str, asyncio.Future, float, int]] = deque()
+        if admission is not None and admission.metrics is None:
+            # Adopt the tier's registry so governance.* admission counters
+            # land in the same snapshot as the queue/latency instruments.
+            admission.metrics = self.metrics
+        self._pending: deque[_PendingRequest] = deque()
         self._arrival = asyncio.Event()
         self._running = False
         self._flusher: asyncio.Task | None = None
@@ -165,27 +229,50 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    async def submit(self, query: Query | str) -> Any:
+    async def submit(
+        self,
+        query: Query | str,
+        priority: str = PRIORITY_INTERACTIVE,
+        deadline: float | None = None,
+    ) -> Any:
         """Queue one query and await its answer.
 
-        Raises :class:`ServingOverloadError` immediately when the queue is
-        full, and fails with the same error if the batch this query lands
-        in misses the dispatch timeout.
+        ``priority`` selects the admission class (ignored for ordering when
+        the queue never backs up); ``deadline`` is this request's budget in
+        seconds, defaulting to the batcher-wide ``request_deadline``.
+        Sheds raise :class:`AdmissionRejectedError` (with a controller) or
+        :class:`ServingOverloadError` (bare queue bound) immediately.
         """
         if not self._running:
             raise RuntimeError("MicroBatcher.submit() before start()")
         depth = len(self._pending)
-        if depth >= self.max_queue:
+        if self.admission is not None:
+            try:
+                self.admission.admit(priority, queue_depth=depth)
+            except ServingOverloadError:
+                self.metrics.counter(names.SCALE_OVERLOADS).inc()
+                raise
+        elif depth >= self.max_queue:
             self.metrics.counter(names.SCALE_OVERLOADS).inc()
             raise ServingOverloadError(
                 "micro-batch queue is full", queue_depth=depth
             )
         self.metrics.counter(names.SCALE_REQUESTS).inc()
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending.append((query, future, time.perf_counter(), 0))
+        if deadline is None:
+            deadline = self.request_deadline
+        entry = _PendingRequest(
+            query=query,
+            future=asyncio.get_running_loop().create_future(),
+            submitted_at=time.perf_counter(),
+            priority=priority,
+            deadline_ts=(
+                None if deadline is None else time.monotonic() + deadline
+            ),
+        )
+        self._pending.append(entry)
         self._queue_depth.set(len(self._pending))
         self._arrival.set()
-        return await future
+        return await entry.future
 
     # ------------------------------------------------------------------
     # Flusher
@@ -211,7 +298,20 @@ class MicroBatcher:
                     self._arrival.clear()
                 except (asyncio.TimeoutError, TimeoutError):
                     break
-            batch: list[tuple[Query | str, asyncio.Future, float, int]] = []
+            if len(self._pending) > self.max_batch_size:
+                # Backlogged: higher priority classes dispatch first.  The
+                # sort is stable, so arrival order holds within a class —
+                # interactive requests jump the queue, they never reorder
+                # each other.
+                self._pending = deque(
+                    sorted(
+                        self._pending,
+                        key=lambda entry: PRIORITY_LEVELS.get(
+                            entry.priority, len(PRIORITY_LEVELS)
+                        ),
+                    )
+                )
+            batch: list[_PendingRequest] = []
             while self._pending and len(batch) < self.max_batch_size:
                 batch.append(self._pending.popleft())
             self._queue_depth.set(len(self._pending))
@@ -219,32 +319,65 @@ class MicroBatcher:
             self._dispatches.add(task)
             task.add_done_callback(self._dispatches.discard)
 
-    async def _dispatch(
-        self, batch: list[tuple[Query | str, asyncio.Future, float, int]]
-    ) -> None:
+    async def _dispatch(self, batch: list[_PendingRequest]) -> None:
         assert self._inflight is not None and self._executor is not None
         loop = asyncio.get_running_loop()
-        queries = [query for query, _, _, _ in batch]
+        # Re-enqueued requests whose budget expired while they waited fail
+        # here, before burning another pool dispatch on answers nobody is
+        # waiting for.  A *fresh* request always gets its one dispatch even
+        # with a spent budget — the deadline bounds waiting and retries, it
+        # never silently swallows the first attempt.
+        now = time.monotonic()
+        live: list[_PendingRequest] = []
+        for entry in batch:
+            remaining = entry.remaining(now)
+            if remaining is not None and remaining <= 0 and entry.retries > 0:
+                self._settle_one(
+                    entry,
+                    DeadlineExceededError(
+                        "request expired in the retry queue",
+                        elapsed=time.perf_counter() - entry.submitted_at,
+                    ),
+                )
+                continue
+            live.append(entry)
+        batch = live
+        if not batch:
+            return
+        queries = [entry.query for entry in batch]
+        # The pool-level budget is the *tightest* positive remaining deadline
+        # in the batch: workers cancel cooperatively once it is spent.  A
+        # non-positive budget (fresh request, already expired) is excluded —
+        # it must not zero out its batch siblings' budgets.
+        budgets = [
+            remaining
+            for entry in batch
+            if (remaining := entry.remaining(now)) is not None and remaining > 0
+        ]
+        pool_deadline = min(budgets) if budgets else None
         self._batch_sizes.record(float(len(batch)))
         self.metrics.counter(names.SCALE_DISPATCHES).inc()
         # A supervised pool reports per-request outcomes, so one crashed
         # shard's sub-batch can retry while the rest of the batch resolves.
         outcome_mode = hasattr(self._pool, "execute_batch_outcomes")
+        # Only pass the deadline through when one is armed: pool-like stand-ins
+        # that predate deadline propagation keep working undisturbed.
+        kwargs: dict[str, Any] = {"timeout": self.dispatch_timeout}
+        if pool_deadline is not None:
+            kwargs["deadline"] = pool_deadline
         async with self._inflight:
             try:
                 if outcome_mode:
                     work = loop.run_in_executor(
                         self._executor,
                         lambda: self._pool.execute_batch_outcomes(
-                            queries, timeout=self.dispatch_timeout
+                            queries, **kwargs
                         ),
                     )
                 else:
                     work = loop.run_in_executor(
                         self._executor,
-                        lambda: self._pool.execute_batch(
-                            queries, timeout=self.dispatch_timeout
-                        ),
+                        lambda: self._pool.execute_batch(queries, **kwargs),
                     )
                 if self.dispatch_timeout is not None:
                     # The pool's own poll() timeout fires first in the common
@@ -276,29 +409,19 @@ class MicroBatcher:
             self._resolve(entry, result, finished)
 
     def _resolve(
-        self,
-        entry: tuple[Query | str, asyncio.Future, float, int],
-        result: Any,
-        finished: float,
+        self, entry: _PendingRequest, result: Any, finished: float
     ) -> None:
-        _, future, submitted, _ = entry
-        if not future.done():
-            self._request_seconds.record(finished - submitted)
-            future.set_result(result)
+        if not entry.future.done():
+            self._request_seconds.record(finished - entry.submitted_at)
+            entry.future.set_result(result)
 
     def _settle_failures(
-        self,
-        batch: list[tuple[Query | str, asyncio.Future, float, int]],
-        error: BaseException,
+        self, batch: list[_PendingRequest], error: BaseException
     ) -> None:
         for entry in batch:
             self._settle_one(entry, error)
 
-    def _settle_one(
-        self,
-        entry: tuple[Query | str, asyncio.Future, float, int],
-        error: BaseException,
-    ) -> None:
+    def _settle_one(self, entry: _PendingRequest, error: BaseException) -> None:
         """Fail one future — or re-enqueue it if the error is retryable.
 
         Retry requires all of: a :class:`RetryableServingError`, retry
@@ -307,27 +430,34 @@ class MicroBatcher:
         future forever).  A query that retried at least once and still
         failed surfaces :class:`RetryExhaustedError` so callers can tell
         "gave up after retrying" from a first-attempt failure.
+        Cancellations and deadline expiries are terminal by type (they do
+        not derive from :class:`RetryableServingError`), so they are never
+        retried.
         """
-        query, future, submitted, retries = entry
-        if future.done():
+        if entry.future.done():
             return
         retryable = isinstance(error, RetryableServingError)
         within_deadline = (
-            self.request_deadline is None
-            or time.perf_counter() - submitted < self.request_deadline
+            entry.deadline_ts is None or time.monotonic() < entry.deadline_ts
         )
-        if retryable and retries < self.max_retries and within_deadline and self._running:
+        if (
+            retryable
+            and entry.retries < self.max_retries
+            and within_deadline
+            and self._running
+        ):
             self.metrics.counter(names.SCALE_FAULT_RETRIES).inc()
-            self._pending.append((query, future, submitted, retries + 1))
+            entry.retries += 1
+            self._pending.append(entry)
             self._queue_depth.set(len(self._pending))
             self._arrival.set()
             return
         if isinstance(error, ServingOverloadError):
             self.metrics.counter(names.SCALE_OVERLOADS).inc()
-        if retryable and retries > 0:
+        if retryable and entry.retries > 0:
             error = RetryExhaustedError(
                 "request abandoned after micro-batch retries",
-                attempts=retries,
+                attempts=entry.retries,
                 last_error=error,
             )
-        future.set_exception(error)
+        entry.future.set_exception(error)

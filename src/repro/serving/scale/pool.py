@@ -73,6 +73,20 @@ def _start_method() -> str:
     return "fork" if "fork" in methods else methods[0]
 
 
+def batch_payload(payloads: list[Any], deadline_ts: float | None) -> dict[str, Any]:
+    """Build one CMD_BATCH payload: plans plus the remaining deadline budget.
+
+    The budget is re-measured at send time (``deadline_ts`` is an absolute
+    monotonic timestamp), so retries and queued sub-batches ship only what is
+    actually left — the worker arms a fresh token from it and cancels
+    cooperatively if the batch overruns.
+    """
+    remaining = (
+        None if deadline_ts is None else max(0.0, deadline_ts - time.monotonic())
+    )
+    return {"plans": payloads, "deadline": remaining}
+
+
 #: Every open pool, reaped at interpreter exit if ``close()`` was skipped
 #: (a crashed test run must not leak orphan worker processes).
 _LIVE_POOLS: "weakref.WeakSet[ShardedWorkerPool]" = weakref.WeakSet()
@@ -178,17 +192,28 @@ class _Worker:
         )
 
     def reap(self, join_timeout: float) -> None:
-        """Join the process, escalating ``terminate`` -> ``kill`` if it hangs."""
-        self.process.join(join_timeout)
-        if self.process.is_alive():
-            self.process.terminate()
+        """Join the process, escalating ``terminate`` -> ``kill`` if it hangs.
+
+        Never raises: this runs on normal close, on crash recovery, and from
+        the ``atexit`` guard during interpreter shutdown — where the
+        multiprocessing machinery may already be partially torn down and any
+        of ``join``/``terminate``/``kill`` can fail.  A reap that cannot
+        finish must not mask the error (or the other workers' reaps) behind
+        it.
+        """
+        try:
             self.process.join(join_timeout)
-        if self.process.is_alive():  # pragma: no cover - SIGTERM-proof worker
-            self.process.kill()
-            self.process.join(join_timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(join_timeout)
+            if self.process.is_alive():  # pragma: no cover - SIGTERM-proof
+                self.process.kill()
+                self.process.join(join_timeout)
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
         try:
             self.conn.close()
-        except OSError:  # pragma: no cover - already closed
+        except Exception:  # pragma: no cover - already closed / torn down
             pass
 
 
@@ -242,6 +267,7 @@ class ShardedWorkerPool:
             self._spawn_worker(shard_id) for shard_id in range(n_workers)
         ]
         self._closed = False
+        self._close_lock = threading.Lock()
         _LIVE_POOLS.add(self)
         self.metrics.gauge(names.SCALE_SHARDS).set(n_workers)
         self._dispatch_seconds = self.metrics.histogram(names.SCALE_DISPATCH_SECONDS)
@@ -256,7 +282,10 @@ class ShardedWorkerPool:
     # Serving
     # ------------------------------------------------------------------
     def execute_batch(
-        self, queries: Sequence[Query | str], timeout: float | None = None
+        self,
+        queries: Sequence[Query | str],
+        timeout: float | None = None,
+        deadline: float | None = None,
     ) -> list[Any]:
         """Serve a batch across the shards; answers in submission order.
 
@@ -266,12 +295,20 @@ class ShardedWorkerPool:
         and reassembles the answers in submission order — exactly ``==``
         what in-process ``ServingSession.execute_batch`` returns for the
         same queries.
+
+        ``deadline`` is an optional wall-clock budget in seconds that ships
+        *inside* the batch payload: each worker arms a cancellation token
+        with the remaining budget, so an overrunning batch is cancelled
+        cooperatively at a chunk boundary on the worker — a typed
+        :class:`~repro.exceptions.DeadlineExceededError` instead of a
+        parent-side timeout racing a still-computing shard.
         """
         if self._closed:
             raise ThemisError("worker pool is closed")
         if timeout is None:
             timeout = self._timeout
         started = time.perf_counter()
+        deadline_ts = None if deadline is None else time.monotonic() + deadline
         plans = self.compile_batch(queries)
         by_shard: dict[int, list[int]] = {}
         for index, plan in enumerate(plans):
@@ -293,7 +330,7 @@ class ShardedWorkerPool:
                 indices = by_shard[shard_id]
                 payloads = [serialize_plan(plans[i]) for i in indices]
                 seq = worker.next_seq()
-                worker.send((CMD_BATCH, seq, payloads))
+                worker.send((CMD_BATCH, seq, batch_payload(payloads, deadline_ts)))
                 pending.append((worker, seq, indices))
                 self.metrics.counter(names.shard_counter(shard_id)).inc(
                     len(indices)
@@ -383,23 +420,30 @@ class ShardedWorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, join_timeout: float = 5.0) -> None:
-        """Shut every worker down (idempotent).
+        """Shut every worker down (idempotent, safe under concurrent calls).
 
         Polite first (a shutdown command), then firm: workers that miss
         ``join(join_timeout)`` are ``terminate()``d, and workers that
         survive *that* are ``kill()``ed — a wedged or signal-masked worker
         cannot leak past ``close()``.
+
+        Safe to call twice, from two threads at once, and from the
+        ``atexit`` guard during interpreter shutdown: the closed flag flips
+        under a lock so exactly one caller does the work, and every
+        per-worker step is fenced so one torn-down pipe cannot keep the
+        remaining workers from being reaped.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         _LIVE_POOLS.discard(self)
         for worker in self._workers:
-            with worker.lock:
-                try:
+            try:
+                with worker.lock:
                     worker.conn.send((CMD_SHUTDOWN, worker.next_seq(), None))
-                except (OSError, BrokenPipeError):
-                    pass
+            except Exception:  # pragma: no cover - dead pipe / shutdown race
+                pass
         for worker in self._workers:
             worker.reap(join_timeout)
 

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Sequence
 
 from ...exceptions import (
+    CircuitOpenError,
     DegradedModeError,
     DispatchTimeoutError,
     RetryExhaustedError,
@@ -58,8 +59,9 @@ from ...obs import names
 from ...obs.metrics import MetricsRegistry
 from ...plan import serialize_plan
 from ...query.ast import Query
+from ..governance import CircuitBreaker, CircuitBreakerConfig
 from .faults import FaultInjector
-from .pool import ShardedWorkerPool, _Worker
+from .pool import ShardedWorkerPool, _Worker, batch_payload
 from .worker import (
     CMD_ADD_AGGREGATE,
     CMD_BATCH,
@@ -126,6 +128,17 @@ class SupervisedWorkerPool(ShardedWorkerPool):
     fallback:
         ``"error"`` (default) or ``"in-process"`` — what to do when every
         shard is permanently down.
+    circuit_breaker:
+        Per-shard circuit breaking (default off, preserving historical
+        behavior).  ``True`` enables breakers with
+        :class:`~repro.serving.governance.CircuitBreakerConfig` defaults; a
+        config instance tunes them.  A shard whose recent dispatches keep
+        failing is *opened*: its keys fail over on the ring immediately
+        instead of burning a dispatch timeout per batch, and after the
+        cooldown one half-open probe decides whether it rejoins.  When every
+        live shard's breaker is open, requests fail fast with the retryable
+        :class:`~repro.exceptions.CircuitOpenError` carrying the soonest
+        ``retry_after_hint``.
     """
 
     def __init__(
@@ -149,6 +162,7 @@ class SupervisedWorkerPool(ShardedWorkerPool):
         heartbeat_timeout: float = 1.0,
         heartbeat_misses_to_kill: int = 3,
         fallback: str = FALLBACK_ERROR,
+        circuit_breaker: CircuitBreakerConfig | bool | None = None,
     ):
         if fallback not in (FALLBACK_ERROR, FALLBACK_IN_PROCESS):
             raise ValueError(
@@ -180,6 +194,17 @@ class SupervisedWorkerPool(ShardedWorkerPool):
         self._heartbeat_misses: dict[int, int] = {}
         self._broadcast_log: list[tuple[str, Any]] = []
         self._fallback_session: Any = None
+        self._breakers: dict[int, CircuitBreaker] | None = None
+        if circuit_breaker:
+            config = (
+                circuit_breaker
+                if isinstance(circuit_breaker, CircuitBreakerConfig)
+                else CircuitBreakerConfig()
+            )
+            self._breakers = {
+                shard_id: CircuitBreaker.from_config(config)
+                for shard_id in range(n_workers)
+            }
 
         super().__init__(
             themis,
@@ -371,6 +396,21 @@ class SupervisedWorkerPool(ShardedWorkerPool):
             if not live:
                 self._serve_degraded(pending, queries, outcomes)
                 break
+            allowed = self._allowed_shards(live)
+            if not allowed:
+                # Every live shard's breaker is open: fail fast with the
+                # retryable CircuitOpenError instead of burning a dispatch
+                # timeout against shards known to be sick.
+                hint = min(
+                    self._breakers[shard_id].retry_after() for shard_id in live
+                )
+                error: BaseException = CircuitOpenError(
+                    "all live shards have open circuit breakers",
+                    retry_after_hint=hint,
+                )
+                for index in pending:
+                    outcomes[index] = RequestOutcome(ok=False, error=error)
+                break
 
             effective_timeout = timeout
             if deadline_ts is not None:
@@ -387,13 +427,13 @@ class SupervisedWorkerPool(ShardedWorkerPool):
             by_shard: dict[int, list[int]] = {}
             for index in pending:
                 key = plans[index].key
-                shard_id = self.router.shard_for(key, live=live)
+                shard_id = self.router.shard_for(key, live=allowed)
                 if shard_id != self.router.shard_for(key):
                     self.metrics.counter(names.SCALE_FAULT_FAILOVERS).inc()
                 by_shard.setdefault(shard_id, []).append(index)
 
             retryable = self._dispatch_once(
-                by_shard, plans, outcomes, effective_timeout
+                by_shard, plans, outcomes, effective_timeout, deadline_ts
             )
             pending = [index for indices, _ in retryable for index in indices]
             if not pending:
@@ -424,12 +464,48 @@ class SupervisedWorkerPool(ShardedWorkerPool):
         self._dispatch_seconds.record(time.perf_counter() - started)
         return outcomes  # type: ignore[return-value]  # every slot is filled
 
+    def _allowed_shards(self, live: set[int]) -> set[int]:
+        """Live shards whose circuit breakers admit traffic right now.
+
+        Without breakers this is ``live`` itself.  An *open* breaker whose
+        cooldown has elapsed admits its shard for exactly one half-open
+        probe round (counted); shards refused here fail over on the ring
+        like dead ones, but keep their process and caches.
+        """
+        if self._breakers is None:
+            return set(live)
+        allowed: set[int] = set()
+        for shard_id in sorted(live):
+            breaker = self._breakers[shard_id]
+            was_open = breaker.state == CircuitBreaker.STATE_OPEN
+            if breaker.allow():
+                if was_open:
+                    self.metrics.counter(names.GOVERNANCE_BREAKER_PROBES).inc()
+                allowed.add(shard_id)
+            else:
+                self.metrics.counter(names.GOVERNANCE_BREAKER_REJECTIONS).inc()
+        return allowed
+
+    def _record_breaker(self, shard_id: int, ok: bool) -> None:
+        """Feed one dispatch outcome to the shard's breaker (if enabled)."""
+        if self._breakers is None:
+            return
+        breaker = self._breakers[shard_id]
+        if ok:
+            breaker.record_success()
+            return
+        opened_before = breaker.times_opened
+        breaker.record_failure()
+        if breaker.times_opened > opened_before:
+            self.metrics.counter(names.GOVERNANCE_BREAKER_OPENED).inc()
+
     def _dispatch_once(
         self,
         by_shard: dict[int, list[int]],
         plans: list[Any],
         outcomes: list[RequestOutcome | None],
         timeout: float | None,
+        deadline_ts: float | None = None,
     ) -> list[tuple[list[int], BaseException]]:
         """One concurrent dispatch round; returns the retryable sub-batches.
 
@@ -438,6 +514,10 @@ class SupervisedWorkerPool(ShardedWorkerPool):
         requests in place.  Crashes and missed deadlines are *retryable*:
         crashed shards are respawned (outside the conversation locks) and
         their indices returned for the caller's retry loop.
+
+        Each outcome also feeds the shard's circuit breaker: crashes and
+        missed reply deadlines are failures, any reply — even a worker-side
+        query error — proves the shard responsive and counts as success.
         """
         shard_ids = sorted(by_shard)
         workers = {shard_id: self._workers[shard_id] for shard_id in shard_ids}
@@ -455,7 +535,9 @@ class SupervisedWorkerPool(ShardedWorkerPool):
                 payloads = [serialize_plan(plans[i]) for i in indices]
                 try:
                     seq = worker.next_seq()
-                    worker.send((CMD_BATCH, seq, payloads))
+                    worker.send(
+                        (CMD_BATCH, seq, batch_payload(payloads, deadline_ts))
+                    )
                 except WorkerCrashedError as error:
                     crashes.append((worker, indices, error))
                     continue
@@ -470,8 +552,10 @@ class SupervisedWorkerPool(ShardedWorkerPool):
                     crashes.append((worker, indices, error))
                     continue
                 except DispatchTimeoutError as error:
+                    self._record_breaker(worker.shard_id, ok=False)
                     retryable.append((indices, error))
                     continue
+                self._record_breaker(worker.shard_id, ok=True)
                 if status != STATUS_OK:
                     for index in indices:
                         outcomes[index] = RequestOutcome(ok=False, error=body)
@@ -486,6 +570,7 @@ class SupervisedWorkerPool(ShardedWorkerPool):
                 worker.lock.release()
         # Respawns happen strictly after every conversation lock is released.
         for worker, indices, error in crashes:
+            self._record_breaker(worker.shard_id, ok=False)
             self._handle_crash(worker, error)
             retryable.append((indices, error))
         return retryable
@@ -739,8 +824,18 @@ class SupervisedWorkerPool(ShardedWorkerPool):
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, join_timeout: float = 5.0) -> None:
+        """Stop the heartbeat prober, then close the pool (idempotent).
+
+        Safe during interpreter shutdown: a heartbeat thread that cannot be
+        joined (or is the caller's own thread in a pathological teardown)
+        must not keep the worker processes from being reaped.
+        """
         self._heartbeat_stop.set()
-        if self._heartbeat_thread is not None:
-            self._heartbeat_thread.join(timeout=join_timeout)
+        thread = self._heartbeat_thread
+        if thread is not None:
+            try:
+                thread.join(timeout=join_timeout)
+            except Exception:  # pragma: no cover - shutdown races
+                pass
             self._heartbeat_thread = None
         super().close(join_timeout)

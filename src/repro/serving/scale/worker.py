@@ -131,8 +131,27 @@ def worker_main(
                 fault = fault_plan.on_batch(batch_count) if fault_plan else None
                 if fault is not None and fault.kind == KIND_KILL_AT_BATCH:
                     os._exit(FAULT_EXIT_CODE)
-                plans = [deserialize_plan(item, compiler) for item in payload]
-                batch = session.execute_batch([plan.query for plan in plans])
+                # The payload is a dict {"plans": [...], "deadline": seconds}
+                # since deadline propagation landed; a bare list of plan
+                # payloads (the historical format) still decodes.
+                if isinstance(payload, dict):
+                    items = payload["plans"]
+                    budget = payload.get("deadline")
+                else:
+                    items, budget = payload, None
+                cancel = None
+                if budget is not None:
+                    # Arm a worker-side token from the *remaining* budget the
+                    # parent measured at send time: execution cancels itself
+                    # cooperatively at a chunk boundary instead of the parent
+                    # timing out against a still-computing shard.
+                    from ..governance import CancelToken, Deadline
+
+                    cancel = CancelToken(deadline=Deadline.after(budget))
+                plans = [deserialize_plan(item, compiler) for item in items]
+                batch = session.execute_batch(
+                    [plan.query for plan in plans], cancel=cancel
+                )
                 body = {
                     "results": batch.results(),
                     "generation": session.generation,

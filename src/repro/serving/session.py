@@ -21,6 +21,13 @@ from ..query.ast import Query
 from ..sql.engine import QueryResult
 from .cache import InferenceCache, PlanCache, ResultCache
 from .executor import BatchExecutor
+from .governance import (
+    CancelToken,
+    Deadline,
+    GovernedCache,
+    MemoryGovernor,
+    resolve_cancel_token,
+)
 from .planner import QueryPlanner
 from .stats import BatchResult, QueryOutcome, ServingStatistics
 
@@ -105,6 +112,19 @@ class ServingSession:
         long-lived tracing session never accumulates old trees.  Off by
         default: the untraced path runs against a shared no-op recorder
         whose overhead the ``obs`` benchmark bounds below 3%.
+    memory_budget_bytes:
+        When set, every cache tier (result, mask, join-side, inference
+        factors) registers with a per-session
+        :class:`~repro.serving.governance.MemoryGovernor` enforcing this
+        global byte budget with pressure-tiered eviction (soft → evict
+        cold entries by hit density, hard → reject admissions, critical →
+        flush), sampled after every serve.  ``None`` (the default) leaves
+        caches bounded only by their per-tier entry capacities.
+    default_deadline:
+        When set, every query/batch served without an explicit ``deadline``
+        gets this many seconds; an expired deadline raises a typed
+        :class:`~repro.exceptions.DeadlineExceededError` at the next
+        chunk-boundary poll.
     """
 
     def __init__(
@@ -116,6 +136,8 @@ class ServingSession:
         exact_bn_aggregates: bool = False,
         optimize: bool = True,
         trace: bool = False,
+        memory_budget_bytes: int | None = None,
+        default_deadline: float | None = None,
     ):
         self._themis = themis
         self._result_cache = ResultCache(result_cache_size)
@@ -124,6 +146,7 @@ class ServingSession:
         self._exact_bn_aggregates = bool(exact_bn_aggregates)
         self._optimize = bool(optimize)
         self._trace = bool(trace)
+        self._default_deadline = default_deadline
         self._inference_cache: InferenceCache | None = None
         self._executor: BatchExecutor | None = None
         self._generation: int | None = None
@@ -132,6 +155,10 @@ class ServingSession:
         #: counters into it, and ``statistics`` reads them back as views.
         self.metrics = MetricsRegistry()
         self.statistics = ServingStatistics(self.metrics)
+        self.governor: MemoryGovernor | None = None
+        if memory_budget_bytes is not None:
+            self.governor = MemoryGovernor(memory_budget_bytes, metrics=self.metrics)
+            self._result_cache.governor = self.governor
 
     # ------------------------------------------------------------------
     # Model-generation tracking
@@ -185,33 +212,122 @@ class ServingSession:
             metrics=self.metrics,
         )
         self._generation = generation
+        self._register_governed_caches(model)
         return self._executor
+
+    def _register_governed_caches(self, model) -> None:
+        """(Re)bind every cache tier to the session's memory governor.
+
+        Called from :meth:`_ensure_current` on every executor rebuild — a
+        refit swaps the columnar engine (hence mask/join-side caches), so
+        the adapters must re-point at the live objects each generation.
+        """
+        if self.governor is None:
+            return
+        engine = model.sample_evaluator.engine
+        mask_cache = engine.mask_cache
+        join_cache = engine.executor.join_side_cache
+        inference = self._inference_cache
+        self._result_cache.governor = self.governor
+        mask_cache.governor = self.governor
+        join_cache.governor = self.governor
+        self.governor.register(
+            GovernedCache(
+                "result",
+                lambda: self._result_cache.byte_size,
+                lambda: len(self._result_cache),
+                lambda: self._result_cache.statistics.hits,
+                self._result_cache.evict_entries,
+            )
+        )
+        self.governor.register(
+            GovernedCache(
+                "mask",
+                lambda: mask_cache.byte_size,
+                lambda: len(mask_cache),
+                lambda: mask_cache.hits,
+                mask_cache.evict_entries,
+            )
+        )
+        self.governor.register(
+            GovernedCache(
+                "join_side",
+                lambda: join_cache.byte_size,
+                lambda: len(join_cache),
+                lambda: join_cache.hits,
+                join_cache.evict_entries,
+            )
+        )
+        if inference is not None:
+            self.governor.register(
+                GovernedCache(
+                    "inference",
+                    lambda: inference.byte_size,
+                    lambda: inference.engine.cached_factor_count,
+                    lambda: inference.statistics.hits,
+                    inference.evict_entries,
+                )
+            )
+
+    def _resolve_token(
+        self,
+        cancel: CancelToken | None,
+        deadline: "Deadline | float | None",
+    ) -> CancelToken | None:
+        if deadline is None:
+            deadline = self._default_deadline
+        return resolve_cancel_token(cancel, deadline)
+
+    def _maintain(self) -> None:
+        if self.governor is not None:
+            self.governor.maintain()
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def execute(self, query: Query | str) -> float | QueryResult:
+    def execute(
+        self,
+        query: Query | str,
+        cancel: CancelToken | None = None,
+        deadline: "Deadline | float | None" = None,
+    ) -> float | QueryResult:
         """Serve one query (SQL text or AST); answers match ``Themis.query()``."""
-        return self.execute_with_outcome(query).result
+        return self.execute_with_outcome(query, cancel=cancel, deadline=deadline).result
 
-    def execute_with_outcome(self, query: Query | str) -> QueryOutcome:
+    def execute_with_outcome(
+        self,
+        query: Query | str,
+        cancel: CancelToken | None = None,
+        deadline: "Deadline | float | None" = None,
+    ) -> QueryOutcome:
         """Serve one query and return the full :class:`QueryOutcome`.
 
         A tracing session (``trace=True``) attaches the query's span tree
         — ``query`` → ``compile`` + ``execute`` — as ``outcome.trace``.
+        ``cancel``/``deadline`` govern the query cooperatively; on the
+        single-query path the token is polled at the compile/execute
+        boundaries (batches poll deeper, per execution chunk).
         """
+        token = self._resolve_token(cancel, deadline)
         executor = self._ensure_current()
         tracer = Tracer() if self._trace else NULL_TRACER
         start = time.perf_counter()
-        with tracer.span("query") as root:
-            with tracer.span("compile"):
-                plan = executor.plan(query)
-            if tracer.enabled:
-                root.set(route=plan.route, shape=plan.shape)
-            with tracer.span("execute", route=plan.route) as span:
-                result, from_cache = executor.execute_plan(plan, tracer=tracer)
+        try:
+            with tracer.span("query") as root:
+                if token is not None:
+                    token.poll()
+                with tracer.span("compile"):
+                    plan = executor.plan(query)
                 if tracer.enabled:
-                    span.set(from_result_cache=from_cache)
+                    root.set(route=plan.route, shape=plan.shape)
+                if token is not None:
+                    token.poll()
+                with tracer.span("execute", route=plan.route) as span:
+                    result, from_cache = executor.execute_plan(plan, tracer=tracer)
+                    if tracer.enabled:
+                        span.set(from_result_cache=from_cache)
+        finally:
+            self._maintain()
         outcome = QueryOutcome(
             index=0,
             plan=plan,
@@ -223,16 +339,30 @@ class ServingSession:
         self.statistics.record_outcome(outcome)
         return outcome
 
-    def execute_batch(self, queries: Sequence[Query | str]) -> BatchResult:
+    def execute_batch(
+        self,
+        queries: Sequence[Query | str],
+        cancel=None,
+        deadline: "Deadline | float | None" = None,
+    ) -> BatchResult:
         """Serve a batch of SQL strings and/or ASTs in submission order.
 
         A tracing session (``trace=True``) attaches the batch's span tree
         (compile → route → warm-samples → bn-dispatch → columnar units →
-        cache-probe) as ``batch.trace``.
+        cache-probe) as ``batch.trace``.  ``cancel`` may be one
+        :class:`~repro.serving.governance.CancelToken` for the whole batch
+        (polled per execution chunk; an expired deadline raises) or a
+        per-query token sequence (fired tokens get error outcomes, their
+        fused siblings execute normally).
         """
+        if not isinstance(cancel, (list, tuple)):
+            cancel = self._resolve_token(cancel, deadline)
         executor = self._ensure_current()
         tracer = Tracer() if self._trace else NULL_TRACER
-        batch = executor.execute_batch(queries, tracer=tracer)
+        try:
+            batch = executor.execute_batch(queries, tracer=tracer, cancel=cancel)
+        finally:
+            self._maintain()
         self.statistics.record_batch(batch)
         return batch
 

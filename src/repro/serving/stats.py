@@ -54,17 +54,25 @@ class QueryOutcome:
     trace:
         The query's :class:`repro.obs.Span` tree when the serving session
         was tracing; ``None`` otherwise.
+    error:
+        The typed cancellation error when this query's token fired before
+        an answer was produced (``result`` is then ``None``).  Only
+        per-query cancellation sets this — batch-wide failures raise.
+    cancelled:
+        Whether this query was cancelled (``error`` holds the typed error).
     """
 
     index: int
     plan: QueryPlan
-    result: float | QueryResult | TableResult
+    result: float | QueryResult | TableResult | None
     seconds: float = 0.0
     from_result_cache: bool = False
     deduplicated: bool = False
     bn_batched: bool = False
     optimized: bool = False
     trace: Any = None
+    error: BaseException | None = None
+    cancelled: bool = False
 
     @property
     def route(self) -> str:
@@ -115,7 +123,16 @@ class BatchResult:
         return iter(self.outcomes)
 
     def results(self) -> list[float | QueryResult | TableResult]:
-        """The per-query answers, in the order the queries were submitted."""
+        """The per-query answers, in the order the queries were submitted.
+
+        Raises the first cancelled query's typed error — a caller that asked
+        for plain answers must not silently receive ``None`` in a slot whose
+        deadline expired.  Callers that want to handle per-query
+        cancellation inspect :attr:`outcomes` directly.
+        """
+        for outcome in self.outcomes:
+            if outcome.error is not None:
+                raise outcome.error
         return [outcome.result for outcome in self.outcomes]
 
     @property

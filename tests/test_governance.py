@@ -1,0 +1,606 @@
+"""Resource governance: deadlines, budgets, admission, breakers, shutdown.
+
+Unit layers (all clock-injected, fully deterministic):
+
+* :class:`Deadline` / :class:`CancelToken` semantics and the typed errors
+  they raise when polled;
+* :class:`MemoryGovernor` pressure tiers — soft evicts coldest-by-hit-
+  density, hard additionally rejects admissions, critical flushes — and the
+  frozen ``governance.*`` metrics trail;
+* :class:`TokenBucket` floors and :class:`AdmissionController` priority
+  shedding (queue-depth caps + bucket reserves, lowest priority first);
+* :class:`CircuitBreaker` state machine (closed -> open -> half-open probe).
+
+Integration layers (one shared fitted world):
+
+* cancelling one plan of a *fused* batch family leaves every sibling's
+  answer bit-identical to an ungoverned run;
+* an expired deadline surfaces mid-batch as ``DeadlineExceededError``
+  through every entry point (``Themis.query``, session, batch);
+* a governed session under a starvation budget still answers exactly
+  ``==`` an ungoverned oracle — eviction costs hits, never bits;
+* cache invariants: no stale-generation entry survives a refit, and
+  ``entries()``/``peek()`` stay stat-free with a governor attached;
+* worker pools shut down idempotently (double close, close after crash,
+  close from the ``atexit`` guard).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    QueryCancelledError,
+)
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
+from repro.query.workload import MixedQueryWorkload
+from repro.serving.governance import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    TIER_CRITICAL,
+    TIER_HARD,
+    TIER_OK,
+    TIER_SOFT,
+    AdmissionController,
+    CancelToken,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    Deadline,
+    GovernedCache,
+    MemoryGovernor,
+    TokenBucket,
+    measured_bytes,
+    resolve_cancel_token,
+)
+
+from worlds import build_fitted_themis
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def themis():
+    return build_fitted_themis()
+
+
+@pytest.fixture(scope="module")
+def sweep_queries(themis):
+    workload = MixedQueryWorkload(themis.sample, seed=808)
+    entries = workload.generate(n_point=6, n_scalar=6, n_group_by=6, n_analytic=4)
+    return [entry.query for entry in entries]
+
+
+@pytest.fixture(scope="module")
+def expected(sweep_queries):
+    oracle = build_fitted_themis()
+    return oracle.execute_batch(sweep_queries).results()
+
+
+# ---------------------------------------------------------------------------
+# Deadlines and cancellation
+# ---------------------------------------------------------------------------
+class TestDeadline:
+    def test_after_tracks_the_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired()
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert deadline.elapsed() == pytest.approx(1.5)
+        clock.advance(0.5)
+        assert deadline.expired()
+        clock.advance(1.0)
+        assert deadline.remaining() == pytest.approx(-1.0)
+
+
+class TestCancelToken:
+    def test_explicit_cancel_raises_typed_with_reason(self):
+        token = CancelToken()
+        token.poll()  # not yet fired
+        assert not token.cancelled
+        token.cancel(reason="client disconnected")
+        assert token.cancelled
+        with pytest.raises(QueryCancelledError) as info:
+            token.poll()
+        assert info.value.reason == "client disconnected"
+
+    def test_deadline_expiry_raises_deadline_error(self):
+        clock = FakeClock()
+        token = CancelToken(deadline=Deadline.after(1.0, clock=clock))
+        token.poll()
+        clock.advance(2.0)
+        assert token.cancelled
+        with pytest.raises(DeadlineExceededError) as info:
+            token.poll()
+        assert info.value.budget == pytest.approx(1.0)
+        assert info.value.elapsed == pytest.approx(2.0)
+        # DeadlineExceededError IS a QueryCancelledError (one except clause
+        # catches both) and self-describes its reason.
+        assert isinstance(info.value, QueryCancelledError)
+        assert info.value.reason == "deadline"
+
+    def test_resolve_folds_cancel_and_deadline(self):
+        assert resolve_cancel_token(None, None) is None
+        token = resolve_cancel_token(None, 5.0)
+        assert token is not None and token.deadline is not None
+        assert token.deadline.budget == pytest.approx(5.0)
+        explicit = CancelToken()
+        assert resolve_cancel_token(explicit, None) is explicit
+        # A bare token adopts the call's deadline...
+        resolved = resolve_cancel_token(explicit, 1.0)
+        assert resolved is explicit and explicit.deadline is not None
+        # ...but a token that brought its own keeps it.
+        own = Deadline.after(9.0)
+        carrying = CancelToken(deadline=own)
+        assert resolve_cancel_token(carrying, 1.0).deadline is own
+
+
+class TestMeasuredBytes:
+    def test_arrays_report_buffer_size(self):
+        import numpy as np
+
+        array = np.zeros(1000, dtype=np.float64)
+        assert measured_bytes(array) >= array.nbytes
+
+    def test_containers_accumulate(self):
+        small = measured_bytes({"a": 1})
+        large = measured_bytes({f"key{i}": list(range(10)) for i in range(50)})
+        assert large > small > 0
+
+
+# ---------------------------------------------------------------------------
+# Memory governor
+# ---------------------------------------------------------------------------
+class FakeCache:
+    """A governable cache whose entries are (nbytes, hits) pairs."""
+
+    def __init__(self, name: str, entries: list[int], hits: int = 0):
+        self.name = name
+        self._entries = list(entries)
+        self._hits = hits
+
+    def byte_size(self) -> int:
+        return sum(self._entries)
+
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def hit_count(self) -> int:
+        return self._hits
+
+    def evict_entries(self, n: int) -> int:
+        victims, self._entries = self._entries[:n], self._entries[n:]
+        return sum(victims)
+
+    def flush(self) -> int:
+        return self.evict_entries(self.entry_count())
+
+
+class TestMemoryGovernor:
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            MemoryGovernor(0)
+        with pytest.raises(ValueError):
+            MemoryGovernor(100, soft_fraction=0.9, hard_fraction=0.8)
+
+    def test_tier_classification(self):
+        governor = MemoryGovernor(1000)
+        cache = FakeCache("c", [])
+        governor.register(cache)
+        assert governor.maintain() == TIER_OK
+        cache._entries = [650]
+        # 650 > 600 soft line, eviction drops the only entry.
+        assert governor.maintain() in (TIER_SOFT, TIER_OK)
+
+    def test_soft_pressure_evicts_coldest_by_hit_density(self):
+        governor = MemoryGovernor(1000, eviction_fraction=1.0)
+        hot = FakeCache("hot", [200], hits=1000)
+        cold = FakeCache("cold", [500], hits=1)
+        governor.register(hot)
+        governor.register(cold)
+        tier = governor.maintain()  # 700 > 600: soft pressure
+        assert tier == TIER_OK
+        # The cold cache was sacrificed; the hot one survived untouched.
+        assert cold.entry_count() == 0
+        assert hot.entry_count() == 1
+
+    def test_critical_pressure_flushes_everything(self):
+        metrics = MetricsRegistry()
+        governor = MemoryGovernor(1000, metrics=metrics)
+        first = FakeCache("first", [800], hits=50)
+        second = FakeCache("second", [900], hits=50)
+        governor.register(first)
+        governor.register(second)
+        governor.maintain()  # 1700 > 1000: critical
+        assert first.entry_count() == 0
+        assert second.entry_count() == 0
+        assert metrics.counter(names.GOVERNANCE_FLUSHES).value == 1
+        assert metrics.counter(names.GOVERNANCE_EVICTED_BYTES).value == 1700
+
+    def test_hard_pressure_rejects_admissions(self):
+        metrics = MetricsRegistry()
+        governor = MemoryGovernor(1000, metrics=metrics)
+        # A cache that refuses to shrink keeps the tier pinned at hard.
+        class Stuck(FakeCache):
+            def evict_entries(self, n: int) -> int:
+                return 0
+
+        governor.register(Stuck("stuck", [900], hits=5))
+        assert governor.maintain() == TIER_HARD
+        assert governor.admit(10) is False
+        assert metrics.counter(names.GOVERNANCE_CACHE_ADMISSION_REJECTIONS).value == 1
+
+    def test_admission_ok_under_no_pressure_but_never_oversized(self):
+        governor = MemoryGovernor(1000)
+        assert governor.tier == TIER_OK
+        assert governor.admit(100) is True
+        # A single entry larger than the whole budget can never be cached.
+        assert governor.admit(2000) is False
+
+    def test_high_water_and_gauges(self):
+        metrics = MetricsRegistry()
+        governor = MemoryGovernor(10_000, metrics=metrics)
+        cache = FakeCache("c", [300], hits=0)
+        governor.register(cache)
+        governor.maintain()
+        assert governor.high_water_bytes == 300
+        assert metrics.gauge(names.GOVERNANCE_BUDGET_BYTES).value == 10_000
+        assert metrics.gauge(names.GOVERNANCE_CACHE_BYTES).value == 300
+        assert metrics.gauge(names.governed_cache_gauge("c")).value == 300
+        assert metrics.gauge(names.GOVERNANCE_PRESSURE_LEVEL).value == 0
+        cache._entries = []
+        governor.maintain()
+        # High water is monotone even after the cache shrinks.
+        assert governor.high_water_bytes == 300
+
+    def test_register_replaces_by_name(self):
+        governor = MemoryGovernor(1000)
+        governor.register(FakeCache("c", [100]))
+        governor.register(FakeCache("c", [200]))
+        assert len(governor.adapters()) == 1
+        assert governor.total_bytes() == 200
+
+    def test_governed_cache_adapter_binds_callables(self):
+        state = {"evicted": 0}
+
+        def evict(n):
+            state["evicted"] += n
+            return 11 * n
+
+        adapter = GovernedCache(
+            "bound", byte_size=lambda: 44, entry_count=lambda: 4,
+            hit_count=lambda: 7, evict=evict,
+        )
+        assert adapter.byte_size() == 44
+        assert adapter.entry_count() == 4
+        assert adapter.hit_count() == 7
+        assert adapter.evict_entries(2) == 22
+        assert adapter.flush() == 44  # evicts entry_count() entries
+        assert state["evicted"] == 6
+
+
+# ---------------------------------------------------------------------------
+# Token bucket and admission control
+# ---------------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [True, True, True, False]
+        clock.advance(0.1)  # one token back
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_floor_reserves_headroom(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=4.0, clock=clock)
+        # Background (floor 2.0) may only drain down to two tokens.
+        assert bucket.try_take(floor=2.0)
+        assert bucket.try_take(floor=2.0)
+        assert not bucket.try_take(floor=2.0)
+        # Interactive (floor 0) still gets those reserved tokens.
+        assert bucket.try_take(floor=0.0)
+        assert bucket.try_take(floor=0.0)
+        assert not bucket.try_take(floor=0.0)
+
+    def test_seconds_until_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            bucket.try_take()
+        assert bucket.seconds_until(1.0) == pytest.approx(0.5)
+        assert bucket.seconds_until(0.0) == 0.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def test_queue_depth_caps_shed_lowest_priority_first(self):
+        admission = AdmissionController(max_queue=100)
+        # Depth 50 = background's cap, under batch's 75 and interactive's 100.
+        with pytest.raises(AdmissionRejectedError) as info:
+            admission.admit(PRIORITY_BACKGROUND, queue_depth=50)
+        assert info.value.priority == PRIORITY_BACKGROUND
+        assert info.value.retry_after_hint > 0
+        admission.admit(PRIORITY_BATCH, queue_depth=50)
+        admission.admit(PRIORITY_INTERACTIVE, queue_depth=50)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(PRIORITY_BATCH, queue_depth=75)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(PRIORITY_INTERACTIVE, queue_depth=100)
+
+    def test_bucket_floors_protect_interactive(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_queue=1000, rate=1.0, burst=4.0, clock=clock
+        )
+        # Background may take 2 of the 4 burst tokens (floor 0.5*4=2)...
+        admission.admit(PRIORITY_BACKGROUND, queue_depth=0)
+        admission.admit(PRIORITY_BACKGROUND, queue_depth=0)
+        with pytest.raises(AdmissionRejectedError) as info:
+            admission.admit(PRIORITY_BACKGROUND, queue_depth=0)
+        # ...with a rate-derived hint: refilling back above the floor takes
+        # about a second at 1 token/s.
+        assert info.value.retry_after_hint == pytest.approx(1.0, abs=0.1)
+        # The reserve still serves interactive work.
+        admission.admit(PRIORITY_INTERACTIVE, queue_depth=0)
+        admission.admit(PRIORITY_INTERACTIVE, queue_depth=0)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(PRIORITY_INTERACTIVE, queue_depth=0)
+
+    def test_unknown_priority_is_a_programming_error(self):
+        admission = AdmissionController(max_queue=10)
+        with pytest.raises(ValueError):
+            admission.admit("urgent", queue_depth=0)
+
+    def test_metrics_trail(self):
+        metrics = MetricsRegistry()
+        admission = AdmissionController(max_queue=10, metrics=metrics)
+        admission.admit(PRIORITY_INTERACTIVE, queue_depth=0)
+        with pytest.raises(AdmissionRejectedError):
+            admission.admit(PRIORITY_BACKGROUND, queue_depth=5)
+        assert metrics.counter(names.GOVERNANCE_REQUESTS_ADMITTED).value == 1
+        assert metrics.counter(names.GOVERNANCE_REQUESTS_REJECTED).value == 1
+        assert (
+            metrics.counter(names.rejected_counter(PRIORITY_BACKGROUND)).value == 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, clock):
+        return CircuitBreaker.from_config(
+            CircuitBreakerConfig(
+                window=8, failure_threshold=0.5, min_samples=4, cooldown=2.0
+            ),
+            clock=clock,
+        )
+
+    def test_trips_at_failure_threshold(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.STATE_CLOSED  # 1/3 under 0.5
+        breaker.record_failure()  # 2/4 hits 0.5 with min_samples met
+        assert breaker.state == CircuitBreaker.STATE_OPEN
+        assert breaker.times_opened == 1
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(2.0)
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.STATE_OPEN
+        clock.advance(2.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == CircuitBreaker.STATE_HALF_OPEN
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.STATE_CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.STATE_OPEN
+        assert breaker.times_opened == 2
+        assert not breaker.allow()
+
+    def test_window_slides(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        # Old failures age out of the 8-outcome window before new ones
+        # could combine with them across long healthy stretches.
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(8):
+            breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_failure()
+        # Window now holds 5 successes + 3 failures: 3/8 < 0.5, closed.
+        assert breaker.state == CircuitBreaker.STATE_CLOSED
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: cancellation inside the executor
+# ---------------------------------------------------------------------------
+class TestSessionCancellation:
+    def test_cancelling_one_fused_plan_spares_its_siblings(
+        self, themis, sweep_queries, expected
+    ):
+        session = themis.serve()
+        session.clear_caches()
+        tokens = [CancelToken() for _ in sweep_queries]
+        victim = 3
+        tokens[victim].cancel(reason="test victim")
+        batch = session.execute_batch(sweep_queries, cancel=tokens)
+        for index, outcome in enumerate(batch.outcomes):
+            if index == victim:
+                assert outcome.cancelled
+                assert isinstance(outcome.error, QueryCancelledError)
+                assert outcome.result is None
+            else:
+                # Bit-identity: fused siblings of the cancelled plan (and
+                # everyone else) answer exactly as an ungoverned run.
+                assert not outcome.cancelled
+                assert outcome.result == expected[index]
+
+    def test_results_raises_the_cancelled_outcomes_error(self, themis, sweep_queries):
+        session = themis.serve()
+        tokens = [CancelToken() for _ in sweep_queries]
+        tokens[0].cancel()
+        batch = session.execute_batch(sweep_queries, cancel=tokens)
+        with pytest.raises(QueryCancelledError):
+            batch.results()
+
+    def test_expired_batch_deadline_raises_mid_batch(self, themis, sweep_queries):
+        session = themis.serve()
+        session.clear_caches()
+        clock = FakeClock()
+        token = CancelToken(deadline=Deadline.after(1.0, clock=clock))
+        clock.advance(5.0)  # expire before the first chunk boundary
+        with pytest.raises(DeadlineExceededError):
+            session.execute_batch(sweep_queries, cancel=token)
+
+    def test_themis_query_deadline_surface(self, themis):
+        # An absurdly generous deadline changes nothing...
+        statement = "SELECT COUNT(*) FROM R WHERE A = 0"
+        assert themis.query(statement) == themis.query(statement, deadline=3600.0)
+        # ...an already-expired one raises before executing.
+        with pytest.raises(DeadlineExceededError):
+            themis.query(statement, deadline=Deadline.after(-1.0))
+
+    def test_cancellation_metrics(self, themis, sweep_queries):
+        session = themis.serve()
+        tokens = [CancelToken() for _ in sweep_queries]
+        tokens[1].cancel()
+        session.execute_batch(sweep_queries, cancel=tokens)
+        assert session.metrics.counter(names.GOVERNANCE_CANCELLED).value >= 1
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: governed session bit-identity under a starvation budget
+# ---------------------------------------------------------------------------
+class TestGovernedSession:
+    def test_starved_budget_costs_hits_never_bits(self, sweep_queries, expected):
+        governed = build_fitted_themis()
+        session = governed.serve(memory_budget_bytes=48 * 1024)
+        assert session.governor is not None
+        for _ in range(2):  # second pass re-serves through whatever survived
+            produced = session.execute_batch(sweep_queries).results()
+            assert produced == expected
+            assert session.governor.total_bytes() <= 48 * 1024
+
+    def test_unbudgeted_session_has_no_governor(self, themis):
+        assert themis.serve().governor is None
+
+
+# ---------------------------------------------------------------------------
+# Cache invariants (S3)
+# ---------------------------------------------------------------------------
+class TestCacheInvariants:
+    def test_no_stale_generation_entry_survives_refit(self, sweep_queries):
+        themis = build_fitted_themis()
+        session = themis.serve(memory_budget_bytes=10**9)
+        session.execute_batch(sweep_queries)
+        assert len(session.result_cache.entries()) > 0
+        before = session.generation
+        themis.refit()
+        session.execute_batch(sweep_queries[:4])
+        after = session.generation
+        assert after is not None and after != before
+        # Every surviving cache is stamped with the new generation, and the
+        # result cache holds only entries written after the refit.
+        assert session.result_cache.generation == after
+        assert session.inference_cache.generation == after
+        assert 0 < len(session.result_cache.entries()) <= 4
+
+    def test_entries_and_peek_stay_stat_free_under_governor(self, sweep_queries):
+        themis = build_fitted_themis()
+        session = themis.serve(memory_budget_bytes=10**9)
+        session.execute_batch(sweep_queries)
+        cache = session.result_cache
+        stats_before = (cache.statistics.hits, cache.statistics.misses)
+        bytes_before = cache.byte_size
+        order_before = [key for key, _ in cache.entries()]
+        for key, _ in cache.entries():
+            cache.peek(key)
+            assert key in cache
+        assert (cache.statistics.hits, cache.statistics.misses) == stats_before
+        assert cache.byte_size == bytes_before
+        # Recency order unchanged: peeks must not promote entries.
+        assert [key for key, _ in cache.entries()] == order_before
+
+
+# ---------------------------------------------------------------------------
+# Pool shutdown (S1)
+# ---------------------------------------------------------------------------
+class TestPoolShutdown:
+    def test_double_close_is_idempotent(self, themis):
+        from repro.serving.scale import ShardedWorkerPool
+        from repro.serving.scale.pool import _LIVE_POOLS
+
+        pool = ShardedWorkerPool(themis, n_workers=1)
+        assert pool in _LIVE_POOLS
+        pool.close()
+        assert pool not in _LIVE_POOLS
+        pool.close()  # second close is a no-op, not an error
+
+    def test_close_after_worker_crash(self, themis):
+        from repro.serving.scale import ShardedWorkerPool
+
+        pool = ShardedWorkerPool(themis, n_workers=2)
+        pool._workers[0].process.kill()
+        pool._workers[0].process.join(timeout=10.0)
+        pool.close()  # dead pipe on shard 0 must not leak out of close()
+
+    def test_supervised_double_close(self, themis):
+        from repro.serving.scale import SupervisedWorkerPool
+
+        pool = SupervisedWorkerPool(themis, n_workers=1)
+        pool.close()
+        pool.close()
+
+    def test_atexit_guard_tolerates_closed_and_crashed_pools(self, themis):
+        from repro.serving.scale import ShardedWorkerPool
+        from repro.serving.scale.pool import _close_leaked_pools
+
+        closed = ShardedWorkerPool(themis, n_workers=1)
+        closed.close()
+        crashed = ShardedWorkerPool(themis, n_workers=1)
+        crashed._workers[0].process.kill()
+        crashed._workers[0].process.join(timeout=10.0)
+        # The interpreter-shutdown sweep must survive any mix of pool
+        # states without raising.
+        _close_leaked_pools()
+        crashed.close()

@@ -78,6 +78,40 @@ class TestFrozenSurface:
         assert names.cache_gauge("result", "hits") == "cache.result.hits"
         assert names.stage_histogram("compile") == "latency.stage.compile"
 
+    def test_governance_names_are_frozen(self):
+        # The resource-governance surface: dashboards, the governance chaos
+        # experiment, and the smoke benchmark all key on these strings.
+        assert names.GOVERNANCE_PREFIX == "governance."
+        assert names.GOVERNANCE_CACHE_BYTES == "governance.cache_bytes"
+        assert (
+            names.GOVERNANCE_CACHE_BYTES_HIGH_WATER
+            == "governance.cache_bytes_high_water"
+        )
+        assert names.GOVERNANCE_BUDGET_BYTES == "governance.budget_bytes"
+        assert names.GOVERNANCE_PRESSURE_LEVEL == "governance.pressure_level"
+        assert names.GOVERNANCE_EVICTIONS == "governance.evictions"
+        assert names.GOVERNANCE_EVICTED_BYTES == "governance.evicted_bytes"
+        assert names.GOVERNANCE_FLUSHES == "governance.flushes"
+        assert (
+            names.GOVERNANCE_CACHE_ADMISSION_REJECTIONS
+            == "governance.cache_admission_rejections"
+        )
+        assert names.GOVERNANCE_REQUESTS_ADMITTED == "governance.requests_admitted"
+        assert names.GOVERNANCE_REQUESTS_REJECTED == "governance.requests_rejected"
+        assert names.GOVERNANCE_REJECTED_PREFIX == "governance.rejected."
+        assert names.GOVERNANCE_CANCELLED == "governance.cancelled"
+        assert names.GOVERNANCE_DEADLINE_EXCEEDED == "governance.deadline_exceeded"
+        assert names.GOVERNANCE_BREAKER_OPENED == "governance.breaker.opened"
+        assert names.GOVERNANCE_BREAKER_REJECTIONS == "governance.breaker.rejections"
+        assert (
+            names.GOVERNANCE_BREAKER_PROBES == "governance.breaker.half_open_probes"
+        )
+        assert names.GOVERNANCE_CACHE_GAUGE_PREFIX == "governance.cache."
+        assert (
+            names.governed_cache_gauge("result") == "governance.cache.result.bytes"
+        )
+        assert names.rejected_counter("background") == "governance.rejected.background"
+
 
 # ---------------------------------------------------------------------------
 # Metrics registry

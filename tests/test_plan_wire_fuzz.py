@@ -1,0 +1,241 @@
+"""Fuzzing the plan wire decoder: only ``WireFormatError`` may escape.
+
+The sharded serving tier feeds :func:`repro.plan.wire.deserialize_plan`
+bytes that crossed a process boundary, so the decoder is a trust boundary:
+whatever arrives — truncated JSON, bit-rotted text, structurally mutated
+payloads, type-confused fields — the decoder must either return a plan or
+raise :class:`~repro.exceptions.WireFormatError`.  Any other exception
+(``KeyError``, ``TypeError``, ``QueryError``, ...) escaping is a bug: the
+worker loop classifies ``WireFormatError`` as a malformed request and
+anything else as a worker fault, so a leak turns a bad payload into a
+spurious crash/respawn cycle.
+
+Three layers:
+
+* a deterministic seeded sweep over thousands of truncations, character
+  mutations, and structural mutations of real serialized plans (every
+  golden shape, so every node/query decoder is exercised);
+* hand-built type-confusion payloads for the documented failure modes;
+* a bounded Hypothesis pass feeding arbitrary JSON-shaped objects straight
+  into ``deserialize_plan``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WireFormatError
+from repro.plan import PlanCompiler, deserialize_plan, plan_from_json, plan_to_json
+from repro.plan.ir import LogicalPlan
+
+from golden_plans import golden_plans
+from worlds import build_fitted_themis
+
+#: Substituted into random payload positions by the structural mutator —
+#: every JSON type plus the tag values the decoders dispatch on.
+_CONFUSIONS = [
+    None,
+    True,
+    0,
+    -1,
+    3.5,
+    "",
+    "scan",
+    "point",
+    [],
+    [[]],
+    {},
+    {"node": "scan"},
+    {"__kind__": "tuple"},
+    {"__kind__": "tuple", "items": 7},
+]
+
+
+@pytest.fixture(scope="module")
+def themis():
+    return build_fitted_themis()
+
+
+@pytest.fixture(scope="module")
+def compiler(themis):
+    return PlanCompiler(themis.sample.schema)
+
+
+@pytest.fixture(scope="module")
+def corpus(themis):
+    """Canonical JSON text of every golden plan (every shape, every node)."""
+    return [
+        plan_to_json(plan)
+        for plan in golden_plans(themis.sample.schema).values()
+    ]
+
+
+def _decode_must_be_typed(text: str, compiler=None) -> None:
+    """The invariant: decoding returns a plan or raises WireFormatError."""
+    try:
+        rebuilt = plan_from_json(text, compiler)
+    except WireFormatError:
+        return
+    assert isinstance(rebuilt, LogicalPlan)
+
+
+def _mutate_structure(payload, rng: random.Random, n_edits: int):
+    """Apply random structural edits (delete/replace/confuse) in place."""
+    for _ in range(n_edits):
+        node = payload
+        # Walk to a random container (dicts and lists only).
+        for _ in range(rng.randrange(6)):
+            if isinstance(node, dict) and node:
+                node = node[rng.choice(sorted(node, key=str))]
+            elif isinstance(node, list) and node:
+                node = node[rng.randrange(len(node))]
+            else:
+                break
+        if isinstance(node, dict) and node:
+            key = rng.choice(sorted(node, key=str))
+            action = rng.randrange(3)
+            if action == 0:
+                del node[key]
+            elif action == 1:
+                node[key] = rng.choice(_CONFUSIONS)
+            else:
+                node[str(rng.choice(_CONFUSIONS))] = node.pop(key)
+        elif isinstance(node, list) and node:
+            index = rng.randrange(len(node))
+            if rng.randrange(2):
+                del node[index]
+            else:
+                node[index] = rng.choice(_CONFUSIONS)
+    return payload
+
+
+class TestSeededSweep:
+    def test_truncations(self, corpus):
+        rng = random.Random(0x5EED)
+        for text in corpus:
+            cuts = {rng.randrange(len(text)) for _ in range(40)}
+            cuts.update(range(0, len(text), max(1, len(text) // 20)))
+            for cut in cuts:
+                _decode_must_be_typed(text[:cut])
+
+    def test_character_mutations(self, corpus):
+        rng = random.Random(20260808)
+        alphabet = '{}[]",:0123456789.enulabc_-'
+        for text in corpus:
+            for _ in range(120):
+                position = rng.randrange(len(text))
+                mutated = (
+                    text[:position]
+                    + rng.choice(alphabet)
+                    + text[position + 1 :]
+                )
+                _decode_must_be_typed(mutated)
+
+    def test_structural_mutations(self, corpus):
+        rng = random.Random(404)
+        for text in corpus:
+            for round_ in range(60):
+                payload = json.loads(text)
+                _mutate_structure(payload, rng, n_edits=1 + round_ % 4)
+                _decode_must_be_typed(json.dumps(payload))
+
+    def test_structural_mutations_with_receiver_compiler(self, corpus, compiler):
+        # The recompile-and-verify path must hold the same invariant: a
+        # mutated query that no longer compiles against the receiver's
+        # schema is a wire error, not a QueryError leak.
+        rng = random.Random(1759)
+        for text in corpus:
+            for round_ in range(30):
+                payload = json.loads(text)
+                _mutate_structure(payload, rng, n_edits=1 + round_ % 3)
+                _decode_must_be_typed(json.dumps(payload), compiler)
+
+
+class TestTypeConfusion:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            7,
+            "plan",
+            [],
+            {},
+            {"format": "themis/plan"},
+            {"format": "themis/plan", "version": "1"},
+            {"format": 1, "version": 1},
+        ],
+        ids=repr,
+    )
+    def test_non_plan_payloads(self, payload):
+        with pytest.raises(WireFormatError):
+            deserialize_plan(payload)
+
+    def test_confused_fields(self, corpus):
+        base = json.loads(corpus[0])
+        for field in sorted(base):
+            for confusion in _CONFUSIONS:
+                payload = json.loads(corpus[0])
+                payload[field] = confusion
+                _decode_must_be_typed(json.dumps(payload))
+
+    def test_swapped_subtrees(self, corpus):
+        # Feed every payload the root/query/key of every *other* payload:
+        # cross-plan grafts must decode or fail typed, never crash.
+        payloads = [json.loads(text) for text in corpus]
+        for donor in payloads:
+            for field in ("root", "query", "key"):
+                for receiver_text in corpus:
+                    receiver = json.loads(receiver_text)
+                    receiver[field] = donor[field]
+                    _decode_must_be_typed(json.dumps(receiver))
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-10, 10)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.sampled_from(
+        ["scan", "point", "themis/plan", "tuple", "node", "query", "__kind__", ""]
+    ),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(
+        st.sampled_from(
+            [
+                "format",
+                "version",
+                "node",
+                "query",
+                "root",
+                "key",
+                "shape",
+                "sql",
+                "labels",
+                "child",
+                "items",
+                "__kind__",
+                "predicates",
+                "assignment",
+            ]
+        ),
+        children,
+        max_size=5,
+    ),
+    max_leaves=12,
+)
+
+
+class TestHypothesisFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(payload=json_values)
+    def test_arbitrary_payloads_fail_typed(self, payload):
+        try:
+            result = deserialize_plan(payload)
+        except WireFormatError:
+            return
+        assert isinstance(result, LogicalPlan)
